@@ -1,0 +1,194 @@
+package repro
+
+// Benchmark harness: one testing.B benchmark per table and figure of the
+// paper's evaluation, each invoking the generator that regenerates that
+// experiment's rows/series, plus micro-benchmarks of the library's hot
+// paths. The per-experiment benchmarks share a single quick lab (dataset
+// collection dominates and is cached), so -bench=. completes in a few
+// minutes; run cmd/dnnperf all for the full-fidelity numbers.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/profiler"
+	"repro/internal/sim"
+	"repro/internal/zoo"
+)
+
+var (
+	benchLabOnce sync.Once
+	benchLab     *bench.Lab
+)
+
+func sharedLab(b *testing.B) *bench.Lab {
+	b.Helper()
+	benchLabOnce.Do(func() { benchLab = bench.NewQuickLab() })
+	return benchLab
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := bench.Table1().Render(); out == "" {
+			b.Fatal("empty render")
+		}
+	}
+}
+
+// benchFigure standardizes the per-figure benchmark body.
+func benchFigure(b *testing.B, run func(*bench.Lab) error) {
+	l := sharedLab(b)
+	// Warm the lab's dataset caches outside the timed region.
+	if err := run(l); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(l); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	benchFigure(b, func(l *bench.Lab) error { _, err := bench.Figure3(l, gpu.A100); return err })
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	benchFigure(b, func(l *bench.Lab) error { _, err := bench.Figure4(l, gpu.A100); return err })
+}
+
+func BenchmarkFigure5(b *testing.B) {
+	benchFigure(b, func(l *bench.Lab) error { _, err := bench.Figure5(l, gpu.A100); return err })
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	benchFigure(b, func(l *bench.Lab) error { _, err := bench.Figure6(l, gpu.A100); return err })
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	benchFigure(b, func(l *bench.Lab) error { _, err := bench.Figure7(l, gpu.A100); return err })
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	benchFigure(b, func(l *bench.Lab) error { _, err := bench.Figure8(l, gpu.A100); return err })
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	benchFigure(b, func(l *bench.Lab) error { _, err := bench.Figure9(l); return err })
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	benchFigure(b, func(l *bench.Lab) error { _, err := bench.Figure11(l, gpu.A100); return err })
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	benchFigure(b, func(l *bench.Lab) error { _, err := bench.Figure12(l, gpu.A100); return err })
+}
+
+func BenchmarkFigure13(b *testing.B) {
+	benchFigure(b, func(l *bench.Lab) error { _, err := bench.Figure13(l, gpu.A100); return err })
+}
+
+func BenchmarkTable2(b *testing.B) {
+	benchFigure(b, func(l *bench.Lab) error { _, err := bench.Table2(l); return err })
+}
+
+func BenchmarkFigure14(b *testing.B) {
+	benchFigure(b, func(l *bench.Lab) error { _, err := bench.Figure14(l); return err })
+}
+
+func BenchmarkFigure15(b *testing.B) {
+	benchFigure(b, func(l *bench.Lab) error { _, err := bench.Figure15(l); return err })
+}
+
+func BenchmarkFigure16(b *testing.B) {
+	benchFigure(b, func(l *bench.Lab) error { _, err := bench.Figure16(l); return err })
+}
+
+func BenchmarkFigure17(b *testing.B) {
+	benchFigure(b, func(l *bench.Lab) error { _, err := bench.Figure17(l); return err })
+}
+
+func BenchmarkFigure18(b *testing.B) {
+	benchFigure(b, func(l *bench.Lab) error { _, err := bench.Figure18(l); return err })
+}
+
+func BenchmarkFigure19(b *testing.B) {
+	benchFigure(b, func(l *bench.Lab) error { _, err := bench.Figure19(l); return err })
+}
+
+// ------------------------------------------------------- micro-benchmarks
+
+// BenchmarkProfileResNet50 measures the full synthetic measurement pipeline
+// (shape inference, kernel selection, 30-batch averaged timing) — the cost
+// of "running" one network once on the substrate.
+func BenchmarkProfileResNet50(b *testing.B) {
+	net := zoo.MustResNet(50)
+	p := profiler.New(sim.NewDefault(gpu.A100))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Profile(net, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKWTrain measures fitting the kernel-wise model — the "seconds
+// rather than hours" claim of Table 2.
+func BenchmarkKWTrain(b *testing.B) {
+	l := sharedLab(b)
+	ds, err := l.Dataset(gpu.A100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.FitKW(ds, "A100", bench.TrainBatch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKWPredict measures one structure-only network prediction.
+func BenchmarkKWPredict(b *testing.B) {
+	l := sharedLab(b)
+	ds, err := l.Dataset(gpu.A100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kw, err := core.FitKW(ds, "A100", bench.TrainBatch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := zoo.MustResNet(50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kw.PredictNetwork(net, 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkZooGeneration measures building all 646 network structures.
+func BenchmarkZooGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if nets := zoo.Full(); len(nets) != zoo.FullZooSize {
+			b.Fatal("bad zoo")
+		}
+	}
+}
+
+// BenchmarkShapeInference measures inferring ResNet-152 at batch 512.
+func BenchmarkShapeInference(b *testing.B) {
+	net := zoo.MustResNet(152)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.Infer(512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/disagg"
+	"repro/internal/sched"
+)
+
+// This file exposes the building blocks of the paper's three case studies
+// (§6) through the public facade.
+
+// ---------------------------------------------------------- case study 1
+
+// IGKWBase is the target-independent part of the inter-GPU model. Fitting
+// the base once and resolving many (possibly hypothetical) targets is what
+// makes bandwidth design-space exploration take milliseconds per point.
+type IGKWBase = core.IGKWBase
+
+// TrainIGKWBase performs the per-GPU training work shared by every target
+// GPU; resolve concrete targets with (*IGKWBase).Resolve.
+func TrainIGKWBase(ds *Dataset, trainGPUs []GPU) (*IGKWBase, error) {
+	return core.FitIGKWBase(ds, trainGPUs, TrainBatchSize)
+}
+
+// ---------------------------------------------------------- case study 2
+
+// DisaggConfig describes a disaggregated-memory system: link bandwidth and
+// latency to the remote pool, and the local-memory prefetch window.
+type DisaggConfig = disagg.Config
+
+// DisaggLayerJob is one layer's compute time and remote traffic.
+type DisaggLayerJob = disagg.LayerJob
+
+// DisaggResult summarizes one disaggregated-memory simulation.
+type DisaggResult = disagg.Result
+
+// SimulateDisagg runs the event-driven disaggregated-memory model over the
+// layer jobs.
+func SimulateDisagg(jobs []DisaggLayerJob, cfg DisaggConfig) (DisaggResult, error) {
+	return disagg.Simulate(jobs, cfg)
+}
+
+// SweepDisagg simulates the job list across several link bandwidths.
+func SweepDisagg(jobs []DisaggLayerJob, base DisaggConfig, bandwidthsGBps []float64) ([]DisaggResult, error) {
+	return disagg.Sweep(jobs, base, bandwidthsGBps)
+}
+
+// DisaggSpeedups normalizes sweep totals to the first entry (the paper plots
+// speedup over a 16 GB/s link).
+func DisaggSpeedups(results []DisaggResult) []float64 { return disagg.Speedups(results) }
+
+// DisaggJobsFromNetwork assembles the per-layer job list for a network at a
+// batch size, taking compute times from a trained kernel-wise model and
+// counting weights plus input/output activations as remote traffic.
+func DisaggJobsFromNetwork(n *Network, batch int, kw *KWModel) ([]DisaggLayerJob, error) {
+	if err := n.Infer(batch); err != nil {
+		return nil, err
+	}
+	var jobs []DisaggLayerJob
+	for _, l := range n.Layers {
+		traffic := 4 * l.WeightCount()
+		for _, s := range l.InShapes {
+			traffic += 4 * s.Numel()
+		}
+		traffic += 4 * l.OutShape.Numel()
+		jobs = append(jobs, DisaggLayerJob{
+			Name:           l.Name,
+			ComputeSeconds: kw.PredictLayerTime(l),
+			RemoteBytes:    traffic,
+		})
+	}
+	return jobs, nil
+}
+
+// ---------------------------------------------------------- case study 3
+
+// ScheduleTimes holds per-GPU execution time estimates for a task list.
+type ScheduleTimes = sched.Times
+
+// ScheduleAssignment maps tasks to GPUs with the resulting makespan.
+type ScheduleAssignment = sched.Assignment
+
+// ChooseGPU returns, per task, the GPU with the smallest time.
+func ChooseGPU(tm ScheduleTimes, nTasks int) ([]string, error) {
+	return sched.ChooseGPU(tm, nTasks)
+}
+
+// ScheduleBruteForce enumerates every assignment (≤ 16 tasks, ≤ 4 GPUs) and
+// returns one with minimal makespan.
+func ScheduleBruteForce(tm ScheduleTimes, nTasks int) (ScheduleAssignment, error) {
+	return sched.BruteForce(tm, nTasks)
+}
+
+// ScheduleGreedy is the scalable longest-processing-time heuristic.
+func ScheduleGreedy(tm ScheduleTimes, nTasks int) (ScheduleAssignment, error) {
+	return sched.Greedy(tm, nTasks)
+}
+
+// MakespanOf re-costs an assignment under a different time table (e.g. a
+// predicted-time schedule evaluated with measured times).
+func MakespanOf(gpuOf []string, tm ScheduleTimes) (float64, error) {
+	return sched.MakespanOf(gpuOf, tm)
+}

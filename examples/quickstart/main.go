@@ -1,0 +1,90 @@
+// Quickstart: collect a dataset on one GPU, train the paper's models, and
+// predict the execution time of a network that was held out of training —
+// the workflow of the paper's Figure 10.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// 1. Workloads: a diverse sample of the 646-network zoo, plus the
+	// ResNet-50 we will predict. Holding ResNet-50 out of training makes
+	// the prediction a genuine "new DNN" case.
+	const target = "resnet50"
+	var nets []*repro.Network
+	for i, n := range repro.Zoo() {
+		if i%6 == 0 && n.Name != target {
+			nets = append(nets, n)
+		}
+	}
+
+	// 2. Measure: profile every network on the A100 device substrate. The
+	// options follow the paper's protocol (warm up, then average measured
+	// batches; end-to-end times at several batch sizes, kernel detail at
+	// the fully-utilizing batch size 512).
+	opt := repro.DefaultCollectOptions()
+	opt.Batches = 8 // fewer measured batches: faster, slightly noisier
+	ds, report, err := repro.Collect(nets, []repro.GPU{repro.A100}, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %s (%d runs dropped for OOM)\n", ds.Summary(), len(report.OutOfMemory))
+
+	// 3. Train the three single-GPU models.
+	e2e, err := repro.TrainE2E(ds, "A100")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lw, err := repro.TrainLW(ds, "A100")
+	if err != nil {
+		log.Fatal(err)
+	}
+	kw, err := repro.TrainKW(ds, "A100")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("KW model: %d kernels reduced to %d regression models\n",
+		kw.KernelCount(), kw.ModelCount())
+
+	// 4. Predict the held-out network and compare with a real measurement.
+	net, err := repro.NetworkByName(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := repro.Profile(net, repro.TrainBatchSize, repro.A100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s at batch %d on A100 — measured %.1f ms\n",
+		target, repro.TrainBatchSize, trace.E2ETime*1e3)
+	for _, m := range []repro.Predictor{e2e, lw, kw} {
+		pred, err := m.PredictNetwork(net, repro.TrainBatchSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-4s predicted %8.1f ms  (error %5.1f%%)\n",
+			m.Name(), pred*1e3, 100*abs(pred-trace.E2ETime)/trace.E2ETime)
+	}
+
+	// 5. The models predict other batch sizes from the same fit (O3:
+	// execution time is linear in batch size).
+	fmt.Println("\nKW predictions across batch sizes:")
+	for _, bs := range []int{32, 64, 128, 256, 512} {
+		pred, err := kw.PredictNetwork(net, bs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  batch %3d → %8.1f ms\n", bs, pred*1e3)
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

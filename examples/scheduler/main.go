@@ -1,0 +1,122 @@
+// Cross-GPU scheduling (case study 3): a machine-learning-as-a-service
+// vendor has an A40 and a TITAN RTX; customers submit a queue of networks.
+// The performance model answers both scheduling questions of §6: which GPU
+// runs each network faster, and how to split the queue to minimize the
+// overall completion time — fast enough that brute-force search is trivial.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	gpus := []repro.GPU{repro.A40, repro.TitanRTX}
+	queue := []string{
+		"resnet44", "resnet50", "resnet62", "resnet77",
+		"densenet121", "densenet161", "densenet169", "densenet201",
+		"shufflenet_v1",
+	}
+
+	// Train one kernel-wise model per GPU.
+	var nets []*repro.Network
+	for i, n := range repro.Zoo() {
+		if i%6 == 0 {
+			nets = append(nets, n)
+		}
+	}
+	opt := repro.DefaultCollectOptions()
+	opt.Batches = 8
+	ds, _, err := repro.Collect(nets, gpus, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kws := map[string]*repro.KWModel{}
+	for _, g := range gpus {
+		kw, err := repro.TrainKW(ds, g.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kws[g.Name] = kw
+	}
+
+	// Predict every queue entry on both GPUs; measure ground truth for the
+	// oracle comparison.
+	pred := repro.ScheduleTimes{}
+	actual := repro.ScheduleTimes{}
+	for _, g := range gpus {
+		pred[g.Name] = make([]float64, len(queue))
+		actual[g.Name] = make([]float64, len(queue))
+	}
+	for i, name := range queue {
+		net, err := repro.NetworkByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, g := range gpus {
+			p, err := kws[g.Name].PredictNetwork(net, repro.TrainBatchSize)
+			if err != nil {
+				log.Fatal(err)
+			}
+			pred[g.Name][i] = p
+			tr, err := repro.Profile(net, repro.TrainBatchSize, g)
+			if err != nil {
+				log.Fatal(err)
+			}
+			actual[g.Name][i] = tr.E2ETime
+		}
+	}
+
+	// Question 1: per-network GPU choice.
+	choice, err := repro.ChooseGPU(pred, len(queue))
+	if err != nil {
+		log.Fatal(err)
+	}
+	truth, err := repro.ChooseGPU(actual, len(queue))
+	if err != nil {
+		log.Fatal(err)
+	}
+	correct := 0
+	fmt.Println("per-network GPU choice (predicted vs measured-fastest):")
+	for i, name := range queue {
+		ok := choice[i] == truth[i]
+		if ok {
+			correct++
+		}
+		fmt.Printf("  %-14s → %-10s (fastest: %-10s correct=%t)\n", name, choice[i], truth[i], ok)
+	}
+	fmt.Printf("  %d/%d correct\n\n", correct, len(queue))
+
+	// Question 2: queue scheduling by brute force over predicted times.
+	plan, err := repro.ScheduleBruteForce(pred, len(queue))
+	if err != nil {
+		log.Fatal(err)
+	}
+	achieved, err := repro.MakespanOf(plan.GPUOf, actual)
+	if err != nil {
+		log.Fatal(err)
+	}
+	oracle, err := repro.ScheduleBruteForce(actual, len(queue))
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedy, err := repro.ScheduleGreedy(pred, len(queue))
+	if err != nil {
+		log.Fatal(err)
+	}
+	greedyAchieved, err := repro.MakespanOf(greedy.GPUOf, actual)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("queue schedule (brute force on predicted times):")
+	for i, name := range queue {
+		fmt.Printf("  %-14s → %s\n", name, plan.GPUOf[i])
+	}
+	fmt.Printf("\nmakespans: model plan %.1f ms (achieved), greedy %.1f ms, oracle %.1f ms\n",
+		achieved*1e3, greedyAchieved*1e3, oracle.Makespan*1e3)
+	fmt.Printf("model plan is within %.2f%% of the oracle\n",
+		100*(achieved-oracle.Makespan)/oracle.Makespan)
+}

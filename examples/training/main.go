@@ -1,0 +1,79 @@
+// Training workloads (the paper's future-work extension): profile full
+// training steps — forward, backward and optimizer kernels — train a
+// kernel-wise model on them, and predict training-step times for held-out
+// networks, with prediction intervals.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Training retains every activation for the backward pass, so the
+	// fully-utilizing batch size sits below inference's 512.
+	const batch = 64
+
+	var nets []*repro.Network
+	for i, n := range repro.Zoo() {
+		if i%6 == 0 && n.Name != "resnet50" {
+			nets = append(nets, n)
+		}
+	}
+	opt := repro.DefaultCollectOptions()
+	opt.Batches = 8
+	opt.Training = true
+	opt.E2EBatchSizes = []int{batch}
+	opt.DetailBatchSize = batch
+	ds, report, err := repro.Collect(nets, []repro.GPU{repro.A100}, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training-step dataset: %s (%d OOM runs dropped)\n",
+		ds.Summary(), len(report.OutOfMemory))
+
+	kw, err := repro.TrainKWAt(ds, "A100", batch, repro.KWOptions{Training: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training-mode KW model: %d kernels → %d regression models\n",
+		kw.KernelCount(), kw.ModelCount())
+
+	// Predict a held-out network's training step and check against a
+	// measurement; also show the inference step for the classic ≈3× ratio.
+	net, err := repro.NetworkByName("resnet50")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainTrace, err := repro.ProfileTraining(net, batch, repro.A100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inferTrace, err := repro.Profile(net, batch, repro.A100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	iv, err := kw.PredictNetworkInterval(net, batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nresnet50 at batch %d on A100:\n", batch)
+	fmt.Printf("  measured training step   %8.1f ms\n", trainTrace.E2ETime*1e3)
+	fmt.Printf("  predicted training step  %8.1f ms  (±2σ: %.1f–%.1f ms)\n",
+		iv.Predicted*1e3, iv.Lo()*1e3, iv.Hi()*1e3)
+	fmt.Printf("  measured inference step  %8.1f ms\n", inferTrace.E2ETime*1e3)
+	fmt.Printf("  training / inference     %8.2f×\n",
+		trainTrace.E2ETime/inferTrace.E2ETime)
+	fmt.Printf("  prediction error         %8.1f%%\n",
+		100*abs(iv.Predicted-trainTrace.E2ETime)/trainTrace.E2ETime)
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dnn"
+	"repro/internal/gpu"
+)
+
+// AblationRow is one KW-model variant's accuracy.
+type AblationRow struct {
+	// Variant names the design point.
+	Variant string
+	// MeanError is the held-out average relative error.
+	MeanError float64
+	// Models is the number of regression models the variant maintains.
+	Models int
+}
+
+// AblationResult isolates the kernel-wise model's design choices
+// (DESIGN.md §4): the R²-based driver classification of O5, the
+// similar-slope kernel grouping, and the family-pooled fallback tier.
+type AblationResult struct {
+	GPU  string
+	Rows []AblationRow
+}
+
+// Ablation evaluates the full KW design against variants with one choice
+// removed, plus single-driver baselines, on the canonical held-out split.
+func Ablation(l *Lab, g gpu.Spec) (*AblationResult, error) {
+	ds, err := l.Dataset(g)
+	if err != nil {
+		return nil, err
+	}
+	train, test := l.Split(ds)
+
+	variants := []struct {
+		name string
+		opt  core.KWOptions
+	}{
+		{"full KW (classify + group + family fallback)", core.KWOptions{}},
+		{"no grouping (one model per kernel)", core.KWOptions{DisableGrouping: true}},
+		{"no family fallback", core.KWOptions{DisableFamilyFallback: true}},
+		{"no classification: all operation-driven", core.KWOptions{ForceDriver: core.DriverOperation}},
+		{"no classification: all input-driven", core.KWOptions{ForceDriver: core.DriverInput}},
+		{"no classification: all output-driven", core.KWOptions{ForceDriver: core.DriverOutput}},
+	}
+
+	res := &AblationResult{GPU: g.Name}
+	for _, v := range variants {
+		m, err := core.FitKWOptions(train, g.Name, TrainBatch, v.opt)
+		if err != nil {
+			return nil, fmt.Errorf("bench: ablation %q: %w", v.name, err)
+		}
+		evals, err := l.evalOnTest(m, test, dnn.TaskImageClassification)
+		if err != nil {
+			return nil, fmt.Errorf("bench: ablation %q: %w", v.name, err)
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Variant:   v.name,
+			MeanError: core.MeanRelError(evals),
+			Models:    m.ModelCount(),
+		})
+	}
+	return res, nil
+}
+
+// Render implements the result-rendering convention.
+func (r *AblationResult) Render() string {
+	rows := [][]string{{"KW variant", "models", "test error"}}
+	for _, row := range r.Rows {
+		rows = append(rows, []string{row.Variant,
+			fmt.Sprintf("%d", row.Models), fmt.Sprintf("%.3f", row.MeanError)})
+	}
+	return renderTable(fmt.Sprintf("Ablation: kernel-wise model design choices (%s)", r.GPU), rows)
+}

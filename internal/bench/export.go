@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/gpu"
+)
+
+// Export writes the data series behind the data-rich figures as CSV files,
+// so the curves can be re-plotted with external tooling (the paper's
+// artifact ships its figure data the same way). One file per figure:
+//
+//	fig3_points.csv      network, gflops, exec_ms
+//	fig11_ratios.csv     network, predicted_ms, measured_ms, ratio   (E2E)
+//	fig12_ratios.csv     …                                            (LW)
+//	fig13_ratios.csv     …                                            (KW)
+//	fig14_ratios.csv     …                                            (IGKW)
+//	fig15_curve.csv      bandwidth_gbps, predicted_ms (ResNet-50 DSE)
+//	fig16_curve.csv      bandwidth_gbps, predicted_ms (DenseNet-169 DSE)
+//	fig17_speedups.csv   network, link_gbps, speedup
+func Export(l *Lab, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("bench: export: %w", err)
+	}
+
+	f3, err := Figure3(l, gpu.A100)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"network", "gflops", "exec_ms"}}
+	for _, p := range f3.Points {
+		rows = append(rows, []string{p.Network, ftoa(p.X), ftoa(p.Y)})
+	}
+	if err := writeRows(filepath.Join(dir, "fig3_points.csv"), rows); err != nil {
+		return err
+	}
+
+	curves := []struct {
+		file string
+		get  func() (SCurve, error)
+	}{
+		{"fig11_ratios.csv", func() (SCurve, error) {
+			r, err := Figure11(l, gpu.A100)
+			if err != nil {
+				return SCurve{}, err
+			}
+			return r.Curve, nil
+		}},
+		{"fig12_ratios.csv", func() (SCurve, error) {
+			r, err := Figure12(l, gpu.A100)
+			if err != nil {
+				return SCurve{}, err
+			}
+			return r.Curve, nil
+		}},
+		{"fig13_ratios.csv", func() (SCurve, error) {
+			r, err := Figure13(l, gpu.A100)
+			if err != nil {
+				return SCurve{}, err
+			}
+			return r.Curve, nil
+		}},
+		{"fig14_ratios.csv", func() (SCurve, error) {
+			r, err := Figure14(l)
+			if err != nil {
+				return SCurve{}, err
+			}
+			return r.Curve, nil
+		}},
+	}
+	for _, c := range curves {
+		curve, err := c.get()
+		if err != nil {
+			return err
+		}
+		rows := [][]string{{"network", "predicted_ms", "measured_ms", "ratio"}}
+		for _, e := range curve.Evals {
+			rows = append(rows, []string{e.Network,
+				ftoa(e.Predicted * 1e3), ftoa(e.Measured * 1e3), ftoa(e.Ratio())})
+		}
+		if err := writeRows(filepath.Join(dir, c.file), rows); err != nil {
+			return err
+		}
+	}
+
+	for _, dse := range []struct {
+		file string
+		get  func(*Lab) (*BandwidthDSEResult, error)
+	}{
+		{"fig15_curve.csv", Figure15},
+		{"fig16_curve.csv", Figure16},
+	} {
+		r, err := dse.get(l)
+		if err != nil {
+			return err
+		}
+		rows := [][]string{{"bandwidth_gbps", "predicted_ms"}}
+		for _, p := range r.Points {
+			rows = append(rows, []string{ftoa(p.BandwidthGBps), ftoa(p.PredictedMs)})
+		}
+		if err := writeRows(filepath.Join(dir, dse.file), rows); err != nil {
+			return err
+		}
+	}
+
+	f17, err := Figure17(l)
+	if err != nil {
+		return err
+	}
+	rows = [][]string{{"network", "link_gbps", "speedup"}}
+	for _, s := range f17.Series {
+		for i, sp := range s.Speedups {
+			rows = append(rows, []string{s.Network,
+				ftoa(figure17Bandwidths[i]), ftoa(sp)})
+		}
+	}
+	return writeRows(filepath.Join(dir, "fig17_speedups.csv"), rows)
+}
+
+// ftoa renders a float compactly for CSV.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+// writeRows writes a CSV file.
+func writeRows(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench: export: %w", err)
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return fmt.Errorf("bench: export %s: %w", path, err)
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return fmt.Errorf("bench: export %s: %w", path, err)
+	}
+	return f.Close()
+}

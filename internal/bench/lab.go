@@ -1,0 +1,175 @@
+// Package bench is the experiment harness: one generator per table and
+// figure of the paper's evaluation (see DESIGN.md's per-experiment index).
+// Each generator returns a typed result with the same rows/series the paper
+// reports and a Render method producing a human-readable text table.
+//
+// A Lab owns the shared expensive state — the network zoo and the collected
+// datasets — so several experiments reuse one collection pass. All results
+// are deterministic for a given Lab configuration.
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"text/tabwriter"
+
+	"repro/internal/dataset"
+	"repro/internal/dnn"
+	"repro/internal/gpu"
+	"repro/internal/zoo"
+)
+
+// TrainBatch is the fully-utilizing batch size every model trains at (§5.2).
+const TrainBatch = 512
+
+// TestFraction is the held-out network fraction (§3: "randomly selected 15%").
+const TestFraction = 0.15
+
+// SplitSeed fixes the train/test partition across experiments.
+const SplitSeed = 2023
+
+// MainGPUs are the devices of the model-accuracy experiments (§5.4 reports
+// KW errors on A40, A100, 1080 Ti, TITAN RTX and V100).
+func MainGPUs() []gpu.Spec {
+	return []gpu.Spec{gpu.A100, gpu.A40, gpu.GTX1080Ti, gpu.TitanRTX, gpu.V100}
+}
+
+// Lab bundles the zoo and cached datasets for the experiment generators.
+type Lab struct {
+	nets   []*dnn.Network
+	byName map[string]*dnn.Network
+
+	batches int // measured batches per point
+	warmup  int
+
+	mu    sync.Mutex
+	cache map[string]*dataset.Dataset // per-GPU detail datasets
+}
+
+// NewLab builds the full-fidelity lab: the complete 646-network zoo and the
+// paper's 30-measured-batch protocol. Collection for all five main GPUs
+// takes tens of seconds.
+func NewLab() *Lab { return newLab(zoo.Full(), 30, 20) }
+
+// NewQuickLab builds a reduced lab for tests: a diverse 1-in-6 sample of the
+// zoo and fewer measured batches. Error magnitudes shift slightly but every
+// qualitative result is preserved.
+func NewQuickLab() *Lab {
+	full := zoo.Full()
+	var sub []*dnn.Network
+	for i := 0; i < len(full); i += 6 {
+		sub = append(sub, full[i])
+	}
+	return newLab(sub, 8, 2)
+}
+
+func newLab(nets []*dnn.Network, batches, warmup int) *Lab {
+	l := &Lab{
+		nets:    nets,
+		byName:  make(map[string]*dnn.Network, len(nets)),
+		batches: batches,
+		warmup:  warmup,
+		cache:   map[string]*dataset.Dataset{},
+	}
+	for _, n := range nets {
+		l.byName[n.Name] = n
+	}
+	return l
+}
+
+// Networks returns the lab's zoo.
+func (l *Lab) Networks() []*dnn.Network { return l.nets }
+
+// Network resolves a zoo network by name, falling back to the standard
+// models for names outside the lab's sample.
+func (l *Lab) Network(name string) (*dnn.Network, error) {
+	if n, ok := l.byName[name]; ok {
+		return n, nil
+	}
+	return zoo.ByName(name)
+}
+
+// Dataset returns (building and caching on first use) the detail dataset of
+// the given GPUs: end-to-end records at batch sizes {4, 64, 512} and
+// layer/kernel detail at the training batch size.
+func (l *Lab) Dataset(gpus ...gpu.Spec) (*dataset.Dataset, error) {
+	out := &dataset.Dataset{}
+	for _, g := range gpus {
+		ds, err := l.gpuDataset(g)
+		if err != nil {
+			return nil, err
+		}
+		out.Merge(ds)
+	}
+	return out, nil
+}
+
+// gpuDataset builds or fetches the cached per-GPU dataset.
+func (l *Lab) gpuDataset(g gpu.Spec) (*dataset.Dataset, error) {
+	l.mu.Lock()
+	ds, ok := l.cache[g.Name]
+	l.mu.Unlock()
+	if ok {
+		return ds, nil
+	}
+	opt := dataset.DefaultBuildOptions()
+	opt.Batches = l.batches
+	opt.Warmup = l.warmup
+	built, _, err := dataset.Build(l.nets, []gpu.Spec{g}, opt)
+	if err != nil {
+		return nil, fmt.Errorf("bench: collecting %s dataset: %w", g.Name, err)
+	}
+	built.Clean()
+	l.mu.Lock()
+	l.cache[g.Name] = built
+	l.mu.Unlock()
+	return built, nil
+}
+
+// Sweep collects an ad-hoc dataset: the named networks on the given GPUs at
+// the given batch sizes (end-to-end detail at each batch size).
+func (l *Lab) Sweep(names []string, gpus []gpu.Spec, batchSizes []int) (*dataset.Dataset, error) {
+	nets := make([]*dnn.Network, 0, len(names))
+	for _, name := range names {
+		n, err := l.Network(name)
+		if err != nil {
+			return nil, err
+		}
+		nets = append(nets, n)
+	}
+	opt := dataset.DefaultBuildOptions()
+	opt.Batches = l.batches
+	opt.Warmup = l.warmup
+	opt.E2EBatchSizes = batchSizes
+	opt.DetailBatchSize = batchSizes[len(batchSizes)-1]
+	ds, _, err := dataset.Build(nets, gpus, opt)
+	if err != nil {
+		return nil, fmt.Errorf("bench: sweep collection: %w", err)
+	}
+	return ds, nil
+}
+
+// Split returns the lab's canonical train/test partition of a dataset.
+func (l *Lab) Split(ds *dataset.Dataset) (train, test *dataset.Dataset) {
+	return ds.SplitByNetwork(TestFraction, SplitSeed)
+}
+
+// renderTable lays out rows with tabwriter; the first row is the header.
+func renderTable(title string, rows [][]string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	for i, r := range rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+		if i == 0 {
+			sep := make([]string, len(r))
+			for j, c := range r {
+				sep[j] = strings.Repeat("-", len(c))
+			}
+			fmt.Fprintln(w, strings.Join(sep, "\t"))
+		}
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,554 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dnn"
+	"repro/internal/gpu"
+	"repro/internal/regression"
+	"repro/internal/zoo"
+)
+
+// ---------------------------------------------------------------- Table 1
+
+// Table1Result reproduces Table 1: the GPUs used in the experiments.
+type Table1Result struct {
+	GPUs []gpu.Spec
+}
+
+// Table1 returns the GPU registry in the paper's order.
+func Table1() *Table1Result { return &Table1Result{GPUs: gpu.All()} }
+
+// Render implements the common result-rendering convention.
+func (r *Table1Result) Render() string {
+	rows := [][]string{{"GPU", "Bandwidth (GB/s)", "Memory (GB)", "TFLOPS (FP32)", "Tensor Cores"}}
+	for _, g := range r.GPUs {
+		rows = append(rows, []string{g.Name,
+			fmt.Sprintf("%.0f", g.MemBWGBps), fmt.Sprintf("%.0f", g.MemGB),
+			fmt.Sprintf("%.1f", g.FP32TFLOPS), fmt.Sprintf("%d", g.TensorCores)})
+	}
+	return renderTable("Table 1: GPUs used in the experiments", rows)
+}
+
+// ---------------------------------------------------------------- Figure 3
+
+// ScatterPoint is one (x, y) observation with its label.
+type ScatterPoint struct {
+	Network string
+	X, Y    float64
+}
+
+// Figure3Result holds the E2E-time-versus-FLOPs scatter of the whole zoo
+// (batch size ≥ 4) and its linearity/band statistics.
+type Figure3Result struct {
+	GPU string
+	// Points are (GFLOPs, exec ms) pairs across networks and batch sizes.
+	Points []ScatterPoint
+	// LogLogFit is the fit of log(time) against log(FLOPs); a slope near 1
+	// is the paper's "the trend is linear".
+	LogLogFit regression.Line
+	// BandRatio is the p97.5/p2.5 spread of time-per-FLOP across networks —
+	// the paper's "the band is constantly about 10 times wide".
+	BandRatio float64
+	// SmallFLOPsInefficiency is the mean time-per-FLOP of the lowest-FLOPs
+	// decile divided by the overall median: > 1 reproduces the flattening
+	// at small operation counts.
+	SmallFLOPsInefficiency float64
+}
+
+// Figure3 computes the Figure 3 scatter on the given GPU (the paper plots
+// its pooled dataset; A100 is the canonical choice).
+func Figure3(l *Lab, g gpu.Spec) (*Figure3Result, error) {
+	ds, err := l.Dataset(g)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure3Result{GPU: g.Name}
+	var perFLOP []float64
+	type pf struct{ flops, tpf float64 }
+	var pfs []pf
+	for _, r := range ds.Networks {
+		if r.BatchSize < 4 {
+			continue
+		}
+		res.Points = append(res.Points, ScatterPoint{
+			Network: r.Network,
+			X:       float64(r.TotalFLOPs) / 1e9,
+			Y:       r.E2ESeconds * 1e3,
+		})
+		tpf := r.E2ESeconds / float64(r.TotalFLOPs)
+		perFLOP = append(perFLOP, tpf)
+		pfs = append(pfs, pf{float64(r.TotalFLOPs), tpf})
+	}
+	var xs, ys []float64
+	for _, p := range res.Points {
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+	}
+	fit, err := regression.FitLogLog(xs, ys)
+	if err != nil {
+		return nil, fmt.Errorf("bench: figure 3 fit: %w", err)
+	}
+	res.LogLogFit = fit
+
+	// The paper reads the band width off the well-utilized (high-FLOPs)
+	// region ("when GFLOPs is 10², the execution time is between 10¹ and
+	// 10² ms"); the overhead-dominated low-FLOPs points are the separate
+	// flattening effect. Measure the band on the top half by FLOPs.
+	sort.Slice(pfs, func(i, j int) bool { return pfs[i].flops < pfs[j].flops })
+	var upper []float64
+	for _, p := range pfs[len(pfs)/2:] {
+		upper = append(upper, p.tpf)
+	}
+	res.BandRatio = regression.Percentile(upper, 97.5) / regression.Percentile(upper, 2.5)
+
+	decile := len(pfs) / 10
+	if decile > 0 {
+		var low []float64
+		for _, p := range pfs[:decile] {
+			low = append(low, p.tpf)
+		}
+		res.SmallFLOPsInefficiency = regression.Mean(low) / regression.Median(perFLOP)
+	}
+	return res, nil
+}
+
+// Render implements the result-rendering convention.
+func (r *Figure3Result) Render() string {
+	rows := [][]string{{"metric", "value"}}
+	rows = append(rows,
+		[]string{"GPU", r.GPU},
+		[]string{"points (BS ≥ 4)", fmt.Sprintf("%d", len(r.Points))},
+		[]string{"log-log slope (1 = linear)", fmt.Sprintf("%.3f", r.LogLogFit.Slope)},
+		[]string{"log-log R²", fmt.Sprintf("%.3f", r.LogLogFit.R2)},
+		[]string{"band width (p97.5/p2.5 time-per-FLOP)", fmt.Sprintf("%.1f×", r.BandRatio)},
+		[]string{"small-FLOPs inefficiency (lowest decile)", fmt.Sprintf("%.1f×", r.SmallFLOPsInefficiency)},
+	)
+	return renderTable("Figure 3: execution time vs FLOPs, all networks", rows)
+}
+
+// ---------------------------------------------------------------- Figure 4
+
+// SeriesFit is one network family's time-vs-FLOPs line.
+type SeriesFit struct {
+	Series string
+	Points []ScatterPoint
+	// Fit is the OLS line of exec seconds against FLOPs.
+	Fit regression.Line
+}
+
+// Figure4Result shows that ResNet and VGG variants fall on different lines.
+type Figure4Result struct {
+	GPU            string
+	ResNet, VGG    SeriesFit
+	SlopeRatioRvsV float64
+}
+
+// Figure4 profiles the standard plus non-standard ResNet and VGG variants at
+// BS=512 and fits each family's line.
+func Figure4(l *Lab, g gpu.Spec) (*Figure4Result, error) {
+	resnets, vggs := zoo.Figure4Nets()
+	fit := func(series string, nets []*dnn.Network) (SeriesFit, error) {
+		// Ad-hoc collection: these variants are not part of the zoo.
+		opt := dataset.DefaultBuildOptions()
+		opt.Batches = l.batches
+		opt.Warmup = l.warmup
+		opt.E2EBatchSizes = []int{TrainBatch}
+		ds, _, err := dataset.Build(nets, []gpu.Spec{g}, opt)
+		if err != nil {
+			return SeriesFit{}, err
+		}
+		sf := SeriesFit{Series: series}
+		var xs, ys []float64
+		for _, r := range ds.Networks {
+			if r.BatchSize != TrainBatch {
+				continue
+			}
+			sf.Points = append(sf.Points, ScatterPoint{Network: r.Network,
+				X: float64(r.TotalFLOPs) / 1e9, Y: r.E2ESeconds * 1e3})
+			xs = append(xs, float64(r.TotalFLOPs))
+			ys = append(ys, r.E2ESeconds)
+		}
+		line, err := regression.Fit(xs, ys)
+		if err != nil {
+			return SeriesFit{}, err
+		}
+		sf.Fit = line
+		return sf, nil
+	}
+	rn, err := fit("ResNet", resnets)
+	if err != nil {
+		return nil, fmt.Errorf("bench: figure 4 ResNet series: %w", err)
+	}
+	vg, err := fit("VGG", vggs)
+	if err != nil {
+		return nil, fmt.Errorf("bench: figure 4 VGG series: %w", err)
+	}
+	return &Figure4Result{GPU: g.Name, ResNet: rn, VGG: vg,
+		SlopeRatioRvsV: rn.Fit.Slope / vg.Fit.Slope}, nil
+}
+
+// Render implements the result-rendering convention.
+func (r *Figure4Result) Render() string {
+	rows := [][]string{{"series", "networks", "slope (ms/GFLOP)", "R²"}}
+	for _, s := range []SeriesFit{r.ResNet, r.VGG} {
+		rows = append(rows, []string{s.Series, fmt.Sprintf("%d", len(s.Points)),
+			fmt.Sprintf("%.4f", s.Fit.Slope*1e12), fmt.Sprintf("%.4f", s.Fit.R2)})
+	}
+	rows = append(rows, []string{"slope ratio ResNet/VGG", "", fmt.Sprintf("%.2f×", r.SlopeRatioRvsV), ""})
+	return renderTable(fmt.Sprintf("Figure 4: ResNet vs VGG fall on different lines (BS=%d, %s)", TrainBatch, r.GPU), rows)
+}
+
+// ---------------------------------------------------------------- Figure 5
+
+// BatchSeries is one network's metric across batch sizes.
+type BatchSeries struct {
+	Network string
+	Batch   []int
+	Value   []float64 // ms for Figure 5, TFLOPS for Figure 6
+	// Fit is the value-vs-batch OLS line (Figure 5 only).
+	Fit regression.Line
+}
+
+// Figure5Result: execution time is linear in batch size with per-network
+// slopes.
+type Figure5Result struct {
+	GPU    string
+	Series []BatchSeries
+}
+
+// figure5Nets are the paper's three workloads.
+var figure5Nets = []string{"resnet50", "mobilenet_v2", "vgg16"}
+
+// Figure5 sweeps batch size 2–82 for ResNet-50, MobileNetV2 and VGG-16.
+func Figure5(l *Lab, g gpu.Spec) (*Figure5Result, error) {
+	batches := []int{2, 10, 18, 26, 34, 42, 50, 58, 66, 74, 82}
+	ds, err := l.Sweep(figure5Nets, []gpu.Spec{g}, batches)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure5Result{GPU: g.Name}
+	for _, name := range figure5Nets {
+		s := BatchSeries{Network: name}
+		var xs, ys []float64
+		for _, bs := range batches {
+			for _, r := range ds.Networks {
+				if r.Network == name && r.BatchSize == bs {
+					s.Batch = append(s.Batch, bs)
+					s.Value = append(s.Value, r.E2ESeconds*1e3)
+					xs = append(xs, float64(bs))
+					ys = append(ys, r.E2ESeconds*1e3)
+				}
+			}
+		}
+		line, err := regression.Fit(xs, ys)
+		if err != nil {
+			return nil, fmt.Errorf("bench: figure 5 %s: %w", name, err)
+		}
+		s.Fit = line
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Render implements the result-rendering convention.
+func (r *Figure5Result) Render() string {
+	rows := [][]string{{"network", "slope (ms/image)", "intercept (ms)", "R²"}}
+	for _, s := range r.Series {
+		rows = append(rows, []string{s.Network,
+			fmt.Sprintf("%.4f", s.Fit.Slope), fmt.Sprintf("%.3f", s.Fit.Intercept),
+			fmt.Sprintf("%.4f", s.Fit.R2)})
+	}
+	return renderTable(fmt.Sprintf("Figure 5: execution time vs batch size (%s)", r.GPU), rows)
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+// Figure6Result: achieved TFLOPS saturates once the batch size fully
+// utilizes the GPU.
+type Figure6Result struct {
+	GPU    string
+	Series []BatchSeries
+	// SaturationRatio[i] is series i's TFLOPS at the largest batch divided
+	// by TFLOPS at the smallest — > 1 reproduces the rising-then-flat shape.
+	SaturationRatio []float64
+}
+
+// Figure6 sweeps batch sizes 8–512 and reports achieved TFLOPS.
+func Figure6(l *Lab, g gpu.Spec) (*Figure6Result, error) {
+	batches := []int{8, 64, 128, 192, 256, 320, 384, 448, 512}
+	ds, err := l.Sweep(figure5Nets, []gpu.Spec{g}, batches)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure6Result{GPU: g.Name}
+	for _, name := range figure5Nets {
+		s := BatchSeries{Network: name}
+		for _, bs := range batches {
+			for _, r := range ds.Networks {
+				if r.Network == name && r.BatchSize == bs {
+					s.Batch = append(s.Batch, bs)
+					s.Value = append(s.Value, float64(r.TotalFLOPs)/r.E2ESeconds/1e12)
+				}
+			}
+		}
+		if len(s.Value) == 0 {
+			return nil, fmt.Errorf("bench: figure 6: no records for %s", name)
+		}
+		res.Series = append(res.Series, s)
+		res.SaturationRatio = append(res.SaturationRatio, s.Value[len(s.Value)-1]/s.Value[0])
+	}
+	return res, nil
+}
+
+// Render implements the result-rendering convention.
+func (r *Figure6Result) Render() string {
+	rows := [][]string{{"network", "TFLOPS @BS=8", "TFLOPS @BS=512", "saturation ×"}}
+	for i, s := range r.Series {
+		rows = append(rows, []string{s.Network,
+			fmt.Sprintf("%.2f", s.Value[0]), fmt.Sprintf("%.2f", s.Value[len(s.Value)-1]),
+			fmt.Sprintf("%.2f", r.SaturationRatio[i])})
+	}
+	return renderTable(fmt.Sprintf("Figure 6: achieved TFLOPS vs batch size (%s)", r.GPU), rows)
+}
+
+// ---------------------------------------------------------------- Figure 7
+
+// KindTrend is one layer type's time-vs-FLOPs trend.
+type KindTrend struct {
+	Kind dnn.Kind
+	N    int
+	// LogLogFit quantifies linearity on the figure's log-log axes.
+	LogLogFit regression.Line
+	// GFLOPSPerSec is the average achieved throughput — the "efficiency"
+	// that separates the trend lines vertically.
+	GFLOPSPerSec float64
+}
+
+// Figure7Result: different layer types fall on different linear trends.
+type Figure7Result struct {
+	GPU    string
+	Trends []KindTrend
+}
+
+// figure7Kinds mirrors the paper's BN / CONV / FC / Pooling legend.
+var figure7Kinds = map[dnn.Kind][]dnn.Kind{
+	dnn.KindBatchNorm: {dnn.KindBatchNorm},
+	dnn.KindConv2D:    {dnn.KindConv2D},
+	dnn.KindLinear:    {dnn.KindLinear},
+	dnn.KindMaxPool2D: {dnn.KindMaxPool2D, dnn.KindAvgPool2D},
+}
+
+// Figure7 fits the per-layer-type trends from the layer records.
+func Figure7(l *Lab, g gpu.Spec) (*Figure7Result, error) {
+	ds, err := l.Dataset(g)
+	if err != nil {
+		return nil, err
+	}
+	res := &Figure7Result{GPU: g.Name}
+	order := []dnn.Kind{dnn.KindBatchNorm, dnn.KindConv2D, dnn.KindLinear, dnn.KindMaxPool2D}
+	for _, label := range order {
+		members := map[dnn.Kind]bool{}
+		for _, k := range figure7Kinds[label] {
+			members[k] = true
+		}
+		var xs, ys []float64
+		var rate float64
+		n := 0
+		for _, r := range ds.Layers {
+			if r.BatchSize != TrainBatch || !members[dnn.Kind(r.Kind)] || r.FLOPs == 0 {
+				continue
+			}
+			xs = append(xs, float64(r.FLOPs))
+			ys = append(ys, r.Seconds)
+			rate += float64(r.FLOPs) / r.Seconds
+			n++
+		}
+		if n < 2 {
+			continue
+		}
+		fit, err := regression.FitLogLog(xs, ys)
+		if err != nil {
+			return nil, fmt.Errorf("bench: figure 7 %s: %w", label, err)
+		}
+		res.Trends = append(res.Trends, KindTrend{
+			Kind: label, N: n, LogLogFit: fit, GFLOPSPerSec: rate / float64(n) / 1e9,
+		})
+	}
+	return res, nil
+}
+
+// Render implements the result-rendering convention.
+func (r *Figure7Result) Render() string {
+	rows := [][]string{{"layer type", "n", "log-log slope", "log-log R²", "mean GFLOPS"}}
+	for _, t := range r.Trends {
+		label := string(t.Kind)
+		if t.Kind == dnn.KindMaxPool2D {
+			label = "Pooling"
+		}
+		if t.Kind == dnn.KindLinear {
+			label = "FC"
+		}
+		rows = append(rows, []string{label, fmt.Sprintf("%d", t.N),
+			fmt.Sprintf("%.3f", t.LogLogFit.Slope), fmt.Sprintf("%.3f", t.LogLogFit.R2),
+			fmt.Sprintf("%.1f", t.GFLOPSPerSec)})
+	}
+	return renderTable(fmt.Sprintf("Figure 7: layer types fall on different trend lines (%s, BS=%d)", r.GPU, TrainBatch), rows)
+}
+
+// ---------------------------------------------------------------- Figure 8
+
+// ClassR2 aggregates classification quality for one driver class.
+type ClassR2 struct {
+	Class core.Driver
+	// Kernels is the number of kernels classified into the class.
+	Kernels int
+	// MeanOwnR2 is the mean R² on the winning driver variable.
+	MeanOwnR2 float64
+	// MeanOtherR2 is the mean R² the same kernels achieve on the other two
+	// driver variables — the "low correlation" panels of Figure 8.
+	MeanOtherR2 float64
+}
+
+// Figure8Result: classifying kernels amplifies the linear relationship.
+type Figure8Result struct {
+	GPU     string
+	Classes []ClassR2
+	// TotalKernels is the number of distinct kernel names classified.
+	TotalKernels int
+}
+
+// Figure8 runs the O5 classification on the GPU's kernel records.
+func Figure8(l *Lab, g gpu.Spec) (*Figure8Result, error) {
+	ds, err := l.Dataset(g)
+	if err != nil {
+		return nil, err
+	}
+	var recs []dataset.KernelRecord
+	for _, r := range ds.Kernels {
+		if r.BatchSize == TrainBatch {
+			recs = append(recs, r)
+		}
+	}
+	classif := core.ClassifyKernels(recs)
+	res := &Figure8Result{GPU: g.Name, TotalKernels: len(classif)}
+	for _, d := range core.Drivers() {
+		agg := ClassR2{Class: d}
+		var own, other []float64
+		for _, c := range classif {
+			if c.Driver != d || c.N < core.MinKernelObservations {
+				continue
+			}
+			agg.Kernels++
+			own = append(own, c.R2[d])
+			for _, o := range core.Drivers() {
+				if o != d {
+					if r2, ok := c.R2[o]; ok {
+						other = append(other, r2)
+					}
+				}
+			}
+		}
+		agg.MeanOwnR2 = regression.Mean(own)
+		agg.MeanOtherR2 = regression.Mean(other)
+		res.Classes = append(res.Classes, agg)
+	}
+	return res, nil
+}
+
+// Render implements the result-rendering convention.
+func (r *Figure8Result) Render() string {
+	rows := [][]string{{"class", "kernels", "mean R² (own driver)", "mean R² (other drivers)"}}
+	for _, c := range r.Classes {
+		rows = append(rows, []string{string(c.Class) + "-driven", fmt.Sprintf("%d", c.Kernels),
+			fmt.Sprintf("%.3f", c.MeanOwnR2), fmt.Sprintf("%.3f", c.MeanOtherR2)})
+	}
+	rows = append(rows, []string{"total kernels", fmt.Sprintf("%d", r.TotalKernels), "", ""})
+	return renderTable(fmt.Sprintf("Figure 8: kernel classification amplifies linearity (%s)", r.GPU), rows)
+}
+
+// ---------------------------------------------------------------- Figure 9
+
+// GPUEfficiency is one GPU's achieved-over-theoretical pair.
+type GPUEfficiency struct {
+	GPU        string
+	BWEff      float64
+	ComputeEff float64
+}
+
+// Figure9Result: bandwidth efficiency is stable across GPUs, compute
+// efficiency is not — the premise of the inter-GPU model (O6).
+type Figure9Result struct {
+	Network string
+	Rows    []GPUEfficiency
+	// BWSpread and ComputeSpread are max/min ratios across GPUs; the
+	// paper's claim is BWSpread ≪ ComputeSpread.
+	BWSpread, ComputeSpread float64
+}
+
+// figure9GPUs matches the paper's x-axis.
+func figure9GPUs() []gpu.Spec {
+	return []gpu.Spec{gpu.A40, gpu.A100, gpu.GTX1080Ti, gpu.TitanRTX, gpu.RTXA5000, gpu.QuadroP620}
+}
+
+// Figure9 measures ResNet-18's efficiency pair on each GPU. Batch size 64
+// keeps the 2 GB Quadro P620 inside memory (larger batches fail to execute
+// there, as in the paper's cleaned dataset).
+func Figure9(l *Lab) (*Figure9Result, error) {
+	const name = "resnet18"
+	const batch = 64
+	net, err := l.Network(name)
+	if err != nil {
+		return nil, err
+	}
+	ds, err := l.Sweep([]string{name}, figure9GPUs(), []int{batch})
+	if err != nil {
+		return nil, err
+	}
+	if err := net.Infer(batch); err != nil {
+		return nil, err
+	}
+	flops, err := net.TotalFLOPs()
+	if err != nil {
+		return nil, err
+	}
+	bytes := net.TotalBytes()
+
+	res := &Figure9Result{Network: name}
+	minBW, maxBW := math.Inf(1), 0.0
+	minC, maxC := math.Inf(1), 0.0
+	for _, g := range figure9GPUs() {
+		for _, r := range ds.Networks {
+			if r.GPU != g.Name || r.BatchSize != batch {
+				continue
+			}
+			bwEff := (float64(bytes) / r.E2ESeconds) / g.PeakBytesPerSec()
+			cEff := (float64(flops) / r.E2ESeconds) / g.PeakFLOPS()
+			res.Rows = append(res.Rows, GPUEfficiency{GPU: g.Name, BWEff: bwEff, ComputeEff: cEff})
+			minBW, maxBW = math.Min(minBW, bwEff), math.Max(maxBW, bwEff)
+			minC, maxC = math.Min(minC, cEff), math.Max(maxC, cEff)
+		}
+	}
+	if len(res.Rows) == 0 {
+		return nil, fmt.Errorf("bench: figure 9: no records collected")
+	}
+	res.BWSpread = maxBW / minBW
+	res.ComputeSpread = maxC / minC
+	return res, nil
+}
+
+// Render implements the result-rendering convention.
+func (r *Figure9Result) Render() string {
+	rows := [][]string{{"GPU", "BW efficiency", "compute efficiency"}}
+	for _, e := range r.Rows {
+		rows = append(rows, []string{e.GPU,
+			fmt.Sprintf("%.1f%%", e.BWEff*100), fmt.Sprintf("%.1f%%", e.ComputeEff*100)})
+	}
+	rows = append(rows, []string{"max/min spread",
+		fmt.Sprintf("%.2f×", r.BWSpread), fmt.Sprintf("%.2f×", r.ComputeSpread)})
+	return renderTable(fmt.Sprintf("Figure 9: efficiency of %s across GPUs", r.Network), rows)
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dnn"
+	"repro/internal/gpu"
+)
+
+// OnlineStep is one point of the online-learning trajectory.
+type OnlineStep struct {
+	// ObservedNetworks is how many networks' measurements the model has
+	// seen so far.
+	ObservedNetworks int
+	// KWError is the held-out error after ingesting them.
+	KWError float64
+	// Kernels is the model's kernel count (grows as streamed measurements
+	// promote kernels unseen at fit time).
+	Kernels int
+}
+
+// OnlineLearningResult demonstrates the §5.2 claim that the models suit
+// "online learning (updating the model in the deployed environment in
+// real-time)": a KW model fitted on a small seed set improves monotonically
+// (in trend) as deployment measurements stream in, without ever refitting
+// from scratch.
+type OnlineLearningResult struct {
+	GPU   string
+	Steps []OnlineStep
+}
+
+// onlineChunks is how many streaming batches the non-seed networks arrive in.
+const onlineChunks = 4
+
+// OnlineLearning seeds a KW model with a quarter of the training networks
+// and streams the remainder in chunks, evaluating the fixed held-out test
+// set after each chunk.
+func OnlineLearning(l *Lab, g gpu.Spec) (*OnlineLearningResult, error) {
+	ds, err := l.Dataset(g)
+	if err != nil {
+		return nil, err
+	}
+	train, test := l.Split(ds)
+
+	names := train.NetworkNames()
+	sort.Strings(names)
+	seedCount := len(names) / 4
+	if seedCount < 2 {
+		seedCount = 2
+	}
+	seedSet := map[string]bool{}
+	for _, n := range names[:seedCount] {
+		seedSet[n] = true
+	}
+	seed := train.FilterNetworks(seedSet)
+
+	kw, err := core.FitKW(seed, g.Name, TrainBatch)
+	if err != nil {
+		return nil, err
+	}
+
+	evalErr := func() (float64, error) {
+		evals, err := l.evalOnTest(kw, test, dnn.TaskImageClassification)
+		if err != nil {
+			return 0, err
+		}
+		return core.MeanRelError(evals), nil
+	}
+
+	res := &OnlineLearningResult{GPU: g.Name}
+	e, err := evalErr()
+	if err != nil {
+		return nil, err
+	}
+	res.Steps = append(res.Steps, OnlineStep{
+		ObservedNetworks: seedCount, KWError: e, Kernels: kw.KernelCount(),
+	})
+
+	rest := names[seedCount:]
+	chunk := (len(rest) + onlineChunks - 1) / onlineChunks
+	streamed := seedCount
+	for start := 0; start < len(rest); start += chunk {
+		end := start + chunk
+		if end > len(rest) {
+			end = len(rest)
+		}
+		inChunk := map[string]bool{}
+		for _, n := range rest[start:end] {
+			inChunk[n] = true
+		}
+		var recs []dataset.KernelRecord
+		for _, r := range train.Kernels {
+			if inChunk[r.Network] && r.BatchSize == TrainBatch {
+				recs = append(recs, r)
+			}
+		}
+		kw.ObserveRecords(recs)
+		streamed += end - start
+
+		e, err := evalErr()
+		if err != nil {
+			return nil, err
+		}
+		res.Steps = append(res.Steps, OnlineStep{
+			ObservedNetworks: streamed, KWError: e, Kernels: kw.KernelCount(),
+		})
+	}
+	return res, nil
+}
+
+// Render implements the result-rendering convention.
+func (r *OnlineLearningResult) Render() string {
+	rows := [][]string{{"networks observed", "kernels modeled", "held-out KW error"}}
+	for _, s := range r.Steps {
+		rows = append(rows, []string{fmt.Sprintf("%d", s.ObservedNetworks),
+			fmt.Sprintf("%d", s.Kernels), fmt.Sprintf("%.3f", s.KWError)})
+	}
+	return renderTable(fmt.Sprintf("Online learning: streaming measurements into a deployed KW model (%s)", r.GPU), rows)
+}

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/dnn"
+	"repro/internal/gpu"
+	"repro/internal/zoo"
+)
+
+// Robustness re-runs the central model comparison in several independent
+// synthetic-device universes (different sim seeds re-draw every kernel
+// efficiency, geometry factor and curvature). The reproduction's claims are
+// only meaningful if the E2E > LW ≫ KW ordering — and the KW error's
+// magnitude — hold in *every* universe, not just the canonical seed.
+type RobustnessResult struct {
+	GPU string
+	// Seeds lists the evaluated universes.
+	Seeds []int64
+	// E2E, LW and KW hold each universe's held-out error, aligned with
+	// Seeds.
+	E2E, LW, KW []float64
+	// OrderingHolds reports whether KW < LW < E2E in every universe.
+	OrderingHolds bool
+}
+
+// robustnessSample bounds the per-universe zoo sample (collection dominates
+// the cost and every universe needs a fresh dataset).
+const robustnessSample = 8 // every 8th network of the full zoo
+
+// Robustness evaluates the model comparison across the given seeds. It
+// samples the full zoo directly (independent of the lab's own sample) so
+// every universe trains on a dataset large enough for stable kernel models.
+func Robustness(l *Lab, g gpu.Spec, seeds []int64) (*RobustnessResult, error) {
+	full := zoo.Full()
+	var nets []*dnn.Network
+	for i := 0; i < len(full); i += robustnessSample {
+		nets = append(nets, full[i])
+	}
+	byName := map[string]*dnn.Network{}
+	for _, n := range nets {
+		byName[n.Name] = n
+	}
+
+	res := &RobustnessResult{GPU: g.Name, Seeds: seeds, OrderingHolds: true}
+	for _, seed := range seeds {
+		opt := dataset.DefaultBuildOptions()
+		opt.Batches = l.batches
+		opt.Warmup = l.warmup
+		opt.E2EBatchSizes = []int{TrainBatch}
+		opt.SimConfig.Seed = seed
+		ds, _, err := dataset.Build(nets, []gpu.Spec{g}, opt)
+		if err != nil {
+			return nil, fmt.Errorf("bench: robustness seed %d: %w", seed, err)
+		}
+		train, test := ds.SplitByNetwork(TestFraction, SplitSeed)
+
+		e2e, err := core.FitE2E(train, g.Name, TrainBatch)
+		if err != nil {
+			return nil, err
+		}
+		lw, err := core.FitLW(train, g.Name, TrainBatch)
+		if err != nil {
+			return nil, err
+		}
+		kw, err := core.FitKW(train, g.Name, TrainBatch)
+		if err != nil {
+			return nil, err
+		}
+
+		errs := map[string]float64{}
+		for _, m := range []core.Predictor{e2e, lw, kw} {
+			var evals []core.Eval
+			for _, r := range test.Networks {
+				if r.BatchSize != TrainBatch || r.Task != string(dnn.TaskImageClassification) {
+					continue
+				}
+				p, err := m.PredictNetwork(byName[r.Network], TrainBatch)
+				if err != nil {
+					return nil, err
+				}
+				evals = append(evals, core.Eval{Network: r.Network, Predicted: p, Measured: r.E2ESeconds})
+			}
+			errs[m.Name()] = core.MeanRelError(evals)
+		}
+		res.E2E = append(res.E2E, errs["E2E"])
+		res.LW = append(res.LW, errs["LW"])
+		res.KW = append(res.KW, errs["KW"])
+		if !(errs["KW"] < errs["LW"] && errs["LW"] < errs["E2E"]) {
+			res.OrderingHolds = false
+		}
+	}
+	return res, nil
+}
+
+// Render implements the result-rendering convention.
+func (r *RobustnessResult) Render() string {
+	rows := [][]string{{"universe seed", "E2E error", "LW error", "KW error"}}
+	for i, seed := range r.Seeds {
+		rows = append(rows, []string{fmt.Sprintf("%d", seed),
+			fmt.Sprintf("%.3f", r.E2E[i]), fmt.Sprintf("%.3f", r.LW[i]),
+			fmt.Sprintf("%.3f", r.KW[i])})
+	}
+	rows = append(rows, []string{"KW < LW < E2E in every universe",
+		fmt.Sprintf("%t", r.OrderingHolds), "", ""})
+	return renderTable(fmt.Sprintf("Robustness: model ordering across device universes (%s)", r.GPU), rows)
+}

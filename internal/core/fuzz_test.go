@@ -1,0 +1,27 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzFamilyOf checks the kernel-family extraction on arbitrary names: it
+// must never panic, the family is always a prefix of the name, and family
+// extraction is idempotent.
+func FuzzFamilyOf(f *testing.F) {
+	f.Add("winograd_gemm_128x64")
+	f.Add("depthwise_conv_k3_s2")
+	f.Add("")
+	f.Add("___")
+	f.Add("123")
+	f.Add("a_1_b_2")
+	f.Fuzz(func(t *testing.T, name string) {
+		fam := FamilyOf(name)
+		if !strings.HasPrefix(name, fam) {
+			t.Fatalf("FamilyOf(%q) = %q is not a prefix", name, fam)
+		}
+		if again := FamilyOf(fam); again != fam {
+			t.Fatalf("FamilyOf not idempotent: %q → %q → %q", name, fam, again)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/dnn"
+)
+
+// Prediction intervals. A key selling point of linear regression over black
+// boxes is explainability (§7: "keep using the linear regression model
+// maintains the best explainability and interpretability"); attaching an
+// uncertainty to every prediction makes that operational. Each kernel
+// group's regression carries its residual RMSE; a network-level prediction
+// aggregates those residuals.
+//
+// Aggregation treats residuals of the *same kernel name* as perfectly
+// correlated (the same implementation mispredicts the same way every time it
+// recurs in a network — the dominant error structure we observe) and
+// residuals of different kernels as independent:
+//
+//	margin² = Σ_over kernel names (count · RMSE_group)²
+//
+// The resulting ±2·margin band is an approximate 95 % interval for the
+// network's summed kernel time.
+
+// Interval is a prediction with its one-sigma margin.
+type Interval struct {
+	// Predicted is the point prediction, seconds.
+	Predicted float64
+	// Margin is the one-sigma uncertainty, seconds.
+	Margin float64
+}
+
+// Lo and Hi bound the approximate 95 % (±2σ) interval; Lo is floored at 0.
+func (iv Interval) Lo() float64 {
+	lo := iv.Predicted - 2*iv.Margin
+	if lo < 0 {
+		return 0
+	}
+	return lo
+}
+
+// Hi returns the upper ±2σ bound.
+func (iv Interval) Hi() float64 { return iv.Predicted + 2*iv.Margin }
+
+// Contains reports whether a measured value falls inside the ±2σ band.
+func (iv Interval) Contains(measured float64) bool {
+	return measured >= iv.Lo() && measured <= iv.Hi()
+}
+
+// groupRMSE returns the residual RMSE attached to the kernel's model, or 0
+// when the kernel resolves through a fallback tier (fallback uncertainty is
+// not tracked).
+func (m *KWModel) groupRMSE(kernel string) float64 {
+	if gi, ok := m.GroupOf[kernel]; ok {
+		return m.Groups[gi].RMSE
+	}
+	return 0
+}
+
+// PredictNetworkInterval predicts one batch's kernel-time total with an
+// uncertainty margin.
+func (m *KWModel) PredictNetworkInterval(n *dnn.Network, batch int) (Interval, error) {
+	if err := n.Infer(batch); err != nil {
+		return Interval{}, err
+	}
+	var iv Interval
+	counts := map[string]int{}
+	for _, l := range n.Layers {
+		for _, k := range m.kernelsForLayer(l) {
+			iv.Predicted += m.PredictKernel(k.Name, k.LayerFLOPs, k.LayerInputElems, k.LayerOutputElems)
+			counts[k.Name]++
+		}
+	}
+	iv.Margin = m.aggregateMargin(counts)
+	return iv, nil
+}
+
+// PredictRecordsInterval is PredictNetworkInterval over structural kernel
+// records.
+func (m *KWModel) PredictRecordsInterval(recs []dataset.KernelRecord) Interval {
+	var iv Interval
+	counts := map[string]int{}
+	for _, r := range recs {
+		iv.Predicted += m.PredictKernel(r.Kernel, r.LayerFLOPs, r.LayerInputElems, r.LayerOutputElems)
+		counts[r.Kernel]++
+	}
+	iv.Margin = m.aggregateMargin(counts)
+	return iv
+}
+
+// aggregateMargin combines per-kernel-name counts into the network margin.
+func (m *KWModel) aggregateMargin(counts map[string]int) float64 {
+	var variance float64
+	for name, c := range counts {
+		contrib := float64(c) * m.groupRMSE(name)
+		variance += contrib * contrib
+	}
+	return math.Sqrt(variance)
+}

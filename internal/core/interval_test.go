@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gpu"
+)
+
+func TestIntervalBounds(t *testing.T) {
+	iv := Interval{Predicted: 10, Margin: 2}
+	if iv.Lo() != 6 || iv.Hi() != 14 {
+		t.Fatalf("interval = [%v, %v]", iv.Lo(), iv.Hi())
+	}
+	if !iv.Contains(7) || iv.Contains(15) || iv.Contains(5) {
+		t.Fatal("Contains misbehaves")
+	}
+	// Lo floors at zero.
+	tiny := Interval{Predicted: 1, Margin: 5}
+	if tiny.Lo() != 0 {
+		t.Fatalf("Lo = %v", tiny.Lo())
+	}
+}
+
+func TestPredictRecordsIntervalCoverage(t *testing.T) {
+	// Planted data with noise: the measured totals of fresh networks should
+	// mostly fall inside ±2σ.
+	train := plantKernelDataset(gpu.A100, 5)
+	// Add noise so RMSE is non-trivial.
+	for i := range train.Kernels {
+		jitter := 1 + 0.05*float64(i%7-3)/3
+		train.Kernels[i].Seconds *= jitter
+	}
+	m, err := FitKW(train, "A100", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range m.Groups {
+		if g.RMSE <= 0 {
+			t.Fatalf("group %v has zero RMSE on noisy data", g.Kernels)
+		}
+	}
+
+	test := plantKernelDataset(gpu.A100, 7)
+	// Evaluate per synthetic network.
+	byNet := map[string][]int{}
+	for i, r := range test.Kernels {
+		byNet[r.Network] = append(byNet[r.Network], i)
+	}
+	covered, total := 0, 0
+	for _, idxs := range byNet {
+		var meas float64
+		recs := test.Kernels[:0:0]
+		for _, i := range idxs {
+			meas += test.Kernels[i].Seconds
+			recs = append(recs, test.Kernels[i])
+		}
+		iv := m.PredictRecordsInterval(recs)
+		if iv.Margin <= 0 {
+			t.Fatal("zero margin on noisy model")
+		}
+		if iv.Contains(meas) {
+			covered++
+		}
+		total++
+	}
+	if covered < total/2 {
+		t.Fatalf("coverage %d/%d implausibly low", covered, total)
+	}
+}
+
+func TestIntervalConsistentWithPointPrediction(t *testing.T) {
+	ds := plantKernelDataset(gpu.A100, 4)
+	m, err := FitKW(ds, "A100", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := ds.Kernels[:90]
+	iv := m.PredictRecordsInterval(recs)
+	pt := m.PredictRecords(recs)
+	if math.Abs(iv.Predicted-pt)/pt > 1e-12 {
+		t.Fatalf("interval center %v != point prediction %v", iv.Predicted, pt)
+	}
+}
+
+func TestMarginGrowsWithRepeats(t *testing.T) {
+	// Correlated aggregation: k repeats of the same kernel scale the margin
+	// by k, not √k.
+	ds := plantKernelDataset(gpu.A100, 5)
+	for i := range ds.Kernels {
+		ds.Kernels[i].Seconds *= 1 + 0.03*float64(i%5-2)
+	}
+	m, err := FitKW(ds, "A100", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := ds.Kernels[0]
+	m1 := m.PredictRecordsInterval(ds.Kernels[:1]).Margin
+	m4 := m.PredictRecordsInterval([]dataset.KernelRecord{rec, rec, rec, rec}).Margin
+	if m1 <= 0 {
+		t.Fatal("zero single-kernel margin")
+	}
+	if math.Abs(m4-4*m1)/(4*m1) > 1e-9 {
+		t.Fatalf("margin for 4 repeats = %v, want 4×%v", m4, m1)
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/dnn"
+	"repro/internal/kernels"
+	"repro/internal/regression"
+)
+
+// Small-batch correction — the paper's stated limitation and plan (§7):
+// "when the batch size or the network is small, and the GPU cannot be fully
+// utilized, the CPU and the CPU-GPU communication can be the major
+// performance bottleneck. … in the future, we plan to include a CPU and a
+// communication model so that we can also accurately predict performance
+// for small workloads."
+//
+// SmallBatchModel implements that plan in the same data-driven spirit: per
+// batch size, the measured end-to-end time is recalibrated against two
+// structural predictors — the raw KW prediction and the kernel-launch count
+// (each launch costs CPU time; short kernels also pipeline under their
+// neighbours, so the correction can carry either sign).
+
+// SmallBatchModel wraps a kernel-wise model with per-batch-size
+// recalibrations.
+type SmallBatchModel struct {
+	// KW is the underlying kernel-wise model.
+	KW *KWModel
+	// Corrections maps a batch size to the fitted calibration
+	// (predictors: [raw KW prediction, kernel-launch count]).
+	Corrections map[int]regression.MultiModel
+}
+
+// NetworkResolver resolves a dataset network name to its structure.
+type NetworkResolver func(name string) (*dnn.Network, error)
+
+// FitSmallBatch learns the residual corrections from the dataset's
+// end-to-end records across every batch size present.
+func FitSmallBatch(kw *KWModel, ds *dataset.Dataset, resolve NetworkResolver) (*SmallBatchModel, error) {
+	type pt struct {
+		x []float64
+		y float64
+	}
+	byBatch := map[int][]pt{}
+	for _, r := range ds.Networks {
+		if r.GPU != kw.GPU || r.Task != string(dnn.TaskImageClassification) {
+			continue
+		}
+		net, err := resolve(r.Network)
+		if err != nil {
+			return nil, fmt.Errorf("core: small-batch fit: %w", err)
+		}
+		pred, err := kw.PredictNetwork(net, r.BatchSize)
+		if err != nil {
+			return nil, err
+		}
+		count := float64(kernelLaunchCount(net, kw.Training))
+		byBatch[r.BatchSize] = append(byBatch[r.BatchSize],
+			pt{x: []float64{pred, count}, y: r.E2ESeconds})
+	}
+	if len(byBatch) == 0 {
+		return nil, errNoRecords("small-batch", kw.GPU)
+	}
+	m := &SmallBatchModel{KW: kw, Corrections: map[int]regression.MultiModel{}}
+	for bs, pts := range byBatch {
+		xs := make([][]float64, len(pts))
+		ys := make([]float64, len(pts))
+		for i, p := range pts {
+			xs[i], ys[i] = p.x, p.y
+		}
+		model, err := regression.MultiFit(xs, ys)
+		if err != nil {
+			continue // too few networks at this batch: no correction
+		}
+		m.Corrections[bs] = model
+	}
+	return m, nil
+}
+
+// kernelLaunchCount counts the kernels one batch dispatches.
+func kernelLaunchCount(n *dnn.Network, training bool) int {
+	if training {
+		ks, _ := kernels.ForNetworkTraining(n)
+		return len(ks)
+	}
+	ks, _ := kernels.ForNetwork(n)
+	return len(ks)
+}
+
+// Name implements Predictor.
+func (m *SmallBatchModel) Name() string { return "KW+overhead" }
+
+// GPUName implements Predictor.
+func (m *SmallBatchModel) GPUName() string { return m.KW.GPU }
+
+// PredictNetwork implements Predictor: the KW prediction plus the residual
+// correction of the nearest fitted batch size (log-scale distance).
+func (m *SmallBatchModel) PredictNetwork(n *dnn.Network, batch int) (float64, error) {
+	pred, err := m.KW.PredictNetwork(n, batch)
+	if err != nil {
+		return 0, err
+	}
+	cal, ok := m.correctionFor(batch)
+	if !ok {
+		return pred, nil
+	}
+	corrected := cal.Predict([]float64{pred, float64(kernelLaunchCount(n, m.KW.Training))})
+	return clampTime(corrected), nil
+}
+
+// correctionFor picks the calibration of the nearest fitted batch size
+// (log-scale distance).
+func (m *SmallBatchModel) correctionFor(batch int) (regression.MultiModel, bool) {
+	if cal, ok := m.Corrections[batch]; ok {
+		return cal, true
+	}
+	bestDist := math.Inf(1)
+	var best regression.MultiModel
+	found := false
+	for bs, cal := range m.Corrections {
+		d := math.Abs(math.Log(float64(bs)) - math.Log(float64(batch)))
+		if d < bestDist {
+			bestDist, best, found = d, cal, true
+		}
+	}
+	return best, found
+}
+
+// FittedBatchSizes lists the batch sizes with learned corrections, sorted.
+func (m *SmallBatchModel) FittedBatchSizes() []int {
+	out := make([]int, 0, len(m.Corrections))
+	for bs := range m.Corrections {
+		out = append(out, bs)
+	}
+	sort.Ints(out)
+	return out
+}

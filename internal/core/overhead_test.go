@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/dnn"
+	"repro/internal/gpu"
+	"repro/internal/regression"
+	"repro/internal/zoo"
+)
+
+func TestSmallBatchCorrection(t *testing.T) {
+	// Full pipeline on a diverse subset: the corrected model must improve
+	// on the raw KW model at the smallest batch size.
+	all := zoo.Full()
+	var nets []*dnn.Network
+	byName := map[string]*dnn.Network{}
+	for i := 0; i < len(all); i += 8 {
+		nets = append(nets, all[i])
+		byName[all[i].Name] = all[i]
+	}
+	opt := dataset.DefaultBuildOptions()
+	opt.Batches = 5
+	opt.Warmup = 1
+	opt.E2EBatchSizes = []int{4, 512}
+	ds, _, err := dataset.Build(nets, []gpu.Spec{gpu.A100}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.SplitByNetwork(0.2, 3)
+
+	kw, err := FitKW(train, "A100", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolve := func(name string) (*dnn.Network, error) { return byName[name], nil }
+	sb, err := FitSmallBatch(kw, train, resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.FittedBatchSizes()) < 2 {
+		t.Fatalf("fitted batches = %v", sb.FittedBatchSizes())
+	}
+	if sb.Name() != "KW+overhead" || sb.GPUName() != "A100" {
+		t.Fatal("identity accessors wrong")
+	}
+
+	evalErr := func(m Predictor, batch int) float64 {
+		var evals []Eval
+		for _, r := range test.Networks {
+			if r.BatchSize != batch || r.Task != string(dnn.TaskImageClassification) {
+				continue
+			}
+			p, err := m.PredictNetwork(byName[r.Network], batch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			evals = append(evals, Eval{Predicted: p, Measured: r.E2ESeconds})
+		}
+		if len(evals) == 0 {
+			t.Fatalf("no test records at batch %d", batch)
+		}
+		return MeanRelError(evals)
+	}
+
+	raw4, cor4 := evalErr(kw, 4), evalErr(sb, 4)
+	t.Logf("batch 4: raw %.3f corrected %.3f", raw4, cor4)
+	if cor4 >= raw4 {
+		t.Fatalf("correction did not help at batch 4: %.3f vs %.3f", cor4, raw4)
+	}
+	// At the training batch size the correction must not do damage.
+	raw512, cor512 := evalErr(kw, 512), evalErr(sb, 512)
+	t.Logf("batch 512: raw %.3f corrected %.3f", raw512, cor512)
+	if cor512 > raw512*1.75 {
+		t.Fatalf("correction degraded the training batch: %.3f vs %.3f", cor512, raw512)
+	}
+}
+
+func TestSmallBatchNearestFallback(t *testing.T) {
+	ds := plantKernelDataset(gpu.A100, 4)
+	kw, err := FitKW(ds, "A100", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-built corrections: identity at 512, doubling at 4.
+	sb := &SmallBatchModel{KW: kw, Corrections: map[int]regression.MultiModel{
+		512: {Coef: []float64{1, 0}},
+		4:   {Coef: []float64{2, 0}},
+	}}
+	if cal, ok := sb.correctionFor(512); !ok || cal.Coef[0] != 1 {
+		t.Fatal("exact batch lookup failed")
+	}
+	// Batch 8 is nearest (log-scale) to 4.
+	if cal, ok := sb.correctionFor(8); !ok || cal.Coef[0] != 2 {
+		t.Fatal("nearest-batch fallback failed")
+	}
+	// Batch 200 is nearest to 512.
+	if cal, ok := sb.correctionFor(200); !ok || cal.Coef[0] != 1 {
+		t.Fatal("nearest-batch fallback (high side) failed")
+	}
+	if sizes := sb.FittedBatchSizes(); len(sizes) != 2 || sizes[0] != 4 || sizes[1] != 512 {
+		t.Fatalf("FittedBatchSizes = %v", sizes)
+	}
+}

@@ -1,0 +1,183 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/dnn"
+	"repro/internal/gpu"
+	"repro/internal/profiler"
+	"repro/internal/sim"
+)
+
+// BuildOptions configures dataset collection.
+type BuildOptions struct {
+	// E2EBatchSizes are the batch sizes at which end-to-end times are
+	// recorded (Figure 3 uses "batch size 4 or higher"; training uses 512).
+	E2EBatchSizes []int
+	// DetailBatchSize is the batch size at which layer- and kernel-level
+	// records are collected (the paper trains at BS=512, where GPUs are
+	// fully utilized).
+	DetailBatchSize int
+	// Batches is the measured-batch count per point (paper: 30).
+	Batches int
+	// Warmup is the warm-up batch count (paper: 20).
+	Warmup int
+	// Training collects training-step measurements (forward + backward +
+	// optimizer kernels) instead of inference.
+	Training bool
+	// SimConfig overrides the device-model constants (zero = defaults).
+	SimConfig sim.Config
+	// Workers bounds collection parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// DefaultBuildOptions returns the paper's collection protocol.
+func DefaultBuildOptions() BuildOptions {
+	return BuildOptions{
+		E2EBatchSizes:   []int{4, 64, 512},
+		DetailBatchSize: 512,
+		Batches:         30,
+		Warmup:          20,
+	}
+}
+
+// BuildReport summarizes a collection run.
+type BuildReport struct {
+	// Profiled counts successful (network, GPU, batch) executions.
+	Profiled int
+	// OutOfMemory lists the runs dropped for exceeding device memory, as
+	// "network@batch on GPU" strings.
+	OutOfMemory []string
+}
+
+// Build collects the dataset: for every (network, GPU) pair it records
+// end-to-end times at every E2E batch size and layer/kernel detail at the
+// detail batch size. Out-of-memory runs are dropped and reported, mirroring
+// the paper's cleaning step. Collection parallelizes across networks; the
+// result is deterministic (per-run RNG seeds depend only on network, GPU and
+// batch size) and ordered by (network index, GPU index).
+func Build(nets []*dnn.Network, gpus []gpu.Spec, opt BuildOptions) (*Dataset, *BuildReport, error) {
+	if len(nets) == 0 || len(gpus) == 0 {
+		return nil, nil, errors.New("dataset: Build needs at least one network and one GPU")
+	}
+	if opt.Batches <= 0 {
+		opt.Batches = 30
+	}
+	if opt.DetailBatchSize <= 0 {
+		opt.DetailBatchSize = 512
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(nets) {
+		workers = len(nets)
+	}
+
+	devices := make([]*sim.Device, len(gpus))
+	for i, g := range gpus {
+		devices[i] = sim.New(g, opt.SimConfig)
+	}
+
+	type result struct {
+		ds  Dataset
+		oom []string
+		err error
+	}
+	results := make([]result, len(nets))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = collectNetwork(nets[i], devices, opt)
+			}
+		}()
+	}
+	for i := range nets {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	ds := &Dataset{}
+	report := &BuildReport{}
+	for i := range results {
+		if results[i].err != nil {
+			return nil, nil, fmt.Errorf("dataset: network %q: %w", nets[i].Name, results[i].err)
+		}
+		ds.Merge(&results[i].ds)
+		report.OutOfMemory = append(report.OutOfMemory, results[i].oom...)
+		report.Profiled += len(results[i].ds.Networks)
+	}
+	sort.Strings(report.OutOfMemory)
+	return ds, report, nil
+}
+
+// collectNetwork profiles one network on every device. It works on a private
+// clone so parallel workers never share mutable shape state.
+func collectNetwork(src *dnn.Network, devices []*sim.Device, opt BuildOptions) (res struct {
+	ds  Dataset
+	oom []string
+	err error
+}) {
+	net := cloneNetwork(src)
+	for _, dev := range devices {
+		p := &profiler.Profiler{Device: dev, Warmup: opt.Warmup, Batches: opt.Batches, Training: opt.Training}
+
+		batches := append([]int(nil), opt.E2EBatchSizes...)
+		hasDetail := false
+		for _, b := range batches {
+			if b == opt.DetailBatchSize {
+				hasDetail = true
+			}
+		}
+		if !hasDetail {
+			batches = append(batches, opt.DetailBatchSize)
+		}
+
+		for _, bs := range batches {
+			tr, err := p.Profile(net, bs)
+			if errors.Is(err, profiler.ErrOutOfMemory) {
+				res.oom = append(res.oom, fmt.Sprintf("%s@%d on %s", net.Name, bs, dev.GPU.Name))
+				continue
+			}
+			if err != nil {
+				res.err = err
+				return res
+			}
+			if bs == opt.DetailBatchSize {
+				res.ds.AddTrace(tr) // full detail
+			} else {
+				// End-to-end record only.
+				res.ds.Networks = append(res.ds.Networks, NetworkRecord{
+					Network: tr.Network, Family: tr.Family, Task: string(tr.Task),
+					GPU: tr.GPU, BatchSize: tr.BatchSize,
+					TotalFLOPs: tr.TotalFLOPs, E2ESeconds: tr.E2ETime,
+				})
+			}
+		}
+	}
+	return res
+}
+
+// cloneNetwork deep-copies the network structure (layers and input refs) so
+// shape inference in one goroutine cannot race another.
+func cloneNetwork(n *dnn.Network) *dnn.Network {
+	c := dnn.New(n.Name, n.Family, n.Task, n.InputShape)
+	for _, l := range n.Layers {
+		lc := *l
+		lc.Inputs = append([]int(nil), l.Inputs...)
+		lc.InShape = nil
+		lc.InShapes = nil
+		lc.OutShape = nil
+		c.Add(&lc)
+	}
+	return c
+}

@@ -1,0 +1,217 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// CSV persistence: the dataset is stored as three files —
+// networks.csv, layers.csv, kernels.csv — matching the paper's artifact
+// layout ("we prepare our dataset as CSV files", §3).
+
+// File names within a dataset directory.
+const (
+	NetworksCSV = "networks.csv"
+	LayersCSV   = "layers.csv"
+	KernelsCSV  = "kernels.csv"
+)
+
+var networkHeader = []string{"network", "family", "task", "gpu", "batch_size", "total_flops", "e2e_seconds"}
+var layerHeader = []string{"network", "gpu", "batch_size", "layer_index", "kind", "signature", "flops", "input_elems", "output_elems", "seconds"}
+var kernelHeader = []string{"network", "gpu", "batch_size", "layer_index", "layer_kind", "layer_signature", "kernel", "layer_flops", "layer_input_elems", "layer_output_elems", "seconds"}
+
+// WriteDir writes the dataset into dir (created if missing).
+func (d *Dataset) WriteDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	if err := writeCSV(filepath.Join(dir, NetworksCSV), networkHeader, len(d.Networks), func(i int) []string {
+		r := d.Networks[i]
+		return []string{r.Network, r.Family, r.Task, r.GPU,
+			strconv.Itoa(r.BatchSize), strconv.FormatInt(r.TotalFLOPs, 10),
+			formatSeconds(r.E2ESeconds)}
+	}); err != nil {
+		return err
+	}
+	if err := writeCSV(filepath.Join(dir, LayersCSV), layerHeader, len(d.Layers), func(i int) []string {
+		r := d.Layers[i]
+		return []string{r.Network, r.GPU, strconv.Itoa(r.BatchSize),
+			strconv.Itoa(r.LayerIndex), r.Kind, r.Signature,
+			strconv.FormatInt(r.FLOPs, 10), strconv.FormatInt(r.InputElems, 10),
+			strconv.FormatInt(r.OutputElems, 10), formatSeconds(r.Seconds)}
+	}); err != nil {
+		return err
+	}
+	return writeCSV(filepath.Join(dir, KernelsCSV), kernelHeader, len(d.Kernels), func(i int) []string {
+		r := d.Kernels[i]
+		return []string{r.Network, r.GPU, strconv.Itoa(r.BatchSize),
+			strconv.Itoa(r.LayerIndex), r.LayerKind, r.LayerSignature, r.Kernel,
+			strconv.FormatInt(r.LayerFLOPs, 10), strconv.FormatInt(r.LayerInputElems, 10),
+			strconv.FormatInt(r.LayerOutputElems, 10), formatSeconds(r.Seconds)}
+	})
+}
+
+// ReadDir loads a dataset previously written with WriteDir.
+func ReadDir(dir string) (*Dataset, error) {
+	d := &Dataset{}
+	err := readCSV(filepath.Join(dir, NetworksCSV), networkHeader, func(rec []string) error {
+		bs, err := strconv.Atoi(rec[4])
+		if err != nil {
+			return err
+		}
+		fl, err := strconv.ParseInt(rec[5], 10, 64)
+		if err != nil {
+			return err
+		}
+		sec, err := strconv.ParseFloat(rec[6], 64)
+		if err != nil {
+			return err
+		}
+		d.Networks = append(d.Networks, NetworkRecord{
+			Network: rec[0], Family: rec[1], Task: rec[2], GPU: rec[3],
+			BatchSize: bs, TotalFLOPs: fl, E2ESeconds: sec,
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = readCSV(filepath.Join(dir, LayersCSV), layerHeader, func(rec []string) error {
+		bs, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return err
+		}
+		li, err := strconv.Atoi(rec[3])
+		if err != nil {
+			return err
+		}
+		fl, err := strconv.ParseInt(rec[6], 10, 64)
+		if err != nil {
+			return err
+		}
+		ie, err := strconv.ParseInt(rec[7], 10, 64)
+		if err != nil {
+			return err
+		}
+		oe, err := strconv.ParseInt(rec[8], 10, 64)
+		if err != nil {
+			return err
+		}
+		sec, err := strconv.ParseFloat(rec[9], 64)
+		if err != nil {
+			return err
+		}
+		d.Layers = append(d.Layers, LayerRecord{
+			Network: rec[0], GPU: rec[1], BatchSize: bs, LayerIndex: li,
+			Kind: rec[4], Signature: rec[5], FLOPs: fl,
+			InputElems: ie, OutputElems: oe, Seconds: sec,
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	err = readCSV(filepath.Join(dir, KernelsCSV), kernelHeader, func(rec []string) error {
+		bs, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return err
+		}
+		li, err := strconv.Atoi(rec[3])
+		if err != nil {
+			return err
+		}
+		fl, err := strconv.ParseInt(rec[7], 10, 64)
+		if err != nil {
+			return err
+		}
+		ie, err := strconv.ParseInt(rec[8], 10, 64)
+		if err != nil {
+			return err
+		}
+		oe, err := strconv.ParseInt(rec[9], 10, 64)
+		if err != nil {
+			return err
+		}
+		sec, err := strconv.ParseFloat(rec[10], 64)
+		if err != nil {
+			return err
+		}
+		d.Kernels = append(d.Kernels, KernelRecord{
+			Network: rec[0], GPU: rec[1], BatchSize: bs, LayerIndex: li,
+			LayerKind: rec[4], LayerSignature: rec[5], Kernel: rec[6],
+			LayerFLOPs: fl, LayerInputElems: ie, LayerOutputElems: oe,
+			Seconds: sec,
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// formatSeconds keeps full float64 precision so CSV round-trips exactly.
+func formatSeconds(s float64) string { return strconv.FormatFloat(s, 'g', -1, 64) }
+
+// writeCSV writes header + n rows produced by row(i).
+func writeCSV(path string, header []string, n int, row func(int) []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return fmt.Errorf("dataset: write %s: %w", path, err)
+	}
+	for i := 0; i < n; i++ {
+		if err := w.Write(row(i)); err != nil {
+			f.Close()
+			return fmt.Errorf("dataset: write %s: %w", path, err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return fmt.Errorf("dataset: write %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// readCSV validates the header and streams rows into fn.
+func readCSV(path string, header []string, fn func([]string) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("dataset: %w", err)
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	r.FieldsPerRecord = len(header)
+	got, err := r.Read()
+	if err != nil {
+		return fmt.Errorf("dataset: read %s header: %w", path, err)
+	}
+	for i := range header {
+		if got[i] != header[i] {
+			return fmt.Errorf("dataset: %s: header column %d is %q, want %q", path, i, got[i], header[i])
+		}
+	}
+	line := 1
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("dataset: read %s: %w", path, err)
+		}
+		line++
+		if err := fn(rec); err != nil {
+			return fmt.Errorf("dataset: %s line %d: %w", path, line, err)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+// Package dataset holds the measurement database the paper's models train
+// on (§3 "Data management"): network-, layer- and kernel-level records with
+// the structural information (shapes, FLOPs, layer↔kernel mapping) and the
+// measured execution times, plus CSV persistence, cleaning, and train/test
+// splitting.
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/profiler"
+)
+
+// NetworkRecord is one end-to-end measurement of a network.
+type NetworkRecord struct {
+	Network   string
+	Family    string
+	Task      string
+	GPU       string
+	BatchSize int
+	// TotalFLOPs is the theoretical forward-pass FLOPs at this batch size.
+	TotalFLOPs int64
+	// E2ESeconds is the measured end-to-end time of one batch.
+	E2ESeconds float64
+}
+
+// LayerRecord is one layer-level measurement.
+type LayerRecord struct {
+	Network   string
+	GPU       string
+	BatchSize int
+	// LayerIndex is the layer's position within the network.
+	LayerIndex int
+	Kind       string
+	Signature  string
+	// FLOPs, InputElems, OutputElems are the layer's structural metrics.
+	FLOPs       int64
+	InputElems  int64
+	OutputElems int64
+	// Seconds is the measured layer execution time.
+	Seconds float64
+}
+
+// KernelRecord is one kernel-level measurement, carrying the three
+// layer-level driver candidates of observation O5.
+type KernelRecord struct {
+	Network   string
+	GPU       string
+	BatchSize int
+	// LayerIndex links the kernel back to its layer (the profiler-derived
+	// layer↔kernel mapping of Figure 2).
+	LayerIndex     int
+	LayerKind      string
+	LayerSignature string
+	// Kernel is the kernel implementation name.
+	Kernel string
+	// LayerFLOPs, LayerInputElems, LayerOutputElems are the candidate driver
+	// variables the kernel-wise classifier regresses against.
+	LayerFLOPs       int64
+	LayerInputElems  int64
+	LayerOutputElems int64
+	// Seconds is the measured kernel duration.
+	Seconds float64
+}
+
+// Dataset is the in-memory measurement database.
+type Dataset struct {
+	Networks []NetworkRecord
+	Layers   []LayerRecord
+	Kernels  []KernelRecord
+}
+
+// AddTrace ingests a profiler trace: one network record, one layer record per
+// layer that dispatched kernels, and one kernel record per kernel event.
+func (d *Dataset) AddTrace(t *profiler.Trace) {
+	d.Networks = append(d.Networks, NetworkRecord{
+		Network:   t.Network,
+		Family:    t.Family,
+		Task:      string(t.Task),
+		GPU:       t.GPU,
+		BatchSize: t.BatchSize,
+
+		TotalFLOPs: t.TotalFLOPs,
+		E2ESeconds: t.E2ETime,
+	})
+	for _, l := range t.Layers {
+		if len(l.Kernels) == 0 {
+			continue
+		}
+		d.Layers = append(d.Layers, LayerRecord{
+			Network:     t.Network,
+			GPU:         t.GPU,
+			BatchSize:   t.BatchSize,
+			LayerIndex:  l.Index,
+			Kind:        string(l.Kind),
+			Signature:   l.Signature,
+			FLOPs:       l.FLOPs,
+			InputElems:  l.InputElems,
+			OutputElems: l.OutputElems,
+			Seconds:     l.Duration,
+		})
+		for _, ev := range l.Kernels {
+			d.Kernels = append(d.Kernels, KernelRecord{
+				Network:          t.Network,
+				GPU:              t.GPU,
+				BatchSize:        t.BatchSize,
+				LayerIndex:       l.Index,
+				LayerKind:        string(l.Kind),
+				LayerSignature:   l.Signature,
+				Kernel:           ev.Name,
+				LayerFLOPs:       ev.Kernel.LayerFLOPs,
+				LayerInputElems:  ev.Kernel.LayerInputElems,
+				LayerOutputElems: ev.Kernel.LayerOutputElems,
+				Seconds:          ev.Duration,
+			})
+		}
+	}
+}
+
+// Merge appends all records of o into d.
+func (d *Dataset) Merge(o *Dataset) {
+	d.Networks = append(d.Networks, o.Networks...)
+	d.Layers = append(d.Layers, o.Layers...)
+	d.Kernels = append(d.Kernels, o.Kernels...)
+}
+
+// NetworkNames returns the distinct network names, sorted.
+func (d *Dataset) NetworkNames() []string {
+	set := map[string]bool{}
+	for _, r := range d.Networks {
+		set[r.Network] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GPUNames returns the distinct GPU names, sorted.
+func (d *Dataset) GPUNames() []string {
+	set := map[string]bool{}
+	for _, r := range d.Networks {
+		set[r.GPU] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// KernelNames returns the distinct kernel names, sorted.
+func (d *Dataset) KernelNames() []string {
+	set := map[string]bool{}
+	for _, r := range d.Kernels {
+		set[r.Kernel] = true
+	}
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FilterGPU returns the subset of records measured on the given GPU.
+func (d *Dataset) FilterGPU(gpuName string) *Dataset {
+	out := &Dataset{}
+	for _, r := range d.Networks {
+		if r.GPU == gpuName {
+			out.Networks = append(out.Networks, r)
+		}
+	}
+	for _, r := range d.Layers {
+		if r.GPU == gpuName {
+			out.Layers = append(out.Layers, r)
+		}
+	}
+	for _, r := range d.Kernels {
+		if r.GPU == gpuName {
+			out.Kernels = append(out.Kernels, r)
+		}
+	}
+	return out
+}
+
+// FilterNetworks returns the subset of records whose network name is in keep.
+func (d *Dataset) FilterNetworks(keep map[string]bool) *Dataset {
+	out := &Dataset{}
+	for _, r := range d.Networks {
+		if keep[r.Network] {
+			out.Networks = append(out.Networks, r)
+		}
+	}
+	for _, r := range d.Layers {
+		if keep[r.Network] {
+			out.Layers = append(out.Layers, r)
+		}
+	}
+	for _, r := range d.Kernels {
+		if keep[r.Network] {
+			out.Kernels = append(out.Kernels, r)
+		}
+	}
+	return out
+}
+
+// FilterTask returns the subset of network records (and their layer/kernel
+// records) whose task matches.
+func (d *Dataset) FilterTask(task string) *Dataset {
+	keep := map[string]bool{}
+	for _, r := range d.Networks {
+		if r.Task == task {
+			keep[r.Network] = true
+		}
+	}
+	return d.FilterNetworks(keep)
+}
+
+// Clean removes exact duplicate records, mirroring the paper's dataset
+// cleaning ("removing the duplications", §3; fail-to-execute runs are already
+// excluded at collection time). It returns the number of records dropped.
+func (d *Dataset) Clean() int {
+	dropped := 0
+	{
+		seen := map[NetworkRecord]bool{}
+		out := d.Networks[:0]
+		for _, r := range d.Networks {
+			if seen[r] {
+				dropped++
+				continue
+			}
+			seen[r] = true
+			out = append(out, r)
+		}
+		d.Networks = out
+	}
+	{
+		seen := map[LayerRecord]bool{}
+		out := d.Layers[:0]
+		for _, r := range d.Layers {
+			if seen[r] {
+				dropped++
+				continue
+			}
+			seen[r] = true
+			out = append(out, r)
+		}
+		d.Layers = out
+	}
+	{
+		// Kernel records legitimately repeat (a layer can launch the same
+		// kernel name once per algorithm stage, and different layers share
+		// kernels); only drop *exact* duplicates including duration.
+		seen := map[KernelRecord]bool{}
+		out := d.Kernels[:0]
+		for _, r := range d.Kernels {
+			if seen[r] {
+				dropped++
+				continue
+			}
+			seen[r] = true
+			out = append(out, r)
+		}
+		d.Kernels = out
+	}
+	return dropped
+}
+
+// SplitByNetwork partitions the dataset into train/test by drawing testFrac
+// of the *networks* (not individual rows) into the test set, so evaluation
+// always predicts networks the models never saw — the paper's "predict new
+// DNNs" setting. The draw is stratified by task, guaranteeing both the
+// image-classification and the text-classification groups are represented in
+// the test set. The split is deterministic in seed.
+func (d *Dataset) SplitByNetwork(testFrac float64, seed int64) (train, test *Dataset) {
+	byTask := map[string][]string{}
+	taskOf := map[string]string{}
+	for _, r := range d.Networks {
+		if _, ok := taskOf[r.Network]; !ok {
+			taskOf[r.Network] = r.Task
+		}
+	}
+	for _, name := range d.NetworkNames() {
+		t := taskOf[name]
+		byTask[t] = append(byTask[t], name)
+	}
+	tasks := make([]string, 0, len(byTask))
+	for t := range byTask {
+		tasks = append(tasks, t)
+	}
+	sort.Strings(tasks)
+
+	rnd := rand.New(rand.NewSource(seed))
+	testSet := map[string]bool{}
+	trainSet := map[string]bool{}
+	for _, t := range tasks {
+		names := byTask[t]
+		rnd.Shuffle(len(names), func(i, j int) { names[i], names[j] = names[j], names[i] })
+		nTest := int(float64(len(names))*testFrac + 0.5)
+		if nTest < 1 && len(names) > 1 {
+			nTest = 1
+		}
+		for _, n := range names[:nTest] {
+			testSet[n] = true
+		}
+		for _, n := range names[nTest:] {
+			trainSet[n] = true
+		}
+	}
+	return d.FilterNetworks(trainSet), d.FilterNetworks(testSet)
+}
+
+// Summary describes the dataset sizes.
+func (d *Dataset) Summary() string {
+	return fmt.Sprintf("%d network records, %d layer records, %d kernel records (%d networks, %d GPUs, %d distinct kernels)",
+		len(d.Networks), len(d.Layers), len(d.Kernels),
+		len(d.NetworkNames()), len(d.GPUNames()), len(d.KernelNames()))
+}

@@ -1,0 +1,283 @@
+package dataset
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/gpu"
+	"repro/internal/profiler"
+	"repro/internal/sim"
+	"repro/internal/zoo"
+)
+
+// smallBuild collects a compact dataset for the tests: a handful of diverse
+// networks on one or two GPUs.
+func smallBuild(t *testing.T, gpus []gpu.Spec) *Dataset {
+	t.Helper()
+	nets := []*dnn.Network{
+		zoo.MustResNet(18),
+		zoo.MustVGG(11, false),
+		zoo.StandardMobileNetV2(),
+		zoo.MustDenseNet(121),
+		mustTransformer(t, "bert-tiny"),
+		mustTransformer(t, "bert-mini"),
+	}
+	opt := DefaultBuildOptions()
+	opt.Batches = 3
+	opt.Warmup = 1
+	opt.E2EBatchSizes = []int{4, 512}
+	ds, _, err := Build(nets, gpus, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func mustTransformer(t *testing.T, name string) *dnn.Network {
+	t.Helper()
+	n, err := zoo.StandardTransformer(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestAddTraceCounts(t *testing.T) {
+	net := zoo.MustResNet(18)
+	tr, err := profiler.NewFast(sim.NewDefault(gpu.A100), 2).Profile(net, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ds Dataset
+	ds.AddTrace(tr)
+	if len(ds.Networks) != 1 {
+		t.Fatalf("network records = %d", len(ds.Networks))
+	}
+	// Only layers that dispatched kernels get layer records.
+	withKernels := 0
+	var kernelEvents int
+	for _, l := range tr.Layers {
+		if len(l.Kernels) > 0 {
+			withKernels++
+			kernelEvents += len(l.Kernels)
+		}
+	}
+	if len(ds.Layers) != withKernels {
+		t.Fatalf("layer records = %d, want %d", len(ds.Layers), withKernels)
+	}
+	if len(ds.Kernels) != kernelEvents {
+		t.Fatalf("kernel records = %d, want %d", len(ds.Kernels), kernelEvents)
+	}
+}
+
+func TestBuildShape(t *testing.T) {
+	ds := smallBuild(t, []gpu.Spec{gpu.A100})
+	// Every network gets E2E records at batch 4 and 512.
+	names := ds.NetworkNames()
+	if len(names) != 6 {
+		t.Fatalf("networks = %v", names)
+	}
+	perNet := map[string]map[int]bool{}
+	for _, r := range ds.Networks {
+		if perNet[r.Network] == nil {
+			perNet[r.Network] = map[int]bool{}
+		}
+		perNet[r.Network][r.BatchSize] = true
+	}
+	for n, bs := range perNet {
+		if !bs[4] || !bs[512] {
+			t.Fatalf("%s: batch coverage %v", n, bs)
+		}
+	}
+	// Detail records exist only at the detail batch size.
+	for _, r := range ds.Kernels {
+		if r.BatchSize != 512 {
+			t.Fatalf("kernel record at batch %d", r.BatchSize)
+		}
+	}
+}
+
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	nets := []*dnn.Network{zoo.MustResNet(18), zoo.MustVGG(11, false), zoo.StandardMobileNetV2()}
+	opt := DefaultBuildOptions()
+	opt.Batches = 2
+	opt.Warmup = 0
+	opt.E2EBatchSizes = []int{8}
+	opt.DetailBatchSize = 8
+
+	opt.Workers = 1
+	a, _, err := Build(nets, []gpu.Spec{gpu.A100}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 4
+	b, _, err := Build(nets, []gpu.Spec{gpu.A100}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("dataset differs across worker counts")
+	}
+}
+
+func TestBuildReportsOOM(t *testing.T) {
+	nets := []*dnn.Network{zoo.MustVGG(16, false)}
+	opt := DefaultBuildOptions()
+	opt.Batches = 1
+	opt.Warmup = 0
+	opt.E2EBatchSizes = []int{4, 512}
+	ds, rep, err := Build(nets, []gpu.Spec{gpu.QuadroP620}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.OutOfMemory) == 0 {
+		t.Fatal("VGG-16 at batch 512 should OOM on a 2 GB card")
+	}
+	for _, r := range ds.Networks {
+		if r.BatchSize == 512 {
+			t.Fatal("OOM run leaked into the dataset")
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, _, err := Build(nil, []gpu.Spec{gpu.A100}, DefaultBuildOptions()); err == nil {
+		t.Fatal("empty network list should error")
+	}
+	if _, _, err := Build([]*dnn.Network{zoo.MustResNet(18)}, nil, DefaultBuildOptions()); err == nil {
+		t.Fatal("empty GPU list should error")
+	}
+}
+
+func TestCleanRemovesDuplicates(t *testing.T) {
+	ds := smallBuild(t, []gpu.Spec{gpu.A100})
+	nNet, nLay, nKer := len(ds.Networks), len(ds.Layers), len(ds.Kernels)
+	dup := &Dataset{}
+	dup.Merge(ds)
+	dup.Merge(ds)
+	dropped := dup.Clean()
+	if dropped != nNet+nLay+nKer {
+		t.Fatalf("Clean dropped %d, want %d", dropped, nNet+nLay+nKer)
+	}
+	if len(dup.Networks) != nNet || len(dup.Layers) != nLay || len(dup.Kernels) != nKer {
+		t.Fatal("Clean changed the deduplicated contents")
+	}
+	// A second Clean is a no-op.
+	if dropped := dup.Clean(); dropped != 0 {
+		t.Fatalf("idempotent Clean dropped %d", dropped)
+	}
+}
+
+func TestSplitByNetwork(t *testing.T) {
+	ds := smallBuild(t, []gpu.Spec{gpu.A100})
+	train, test := ds.SplitByNetwork(0.34, 7)
+	trainNames := map[string]bool{}
+	for _, n := range train.NetworkNames() {
+		trainNames[n] = true
+	}
+	for _, n := range test.NetworkNames() {
+		if trainNames[n] {
+			t.Fatalf("network %q appears in both splits", n)
+		}
+	}
+	if len(train.NetworkNames())+len(test.NetworkNames()) != len(ds.NetworkNames()) {
+		t.Fatal("split loses networks")
+	}
+	// Stratified: both tasks present in the test split.
+	tasks := map[string]bool{}
+	for _, r := range test.Networks {
+		tasks[r.Task] = true
+	}
+	if !tasks[string(dnn.TaskImageClassification)] || !tasks[string(dnn.TaskTextClassification)] {
+		t.Fatalf("test split tasks = %v, want both", tasks)
+	}
+	// Deterministic in the seed.
+	_, test2 := ds.SplitByNetwork(0.34, 7)
+	if !reflect.DeepEqual(test.NetworkNames(), test2.NetworkNames()) {
+		t.Fatal("split is not deterministic")
+	}
+	_, test3 := ds.SplitByNetwork(0.34, 8)
+	if reflect.DeepEqual(test.NetworkNames(), test3.NetworkNames()) {
+		t.Fatal("different seeds should give different splits (with high probability)")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	ds := smallBuild(t, []gpu.Spec{gpu.A100, gpu.V100})
+	a100 := ds.FilterGPU("A100")
+	for _, r := range a100.Networks {
+		if r.GPU != "A100" {
+			t.Fatal("FilterGPU leaked records")
+		}
+	}
+	if len(a100.Networks) == 0 || len(a100.Kernels) == 0 {
+		t.Fatal("FilterGPU dropped everything")
+	}
+
+	text := ds.FilterTask(string(dnn.TaskTextClassification))
+	for _, r := range text.Networks {
+		if !strings.HasPrefix(r.Network, "bert") {
+			t.Fatalf("text filter kept %q", r.Network)
+		}
+	}
+	if len(text.NetworkNames()) != 2 {
+		t.Fatalf("text networks = %v", text.NetworkNames())
+	}
+
+	keep := map[string]bool{"resnet18": true}
+	sub := ds.FilterNetworks(keep)
+	if got := sub.NetworkNames(); len(got) != 1 || got[0] != "resnet18" {
+		t.Fatalf("FilterNetworks = %v", got)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	ds := smallBuild(t, []gpu.Spec{gpu.A100})
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := ds.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ds, back) {
+		t.Fatal("CSV round-trip altered the dataset")
+	}
+}
+
+func TestReadDirHeaderValidation(t *testing.T) {
+	dir := t.TempDir()
+	ds := smallBuild(t, []gpu.Spec{gpu.A100})
+	if err := ds.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one header.
+	path := filepath.Join(dir, NetworksCSV)
+	if err := writeCSV(path, []string{"wrong"}, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDir(dir); err == nil {
+		t.Fatal("mismatched header should error")
+	}
+}
+
+func TestSummaryAndNames(t *testing.T) {
+	ds := smallBuild(t, []gpu.Spec{gpu.A100})
+	s := ds.Summary()
+	if !strings.Contains(s, "6 networks") || !strings.Contains(s, "1 GPUs") {
+		t.Fatalf("Summary = %q", s)
+	}
+	kn := ds.KernelNames()
+	for i := 1; i < len(kn); i++ {
+		if kn[i-1] >= kn[i] {
+			t.Fatal("KernelNames not sorted")
+		}
+	}
+	if len(kn) == 0 {
+		t.Fatal("no kernel names")
+	}
+}

@@ -1,0 +1,52 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzReadNetworksCSV feeds arbitrary bytes to the dataset reader: malformed
+// CSV must produce errors, never panics, and valid files must round-trip.
+func FuzzReadNetworksCSV(f *testing.F) {
+	f.Add([]byte("network,family,task,gpu,batch_size,total_flops,e2e_seconds\nresnet50,ResNet,image-classification,A100,512,4000000000,0.5\n"))
+	f.Add([]byte("network,family,task,gpu,batch_size,total_flops,e2e_seconds\nx,y,z,w,notanumber,1,2\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("garbage"))
+	f.Add([]byte("network,family,task,gpu,batch_size,total_flops,e2e_seconds\n\"unterminated"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, NetworksCSV), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Valid empty companions so only the fuzzed file is under test.
+		empty := &Dataset{}
+		tmp := t.TempDir()
+		if err := empty.WriteDir(tmp); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{LayersCSV, KernelsCSV} {
+			b, err := os.ReadFile(filepath.Join(tmp, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		ds, err := ReadDir(dir) // must not panic
+		if err != nil {
+			return
+		}
+		// Anything successfully parsed must survive a round-trip.
+		out := t.TempDir()
+		if err := ds.WriteDir(out); err != nil {
+			t.Fatalf("round-trip write failed: %v", err)
+		}
+		if _, err := ReadDir(out); err != nil {
+			t.Fatalf("round-trip read failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,236 @@
+// Package disagg implements case study 2 (§6): a disaggregated-memory
+// system in which a GPU with small local memory computes a DNN layer by
+// layer while a prefetcher streams each layer's parameters from a
+// network-attached memory pool. Like the MGPUSim network model the paper
+// connects its predictor to, the simulation is purely event-driven — it
+// fast-forwards from event to event with no cycle-level detail, which is why
+// whole bandwidth sweeps complete in milliseconds.
+package disagg
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Config describes the disaggregated system.
+type Config struct {
+	// LinkGBps is the network bandwidth between the GPU and the remote
+	// memory pool, in GB/s.
+	LinkGBps float64
+	// LinkLatencyUS is the fixed per-transfer latency in microseconds.
+	LinkLatencyUS float64
+	// LocalMemBytes bounds the weights resident locally: prefetched-but-
+	// unconsumed parameters may not exceed it. Zero means unbounded.
+	LocalMemBytes int64
+}
+
+// LayerJob is one layer's work: its compute time (obtained from a
+// performance model — the connection point to internal/core) and the bytes
+// that must cross the link before compute can start. In a disaggregated
+// system the remote pool holds both the parameters and the spilled
+// activations (the GPU's local memory is small by design), so RemoteBytes is
+// typically weights + input/output activation traffic.
+type LayerJob struct {
+	// Name labels the layer for traces.
+	Name string
+	// ComputeSeconds is the layer's GPU execution time.
+	ComputeSeconds float64
+	// RemoteBytes is the traffic the prefetcher moves over the link for
+	// this layer.
+	RemoteBytes int64
+}
+
+// Result summarizes one simulation.
+type Result struct {
+	// TotalSeconds is the end-to-end completion time of one batch.
+	TotalSeconds float64
+	// ComputeSeconds is the total GPU busy time (sum of compute).
+	ComputeSeconds float64
+	// FetchSeconds is the total link busy time.
+	FetchSeconds float64
+	// StallSeconds is GPU idle time spent waiting for parameters.
+	StallSeconds float64
+}
+
+// ComputeUtilization is the fraction of total time the GPU computed.
+func (r Result) ComputeUtilization() float64 {
+	if r.TotalSeconds == 0 {
+		return 0
+	}
+	return r.ComputeSeconds / r.TotalSeconds
+}
+
+// event kinds of the discrete-event engine.
+type eventKind int
+
+const (
+	evFetchDone eventKind = iota
+	evComputeDone
+)
+
+// event is one scheduled occurrence.
+type event struct {
+	at   float64
+	kind eventKind
+	idx  int // layer index
+	seq  int // tie-break for determinism
+}
+
+// eventQueue is a min-heap on (at, seq).
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Simulate runs the event-driven model: the prefetcher fetches layer
+// parameters in order over the serial link (respecting the local-memory
+// window); the GPU computes layer i once layer i−1 finished and layer i's
+// parameters arrived.
+func Simulate(jobs []LayerJob, cfg Config) (Result, error) {
+	if cfg.LinkGBps <= 0 {
+		return Result{}, fmt.Errorf("disagg: link bandwidth must be positive, got %v", cfg.LinkGBps)
+	}
+	for i, j := range jobs {
+		if j.ComputeSeconds < 0 || j.RemoteBytes < 0 {
+			return Result{}, fmt.Errorf("disagg: job %d (%s) has negative work", i, j.Name)
+		}
+		if cfg.LocalMemBytes > 0 && j.RemoteBytes > cfg.LocalMemBytes {
+			return Result{}, fmt.Errorf("disagg: job %d (%s) traffic (%d B) exceeds local memory (%d B)",
+				i, j.Name, j.RemoteBytes, cfg.LocalMemBytes)
+		}
+	}
+	if len(jobs) == 0 {
+		return Result{}, nil
+	}
+
+	linkBytesPerSec := cfg.LinkGBps * 1e9
+	latency := cfg.LinkLatencyUS * 1e-6
+
+	var (
+		now            float64
+		q              eventQueue
+		seq            int
+		nextFetch      int // next layer whose fetch hasn't started
+		nextCompute    int // next layer to compute
+		fetched        = make([]bool, len(jobs))
+		computing      = -1
+		linkBusy       bool
+		residentB      int64 // prefetched-but-unconsumed bytes
+		res            Result
+		lastComputeEnd float64
+	)
+
+	push := func(at float64, k eventKind, idx int) {
+		heap.Push(&q, event{at: at, kind: k, idx: idx, seq: seq})
+		seq++
+	}
+
+	// tryStartFetch launches the next in-order fetch if the link is free and
+	// the local-memory window has room.
+	tryStartFetch := func() {
+		for !linkBusy && nextFetch < len(jobs) {
+			j := jobs[nextFetch]
+			if cfg.LocalMemBytes > 0 && residentB+j.RemoteBytes > cfg.LocalMemBytes {
+				return // window full; retry when compute frees space
+			}
+			dur := latency + float64(j.RemoteBytes)/linkBytesPerSec
+			residentB += j.RemoteBytes
+			res.FetchSeconds += dur
+			linkBusy = true
+			push(now+dur, evFetchDone, nextFetch)
+			nextFetch++
+		}
+	}
+
+	// tryStartCompute launches the next layer if the GPU is idle and its
+	// parameters arrived.
+	tryStartCompute := func() {
+		if computing >= 0 || nextCompute >= len(jobs) || !fetched[nextCompute] {
+			return
+		}
+		j := jobs[nextCompute]
+		res.StallSeconds += now - lastComputeEnd
+		res.ComputeSeconds += j.ComputeSeconds
+		computing = nextCompute
+		push(now+j.ComputeSeconds, evComputeDone, nextCompute)
+	}
+
+	tryStartFetch()
+	tryStartCompute()
+	for q.Len() > 0 {
+		e := heap.Pop(&q).(event)
+		if e.at < now {
+			return Result{}, fmt.Errorf("disagg: event time went backwards (%v < %v)", e.at, now)
+		}
+		now = e.at
+		switch e.kind {
+		case evFetchDone:
+			fetched[e.idx] = true
+			linkBusy = false
+			tryStartFetch()
+			tryStartCompute()
+		case evComputeDone:
+			residentB -= jobs[e.idx].RemoteBytes
+			computing = -1
+			nextCompute = e.idx + 1
+			lastComputeEnd = now
+			tryStartFetch()
+			tryStartCompute()
+		}
+	}
+	if nextCompute != len(jobs) {
+		return Result{}, fmt.Errorf("disagg: deadlock — computed %d of %d layers (local memory too small for the prefetch window?)",
+			nextCompute, len(jobs))
+	}
+	res.TotalSeconds = now
+	return res, nil
+}
+
+// Sweep simulates the same job list across several link bandwidths and
+// returns each total time, in the input order.
+func Sweep(jobs []LayerJob, base Config, bandwidthsGBps []float64) ([]Result, error) {
+	out := make([]Result, len(bandwidthsGBps))
+	for i, bw := range bandwidthsGBps {
+		cfg := base
+		cfg.LinkGBps = bw
+		r, err := Simulate(jobs, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("disagg: sweep at %v GB/s: %w", bw, err)
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+// Speedups normalizes a sweep's totals to the first entry's total —
+// Figure 17 plots "speedup over 16 GB/s network".
+func Speedups(results []Result) []float64 {
+	out := make([]float64, len(results))
+	if len(results) == 0 || results[0].TotalSeconds == 0 {
+		return out
+	}
+	base := results[0].TotalSeconds
+	for i, r := range results {
+		if r.TotalSeconds == 0 {
+			out[i] = math.Inf(1)
+			continue
+		}
+		out[i] = base / r.TotalSeconds
+	}
+	return out
+}

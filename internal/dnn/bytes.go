@@ -1,0 +1,63 @@
+package dnn
+
+// Byte-traffic estimates for layers, used by the synthetic device model
+// (internal/sim) as the memory leg of its roofline, and by the bandwidth
+// efficiency study (Figure 9). These are *theoretical* counts from shape
+// information — the paper makes the same simplification ("we use the layer
+// shape information to estimate the number of bytes to read/write, while the
+// actual GPU may read/write much more", §4 O6).
+
+// bytesPerElem is the element size of FP32 activations and weights.
+const bytesPerElem = 4
+
+// LayerInputBytes returns the bytes read from all input tensors of a layer.
+func LayerInputBytes(l *Layer) int64 {
+	var total int64
+	for _, s := range l.InShapes {
+		total += s.Numel() * bytesPerElem
+	}
+	if total == 0 { // not inferred with InShapes (single input path)
+		total = l.InShape.Numel() * bytesPerElem
+	}
+	return total
+}
+
+// LayerOutputBytes returns the bytes written to the output tensor.
+func LayerOutputBytes(l *Layer) int64 {
+	return l.OutShape.Numel() * bytesPerElem
+}
+
+// LayerWeightBytes returns the bytes of learned parameters streamed in.
+func LayerWeightBytes(l *Layer) int64 {
+	return l.WeightCount() * bytesPerElem
+}
+
+// LayerBytes returns the total theoretical memory traffic of a layer:
+// inputs + weights read, output written.
+func LayerBytes(l *Layer) int64 {
+	return LayerInputBytes(l) + LayerWeightBytes(l) + LayerOutputBytes(l)
+}
+
+// TotalBytes returns the sum of LayerBytes over the network at its inferred
+// batch size, or 0 if shapes are not inferred.
+func (n *Network) TotalBytes() int64 {
+	var total int64
+	for _, l := range n.Layers {
+		total += LayerBytes(l)
+	}
+	return total
+}
+
+// ArithmeticIntensity returns total FLOPs divided by total bytes for the
+// network at its inferred batch size (operations per byte, §7).
+func (n *Network) ArithmeticIntensity() float64 {
+	b := n.TotalBytes()
+	if b == 0 {
+		return 0
+	}
+	f, err := n.TotalFLOPs()
+	if err != nil {
+		return 0
+	}
+	return float64(f) / float64(b)
+}

@@ -1,0 +1,177 @@
+package dnn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvFLOPsFormula(t *testing.T) {
+	// N·Cout·H'·W'·(Cin/g)·Kh·Kw, the paper's §2.2 convention.
+	n := New("f", "Test", TaskImageClassification, Shape{3, 224, 224})
+	n.Conv(NetworkInput, 3, 64, 7, 2, 3)
+	if err := n.Infer(2); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(2) * 64 * 112 * 112 * 3 * 7 * 7
+	if got := LayerFLOPs(n.Layers[0]); got != want {
+		t.Fatalf("conv FLOPs = %d, want %d", got, want)
+	}
+}
+
+func TestGroupedConvFLOPs(t *testing.T) {
+	n := New("g", "Test", TaskImageClassification, Shape{8, 16, 16})
+	n.GroupConv(NetworkInput, 8, 8, 3, 1, 1, 4)
+	if err := n.Infer(1); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(1) * 8 * 16 * 16 * (8 / 4) * 3 * 3
+	if got := LayerFLOPs(n.Layers[0]); got != want {
+		t.Fatalf("grouped conv FLOPs = %d, want %d", got, want)
+	}
+}
+
+func TestDepthwiseConvFLOPs(t *testing.T) {
+	n := New("dw", "Test", TaskImageClassification, Shape{8, 16, 16})
+	n.DWConv(NetworkInput, 8, 3, 1, 1)
+	if err := n.Infer(1); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(1) * 8 * 16 * 16 * 1 * 3 * 3
+	if got := LayerFLOPs(n.Layers[0]); got != want {
+		t.Fatalf("depthwise conv FLOPs = %d, want %d", got, want)
+	}
+}
+
+func TestLinearFLOPs(t *testing.T) {
+	n := New("fc", "Test", TaskImageClassification, Shape{128})
+	n.Linear(NetworkInput, 128, 64)
+	if err := n.Infer(4); err != nil {
+		t.Fatal(err)
+	}
+	want := int64(4) * 64 * 128
+	if got := LayerFLOPs(n.Layers[0]); got != want {
+		t.Fatalf("linear FLOPs = %d, want %d", got, want)
+	}
+}
+
+func TestMatMulFLOPs(t *testing.T) {
+	n := New("mm", "Test", TaskTextClassification, Shape{8})
+	x := n.Embedding(NetworkInput, 100, 32)
+	q := n.Linear(x, 32, 32)
+	k := n.Linear(x, 32, 32)
+	s := n.MatMul(q, k, 4, true)
+	if err := n.Infer(2); err != nil {
+		t.Fatal(err)
+	}
+	// N · heads · T · T · (D/heads) = 2·4·8·8·8
+	want := int64(2) * 4 * 8 * 8 * 8
+	if got := LayerFLOPs(n.Layers[s]); got != want {
+		t.Fatalf("matmul FLOPs = %d, want %d", got, want)
+	}
+}
+
+func TestDataMovementLayersHaveZeroFLOPs(t *testing.T) {
+	n := New("moves", "Test", TaskImageClassification, Shape{4, 8, 8})
+	a := n.Conv(NetworkInput, 4, 4, 1, 1, 0)
+	b := n.Conv(NetworkInput, 4, 4, 1, 1, 0)
+	cat := n.Concat(a, b)
+	sh := n.ChannelShuffle(cat, 2)
+	fl := n.Flatten(sh)
+	dr := n.Dropout(fl)
+	if err := n.Infer(1); err != nil {
+		t.Fatal(err)
+	}
+	for _, idx := range []int{cat, sh, fl, dr} {
+		if got := LayerFLOPs(n.Layers[idx]); got != 0 {
+			t.Errorf("layer %d (%s): FLOPs = %d, want 0", idx, n.Layers[idx].Kind, got)
+		}
+	}
+}
+
+func TestTotalFLOPsRequiresInfer(t *testing.T) {
+	n := buildTinyCNN()
+	if _, err := n.TotalFLOPs(); err == nil {
+		t.Fatal("TotalFLOPs before Infer should error")
+	}
+	if err := n.Infer(1); err != nil {
+		t.Fatal(err)
+	}
+	total, err := n.TotalFLOPs()
+	if err != nil || total <= 0 {
+		t.Fatalf("TotalFLOPs = %d, %v", total, err)
+	}
+	// Adding a layer invalidates the inference.
+	n.ReLU(n.Output())
+	if _, err := n.TotalFLOPs(); err == nil {
+		t.Fatal("TotalFLOPs after structural change should error")
+	}
+}
+
+// TestFLOPsLinearInBatch is O3's structural premise: batch size is a pure
+// multiplication factor of FLOPs.
+func TestFLOPsLinearInBatch(t *testing.T) {
+	n := buildTinyCNN()
+	base, err := n.FLOPsAt(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(b uint8) bool {
+		batch := int(b%64) + 1
+		got, err := n.FLOPsAt(batch)
+		return err == nil && got == int64(batch)*base
+	}
+	cfg := &quick.Config{MaxCount: 64, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConvFLOPsProperty cross-checks LayerFLOPs against an independent
+// computation for random convolution geometries.
+func TestConvFLOPsProperty(t *testing.T) {
+	f := func(cinB, coutB, kB, resB, batchB uint8) bool {
+		cin := int(cinB%32) + 1
+		cout := int(coutB%32) + 1
+		k := []int{1, 3, 5}[int(kB)%3]
+		res := int(resB%24) + k // ensure output ≥ 1 with pad 0, stride 1
+		batch := int(batchB%8) + 1
+
+		n := New("p", "Test", TaskImageClassification, Shape{cin, res, res})
+		n.Conv(NetworkInput, cin, cout, k, 1, 0)
+		if err := n.Infer(batch); err != nil {
+			return false
+		}
+		out := res - k + 1
+		want := int64(batch) * int64(cout) * int64(out) * int64(out) *
+			int64(cin) * int64(k) * int64(k)
+		return LayerFLOPs(n.Layers[0]) == want
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightCount(t *testing.T) {
+	n := New("w", "Test", TaskImageClassification, Shape{3, 8, 8})
+	conv := n.Conv(NetworkInput, 3, 8, 3, 1, 1)
+	bn := n.BN(conv)
+	fl := n.Flatten(bn)
+	lin := n.Linear(fl, 8*8*8, 10)
+	if err := n.Infer(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Layers[conv].WeightCount(); got != 8*3*9 {
+		t.Errorf("conv WeightCount = %d", got)
+	}
+	if got := n.Layers[bn].WeightCount(); got != 16 {
+		t.Errorf("bn WeightCount = %d", got)
+	}
+	if got := n.Layers[lin].WeightCount(); got != int64(8*8*8*10+10) {
+		t.Errorf("linear WeightCount = %d", got)
+	}
+	if got := n.Layers[fl].WeightCount(); got != 0 {
+		t.Errorf("flatten WeightCount = %d", got)
+	}
+}

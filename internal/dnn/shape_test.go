@@ -1,0 +1,202 @@
+package dnn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeNumel(t *testing.T) {
+	tests := []struct {
+		name string
+		s    Shape
+		want int64
+	}{
+		{"empty", Shape{}, 0},
+		{"scalar-dim", Shape{1}, 1},
+		{"vector", Shape{7}, 7},
+		{"nchw", Shape{2, 3, 4, 5}, 120},
+		{"imagenet", Shape{64, 3, 224, 224}, 64 * 3 * 224 * 224},
+	}
+	for _, tt := range tests {
+		if got := tt.s.Numel(); got != tt.want {
+			t.Errorf("%s: Numel() = %d, want %d", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestShapeCloneIndependence(t *testing.T) {
+	s := Shape{1, 2, 3}
+	c := s.Clone()
+	c[0] = 99
+	if s[0] != 1 {
+		t.Fatalf("Clone shares storage: s = %v", s)
+	}
+	if !s.Equal(Shape{1, 2, 3}) {
+		t.Fatalf("original mutated: %v", s)
+	}
+}
+
+func TestShapeEqual(t *testing.T) {
+	tests := []struct {
+		a, b Shape
+		want bool
+	}{
+		{Shape{1, 2}, Shape{1, 2}, true},
+		{Shape{1, 2}, Shape{2, 1}, false},
+		{Shape{1, 2}, Shape{1, 2, 3}, false},
+		{Shape{}, Shape{}, true},
+		{nil, Shape{}, true},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Equal(tt.b); got != tt.want {
+			t.Errorf("%v.Equal(%v) = %t, want %t", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestShapeValid(t *testing.T) {
+	if (Shape{}).Valid() {
+		t.Error("empty shape should be invalid")
+	}
+	if (Shape{3, 0, 2}).Valid() {
+		t.Error("zero dimension should be invalid")
+	}
+	if (Shape{3, -1}).Valid() {
+		t.Error("negative dimension should be invalid")
+	}
+	if !(Shape{3, 224, 224}).Valid() {
+		t.Error("positive shape should be valid")
+	}
+}
+
+func TestShapeAccessors(t *testing.T) {
+	s := Shape{8, 64, 14, 14}
+	if s.Batch() != 8 {
+		t.Errorf("Batch() = %d, want 8", s.Batch())
+	}
+	if s.Channels() != 64 {
+		t.Errorf("Channels() = %d, want 64", s.Channels())
+	}
+	if s.Spatial() != 196 {
+		t.Errorf("Spatial() = %d, want 196", s.Spatial())
+	}
+	if s.Rank() != 4 {
+		t.Errorf("Rank() = %d, want 4", s.Rank())
+	}
+	flat := Shape{8, 1000}
+	if flat.Spatial() != 1 {
+		t.Errorf("flat Spatial() = %d, want 1", flat.Spatial())
+	}
+	if (Shape{}).Batch() != 0 || (Shape{5}).Channels() != 0 {
+		t.Error("degenerate accessors should return 0")
+	}
+}
+
+func TestShapeWithBatch(t *testing.T) {
+	s := Shape{3, 224, 224}
+	b := s.WithBatch(16)
+	if !b.Equal(Shape{16, 3, 224, 224}) {
+		t.Fatalf("WithBatch = %v", b)
+	}
+	if !s.Equal(Shape{3, 224, 224}) {
+		t.Fatalf("WithBatch mutated receiver: %v", s)
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if got := (Shape{2, 3}).String(); got != "(2, 3)" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (Shape{}).String(); got != "()" {
+		t.Errorf("empty String() = %q", got)
+	}
+}
+
+// TestShapeNumelProperty checks Numel's product law on random valid shapes.
+func TestShapeNumelProperty(t *testing.T) {
+	f := func(dims []uint8) bool {
+		s := make(Shape, 0, len(dims))
+		want := int64(1)
+		for _, d := range dims {
+			v := int(d%16) + 1
+			s = append(s, v)
+			want *= int64(v)
+		}
+		if len(s) == 0 {
+			return true
+		}
+		return s.Numel() == want && s.Valid()
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShapeWithBatchProperty: prepending a batch multiplies Numel by it.
+func TestShapeWithBatchProperty(t *testing.T) {
+	f := func(dims []uint8, batch uint8) bool {
+		s := make(Shape, 0, len(dims))
+		for _, d := range dims {
+			s = append(s, int(d%8)+1)
+		}
+		if len(s) == 0 {
+			return true
+		}
+		n := int(batch%64) + 1
+		return s.WithBatch(n).Numel() == int64(n)*s.Numel()
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindsEnumeratesEverything(t *testing.T) {
+	// Every kind used by the builders must appear in Kinds() exactly once.
+	kinds := Kinds()
+	seen := map[Kind]bool{}
+	for _, k := range kinds {
+		if seen[k] {
+			t.Fatalf("duplicate kind %q", k)
+		}
+		seen[k] = true
+	}
+	for _, k := range []Kind{KindConv2D, KindLinear, KindBatchNorm, KindLayerNorm,
+		KindReLU, KindReLU6, KindGELU, KindSigmoid, KindSoftmax, KindMaxPool2D,
+		KindAvgPool2D, KindGlobalAvgPool, KindAdd, KindConcat, KindFlatten,
+		KindDropout, KindChannelShuffle, KindEmbedding, KindMatMul,
+		KindReshapeTokens, KindIdentity} {
+		if !seen[k] {
+			t.Fatalf("Kinds() missing %q", k)
+		}
+	}
+}
+
+func TestLayerBytesAccounting(t *testing.T) {
+	n := New("b", "Test", TaskImageClassification, Shape{3, 8, 8})
+	conv := n.Conv(NetworkInput, 3, 4, 3, 1, 1)
+	add := n.Residual(conv, conv)
+	if err := n.Infer(2); err != nil {
+		t.Fatal(err)
+	}
+	c := n.Layers[conv]
+	if got, want := LayerInputBytes(c), int64(2*3*8*8*4); got != want {
+		t.Fatalf("conv input bytes = %d, want %d", got, want)
+	}
+	if got, want := LayerOutputBytes(c), int64(2*4*8*8*4); got != want {
+		t.Fatalf("conv output bytes = %d, want %d", got, want)
+	}
+	if got, want := LayerWeightBytes(c), int64(4*3*9*4); got != want {
+		t.Fatalf("conv weight bytes = %d, want %d", got, want)
+	}
+	// Multi-input layers sum every input tensor.
+	a := n.Layers[add]
+	if got, want := LayerInputBytes(a), int64(2*2*4*8*8*4); got != want {
+		t.Fatalf("add input bytes = %d, want %d", got, want)
+	}
+	if LayerBytes(c) != LayerInputBytes(c)+LayerWeightBytes(c)+LayerOutputBytes(c) {
+		t.Fatal("LayerBytes is not the sum of its parts")
+	}
+}

@@ -1,0 +1,156 @@
+// Package gpu defines GPU hardware descriptors and the registry of devices
+// used in the paper's experiments (Table 1). The performance models consume
+// only the *theoretical* specification values here — memory bandwidth, peak
+// FP32 throughput, memory capacity — exactly the directly-known information
+// the paper restricts itself to.
+package gpu
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Spec describes a GPU by its theoretical capabilities.
+type Spec struct {
+	// Name is the marketing name, e.g. "A100".
+	Name string
+	// Architecture is the NVIDIA architecture generation.
+	Architecture string
+	// MemBWGBps is the theoretical memory bandwidth in GB/s.
+	MemBWGBps float64
+	// MemGB is the device memory capacity in GB.
+	MemGB float64
+	// FP32TFLOPS is the peak FP32 throughput in TFLOPS.
+	FP32TFLOPS float64
+	// TensorCores is the tensor core count (0 for pre-Turing consumer parts).
+	TensorCores int
+	// SMCount is the streaming multiprocessor count, used by the synthetic
+	// device model's utilization heuristics.
+	SMCount int
+}
+
+// PeakBytesPerSec returns the theoretical bandwidth in bytes/second.
+func (s Spec) PeakBytesPerSec() float64 { return s.MemBWGBps * 1e9 }
+
+// PeakFLOPS returns the theoretical FP32 throughput in FLOP/s.
+func (s Spec) PeakFLOPS() float64 { return s.FP32TFLOPS * 1e12 }
+
+// MemBytes returns the device memory capacity in bytes.
+func (s Spec) MemBytes() int64 { return int64(s.MemGB * 1e9) }
+
+// BalancePoint returns the roofline ridge point in FLOPs/byte: workloads with
+// lower arithmetic intensity are memory-bound on this device.
+func (s Spec) BalancePoint() float64 {
+	if s.MemBWGBps == 0 {
+		return 0
+	}
+	return s.PeakFLOPS() / s.PeakBytesPerSec()
+}
+
+// String implements fmt.Stringer.
+func (s Spec) String() string {
+	return fmt.Sprintf("%s (%.0f GB/s, %.0f GB, %.1f TFLOPS FP32, %d tensor cores)",
+		s.Name, s.MemBWGBps, s.MemGB, s.FP32TFLOPS, s.TensorCores)
+}
+
+// WithBandwidth returns a copy of the spec with a modified theoretical memory
+// bandwidth, for design-space exploration (case study 1: "what is the optimal
+// memory bandwidth if the number of cores and the frequency are unchanged").
+func (s Spec) WithBandwidth(gbps float64) Spec {
+	out := s
+	out.MemBWGBps = gbps
+	if gbps != s.MemBWGBps {
+		out.Name = fmt.Sprintf("%s@%.0fGBps", s.Name, gbps)
+	}
+	return out
+}
+
+// The seven GPUs of Table 1. SM counts are the public die configurations.
+var (
+	A100 = Spec{Name: "A100", Architecture: "Ampere", MemBWGBps: 1555, MemGB: 40,
+		FP32TFLOPS: 19.5, TensorCores: 432, SMCount: 108}
+	A40 = Spec{Name: "A40", Architecture: "Ampere", MemBWGBps: 696, MemGB: 48,
+		FP32TFLOPS: 37.4, TensorCores: 336, SMCount: 84}
+	GTX1080Ti = Spec{Name: "GTX 1080 Ti", Architecture: "Pascal", MemBWGBps: 484, MemGB: 11,
+		FP32TFLOPS: 11.3, TensorCores: 0, SMCount: 28}
+	QuadroP620 = Spec{Name: "Quadro P620", Architecture: "Pascal", MemBWGBps: 80, MemGB: 2,
+		FP32TFLOPS: 1.4, TensorCores: 0, SMCount: 4}
+	RTXA5000 = Spec{Name: "RTX A5000", Architecture: "Ampere", MemBWGBps: 768, MemGB: 24,
+		FP32TFLOPS: 27.8, TensorCores: 256, SMCount: 64}
+	TitanRTX = Spec{Name: "TITAN RTX", Architecture: "Turing", MemBWGBps: 672, MemGB: 24,
+		FP32TFLOPS: 16.3, TensorCores: 576, SMCount: 72}
+	V100 = Spec{Name: "V100", Architecture: "Volta", MemBWGBps: 900, MemGB: 16,
+		FP32TFLOPS: 14.1, TensorCores: 640, SMCount: 80}
+)
+
+// All returns the Table 1 GPUs in the paper's listing order.
+func All() []Spec {
+	return []Spec{A100, A40, GTX1080Ti, QuadroP620, RTXA5000, TitanRTX, V100}
+}
+
+// ByName looks up a Table 1 GPU by (case-sensitive) name.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("gpu: unknown GPU %q", name)
+}
+
+// Names returns the registry names in sorted order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Hypothetical builds a GPU that does not exist, for use with the inter-GPU
+// model ("our inter-GPU model allows users to evaluate hypothetical GPUs by
+// providing memory bandwidth and FLOPS", §7).
+func Hypothetical(name string, bwGBps, memGB, fp32TFLOPS float64) Spec {
+	return Spec{Name: name, Architecture: "hypothetical",
+		MemBWGBps: bwGBps, MemGB: memGB, FP32TFLOPS: fp32TFLOPS, SMCount: 64}
+}
+
+// Instance carves a multi-instance-GPU (MIG) slice out of the device:
+// compute (SMs, TFLOPS, tensor cores) scales with smFrac, memory capacity
+// and bandwidth with memFrac. The paper names MIG ("emerging GPU hardware
+// (e.g., multi-instance GPUs)") as future work; slices are exactly the kind
+// of never-measured device the inter-GPU model predicts from specifications.
+func (s Spec) Instance(name string, smFrac, memFrac float64) Spec {
+	out := s
+	out.Name = fmt.Sprintf("%s/%s", s.Name, name)
+	out.SMCount = int(float64(s.SMCount)*smFrac + 0.5)
+	if out.SMCount < 1 {
+		out.SMCount = 1
+	}
+	out.FP32TFLOPS = s.FP32TFLOPS * smFrac
+	out.TensorCores = int(float64(s.TensorCores)*smFrac + 0.5)
+	out.MemGB = s.MemGB * memFrac
+	out.MemBWGBps = s.MemBWGBps * memFrac
+	return out
+}
+
+// MIGProfile is one way to slice a GPU: Count concurrent instances, each
+// with the given compute and memory fractions.
+type MIGProfile struct {
+	Name            string
+	Count           int
+	SMFrac, MemFrac float64
+}
+
+// A100MIGProfiles returns the homogeneous A100 slicings (whole GPU, 3g.20gb,
+// 2g.10gb, 1g.5gb), mirroring NVIDIA's MIG geometry.
+func A100MIGProfiles() []MIGProfile {
+	return []MIGProfile{
+		{Name: "7g.40gb", Count: 1, SMFrac: 1.0, MemFrac: 1.0},
+		{Name: "3g.20gb", Count: 2, SMFrac: 3.0 / 7, MemFrac: 0.5},
+		{Name: "2g.10gb", Count: 3, SMFrac: 2.0 / 7, MemFrac: 0.25},
+		{Name: "1g.5gb", Count: 7, SMFrac: 1.0 / 7, MemFrac: 0.125},
+	}
+}

@@ -1,0 +1,171 @@
+package gpu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1Values(t *testing.T) {
+	// The registry must carry the paper's Table 1 verbatim.
+	tests := []struct {
+		spec   Spec
+		bw     float64
+		mem    float64
+		tflops float64
+		tc     int
+	}{
+		{A100, 1555, 40, 19.5, 432},
+		{A40, 696, 48, 37.4, 336},
+		{GTX1080Ti, 484, 11, 11.3, 0},
+		{QuadroP620, 80, 2, 1.4, 0},
+		{RTXA5000, 768, 24, 27.8, 256},
+		{TitanRTX, 672, 24, 16.3, 576},
+		{V100, 900, 16, 14.1, 640},
+	}
+	for _, tt := range tests {
+		if tt.spec.MemBWGBps != tt.bw || tt.spec.MemGB != tt.mem ||
+			tt.spec.FP32TFLOPS != tt.tflops || tt.spec.TensorCores != tt.tc {
+			t.Errorf("%s: got (%v GB/s, %v GB, %v TFLOPS, %d TC)",
+				tt.spec.Name, tt.spec.MemBWGBps, tt.spec.MemGB, tt.spec.FP32TFLOPS, tt.spec.TensorCores)
+		}
+	}
+}
+
+func TestAllOrderAndCount(t *testing.T) {
+	all := All()
+	if len(all) != 7 {
+		t.Fatalf("All() returned %d GPUs, want 7", len(all))
+	}
+	if all[0].Name != "A100" || all[6].Name != "V100" {
+		t.Fatalf("unexpected order: %s … %s", all[0].Name, all[6].Name)
+	}
+	// All must return fresh slices sharing no state.
+	all[0].Name = "mutated"
+	if All()[0].Name != "A100" {
+		t.Fatal("All() exposes shared mutable state")
+	}
+}
+
+func TestByName(t *testing.T) {
+	g, err := ByName("TITAN RTX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MemBWGBps != 672 {
+		t.Fatalf("TITAN RTX bandwidth = %v", g.MemBWGBps)
+	}
+	if _, err := ByName("H100"); err == nil {
+		t.Fatal("want error for unknown GPU")
+	}
+}
+
+func TestDerivedQuantities(t *testing.T) {
+	if got := A100.PeakBytesPerSec(); got != 1555e9 {
+		t.Errorf("PeakBytesPerSec = %v", got)
+	}
+	if got := A100.PeakFLOPS(); got != 19.5e12 {
+		t.Errorf("PeakFLOPS = %v", got)
+	}
+	if got := A100.MemBytes(); got != 40e9 {
+		t.Errorf("MemBytes = %v", got)
+	}
+	// A100 ridge: 19.5e12 / 1555e9 ≈ 12.54 FLOP/byte.
+	bp := A100.BalancePoint()
+	if bp < 12.4 || bp > 12.7 {
+		t.Errorf("BalancePoint = %v", bp)
+	}
+	if (Spec{}).BalancePoint() != 0 {
+		t.Error("zero spec BalancePoint should be 0")
+	}
+}
+
+func TestWithBandwidth(t *testing.T) {
+	mod := TitanRTX.WithBandwidth(1000)
+	if mod.MemBWGBps != 1000 {
+		t.Fatalf("WithBandwidth = %v", mod.MemBWGBps)
+	}
+	if mod.Name == TitanRTX.Name {
+		t.Fatal("modified GPU should get a distinct name")
+	}
+	if mod.FP32TFLOPS != TitanRTX.FP32TFLOPS || mod.SMCount != TitanRTX.SMCount {
+		t.Fatal("WithBandwidth must keep cores and frequency unchanged")
+	}
+	if TitanRTX.MemBWGBps != 672 {
+		t.Fatal("WithBandwidth mutated the original")
+	}
+}
+
+func TestHypothetical(t *testing.T) {
+	h := Hypothetical("dream", 2000, 80, 50)
+	if h.MemBWGBps != 2000 || h.MemGB != 80 || h.FP32TFLOPS != 50 {
+		t.Fatalf("Hypothetical = %+v", h)
+	}
+	if h.SMCount <= 0 {
+		t.Fatal("hypothetical GPUs need an SM count for the device model")
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) != 7 {
+		t.Fatalf("Names() returned %d entries", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %v", names)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	s := A100.String()
+	if !strings.Contains(s, "A100") || !strings.Contains(s, "1555") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestInstanceSlicing(t *testing.T) {
+	inst := A100.Instance("1g.5gb", 1.0/7, 0.125)
+	if inst.Name != "A100/1g.5gb" {
+		t.Fatalf("name = %q", inst.Name)
+	}
+	if inst.MemGB != 5 {
+		t.Fatalf("memory = %v GB", inst.MemGB)
+	}
+	if inst.MemBWGBps != 1555*0.125 {
+		t.Fatalf("bandwidth = %v", inst.MemBWGBps)
+	}
+	if inst.SMCount < 14 || inst.SMCount > 16 { // 108/7 ≈ 15.4
+		t.Fatalf("SMs = %d", inst.SMCount)
+	}
+	if inst.Architecture != "Ampere" {
+		t.Fatal("architecture must carry over")
+	}
+	if A100.SMCount != 108 {
+		t.Fatal("Instance mutated the parent")
+	}
+	// Tiny fractions still yield a usable device.
+	micro := A100.Instance("micro", 0.001, 0.001)
+	if micro.SMCount < 1 {
+		t.Fatalf("micro SMs = %d", micro.SMCount)
+	}
+}
+
+func TestA100MIGProfiles(t *testing.T) {
+	profiles := A100MIGProfiles()
+	if len(profiles) != 4 {
+		t.Fatalf("%d profiles", len(profiles))
+	}
+	for _, p := range profiles {
+		if p.Count < 1 || p.SMFrac <= 0 || p.SMFrac > 1 || p.MemFrac <= 0 || p.MemFrac > 1 {
+			t.Fatalf("bad profile %+v", p)
+		}
+		// Homogeneous slicings must not oversubscribe the device.
+		if float64(p.Count)*p.SMFrac > 1.01 || float64(p.Count)*p.MemFrac > 1.01 {
+			t.Fatalf("profile %s oversubscribes: %+v", p.Name, p)
+		}
+	}
+	if profiles[0].Name != "7g.40gb" || profiles[0].Count != 1 {
+		t.Fatalf("first profile = %+v", profiles[0])
+	}
+}

@@ -1,0 +1,273 @@
+// Package plot renders small text-mode charts for the CLI: log-log scatter
+// plots (Figure 3/7 style), line charts (the bandwidth-DSE curves) and
+// S-curves (the prediction-ratio distributions of Figures 11–14). The paper
+// communicates almost entirely through such plots; rendering them directly
+// in the terminal keeps the reproduction self-contained.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Canvas is a fixed-size character grid with linear or logarithmic axes.
+type Canvas struct {
+	w, h       int
+	cells      [][]rune
+	xMin, xMax float64
+	yMin, yMax float64
+	logX, logY bool
+	xLab, yLab string
+	title      string
+}
+
+// NewCanvas allocates a w×h plotting area (excluding axis decorations).
+// Minimum size is 16×8.
+func NewCanvas(title string, w, h int) *Canvas {
+	if w < 16 {
+		w = 16
+	}
+	if h < 8 {
+		h = 8
+	}
+	c := &Canvas{w: w, h: h, title: title}
+	c.cells = make([][]rune, h)
+	for i := range c.cells {
+		c.cells[i] = make([]rune, w)
+		for j := range c.cells[i] {
+			c.cells[i][j] = ' '
+		}
+	}
+	return c
+}
+
+// Axes sets the data ranges; log toggles logarithmic mapping per axis.
+// Non-positive limits on a log axis are an error.
+func (c *Canvas) Axes(xMin, xMax, yMin, yMax float64, logX, logY bool) error {
+	if xMin >= xMax || yMin >= yMax {
+		return fmt.Errorf("plot: empty axis range [%v,%v]×[%v,%v]", xMin, xMax, yMin, yMax)
+	}
+	if logX && xMin <= 0 || logY && yMin <= 0 {
+		return fmt.Errorf("plot: log axis requires positive limits")
+	}
+	c.xMin, c.xMax, c.yMin, c.yMax = xMin, xMax, yMin, yMax
+	c.logX, c.logY = logX, logY
+	return nil
+}
+
+// Labels names the axes.
+func (c *Canvas) Labels(x, y string) {
+	c.xLab, c.yLab = x, y
+}
+
+// cell maps a data point to grid coordinates; ok=false when out of range.
+func (c *Canvas) cell(x, y float64) (cx, cy int, ok bool) {
+	fx := frac(x, c.xMin, c.xMax, c.logX)
+	fy := frac(y, c.yMin, c.yMax, c.logY)
+	if fx < 0 || fx > 1 || fy < 0 || fy > 1 {
+		return 0, 0, false
+	}
+	cx = int(fx * float64(c.w-1))
+	cy = c.h - 1 - int(fy*float64(c.h-1))
+	return cx, cy, true
+}
+
+// frac converts a value to its fractional axis position.
+func frac(v, lo, hi float64, logScale bool) float64 {
+	if logScale {
+		if v <= 0 {
+			return -1
+		}
+		return (math.Log(v) - math.Log(lo)) / (math.Log(hi) - math.Log(lo))
+	}
+	return (v - lo) / (hi - lo)
+}
+
+// Point plots a single marker; out-of-range points are silently dropped
+// (matching how the figures clip).
+func (c *Canvas) Point(x, y float64, marker rune) {
+	if cx, cy, ok := c.cell(x, y); ok {
+		// Later series overwrite earlier ones; collisions show the newest.
+		c.cells[cy][cx] = marker
+	}
+}
+
+// Series plots many points with one marker.
+func (c *Canvas) Series(xs, ys []float64, marker rune) {
+	for i := range xs {
+		if i < len(ys) {
+			c.Point(xs[i], ys[i], marker)
+		}
+	}
+}
+
+// HLine draws a horizontal reference line at y.
+func (c *Canvas) HLine(y float64, marker rune) {
+	if _, cy, ok := c.cell(c.xMin, y); ok {
+		for j := 0; j < c.w; j++ {
+			if c.cells[cy][j] == ' ' {
+				c.cells[cy][j] = marker
+			}
+		}
+	}
+}
+
+// VLine draws a vertical reference line at x.
+func (c *Canvas) VLine(x float64, marker rune) {
+	if cx, _, ok := c.cell(x, c.yMin); ok {
+		for i := 0; i < c.h; i++ {
+			if c.cells[i][cx] == ' ' {
+				c.cells[i][cx] = marker
+			}
+		}
+	}
+}
+
+// Render produces the chart with a frame, axis limits and labels.
+func (c *Canvas) Render() string {
+	var b strings.Builder
+	if c.title != "" {
+		fmt.Fprintf(&b, "%s\n", c.title)
+	}
+	yHi := fmtAxis(c.yMax)
+	yLo := fmtAxis(c.yMin)
+	pad := len(yHi)
+	if len(yLo) > pad {
+		pad = len(yLo)
+	}
+
+	top := fmt.Sprintf("%*s ┌%s┐", pad, yHi, strings.Repeat("─", c.w))
+	b.WriteString(top + "\n")
+	for i, row := range c.cells {
+		label := strings.Repeat(" ", pad)
+		if i == c.h-1 {
+			label = fmt.Sprintf("%*s", pad, yLo)
+		}
+		fmt.Fprintf(&b, "%s │%s│\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%*s └%s┘\n", pad, "", strings.Repeat("─", c.w))
+	xLo, xHi := fmtAxis(c.xMin), fmtAxis(c.xMax)
+	gap := c.w - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%*s  %s%s%s", pad, "", xLo, strings.Repeat(" ", gap), xHi)
+	if c.xLab != "" || c.yLab != "" {
+		fmt.Fprintf(&b, "\n%*s  x: %s   y: %s", pad, "", c.xLab, c.yLab)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// fmtAxis renders an axis limit compactly.
+func fmtAxis(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6 || (av > 0 && av < 1e-3):
+		return fmt.Sprintf("%.1e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Scatter is a one-call log-log scatter plot of a point cloud.
+func Scatter(title, xLab, yLab string, xs, ys []float64, w, h int) (string, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return "", fmt.Errorf("plot: scatter needs equal, non-empty series")
+	}
+	xMin, xMax := positiveRange(xs)
+	yMin, yMax := positiveRange(ys)
+	c := NewCanvas(title, w, h)
+	if err := c.Axes(xMin, xMax, yMin, yMax, true, true); err != nil {
+		return "", err
+	}
+	c.Labels(xLab+" (log)", yLab+" (log)")
+	c.Series(xs, ys, '·')
+	return c.Render(), nil
+}
+
+// Curve is a one-call linear line chart of (xs, ys), with an optional
+// vertical marker (skipped when markX ≤ 0).
+func Curve(title, xLab, yLab string, xs, ys []float64, markX float64, w, h int) (string, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return "", fmt.Errorf("plot: curve needs equal, non-empty series")
+	}
+	xMin, xMax := minMax(xs)
+	yMin, yMax := minMax(ys)
+	if yMin == yMax {
+		yMax = yMin + 1
+	}
+	c := NewCanvas(title, w, h)
+	if err := c.Axes(xMin, xMax, 0, yMax*1.05, false, false); err != nil {
+		return "", err
+	}
+	c.Labels(xLab, yLab)
+	if markX > 0 {
+		c.VLine(markX, '¦')
+	}
+	c.Series(xs, ys, '●')
+	return c.Render(), nil
+}
+
+// SCurve renders sorted prediction/measured ratios with a reference line at
+// 1.0, the Figures 11–14 shape.
+func SCurve(title string, ratios []float64, w, h int) (string, error) {
+	if len(ratios) == 0 {
+		return "", fmt.Errorf("plot: empty ratio distribution")
+	}
+	xs := make([]float64, len(ratios))
+	for i := range xs {
+		if len(ratios) == 1 {
+			xs[i] = 0
+		} else {
+			xs[i] = 100 * float64(i) / float64(len(ratios)-1)
+		}
+	}
+	yMin, yMax := minMax(ratios)
+	if yMin > 0.9 {
+		yMin = 0.9
+	}
+	if yMax < 1.1 {
+		yMax = 1.1
+	}
+	c := NewCanvas(title, w, h)
+	if err := c.Axes(0, 100, yMin, yMax, false, false); err != nil {
+		return "", err
+	}
+	c.Labels("percentile of test set", "pred / measured")
+	c.HLine(1.0, '┄')
+	c.Series(xs, ratios, '●')
+	return c.Render(), nil
+}
+
+// minMax returns the extrema of xs.
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, v := range xs {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	return lo, hi
+}
+
+// positiveRange returns the extrema of the positive entries (for log axes),
+// padding degenerate ranges.
+func positiveRange(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), 0
+	for _, v := range xs {
+		if v > 0 {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0.1, 1
+	}
+	if lo == hi {
+		hi = lo * 2
+	}
+	return lo, hi
+}

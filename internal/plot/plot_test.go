@@ -1,0 +1,125 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatterBasics(t *testing.T) {
+	xs := []float64{0.1, 1, 10, 100, 1000}
+	ys := []float64{0.5, 2, 30, 200, 4000}
+	out, err := Scatter("title", "GFLOPs", "ms", xs, ys, 40, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "title") || !strings.Contains(out, "GFLOPs") {
+		t.Fatalf("missing decorations:\n%s", out)
+	}
+	if strings.Count(out, "·") < 4 {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	// A roughly linear log-log cloud should place markers monotonically:
+	// the first marker row (top) must correspond to larger x than the last.
+	lines := strings.Split(out, "\n")
+	firstCol, lastCol := -1, -1
+	for _, l := range lines {
+		if i := strings.IndexRune(l, '·'); i >= 0 {
+			if firstCol == -1 {
+				firstCol = i
+			}
+			lastCol = i
+		}
+	}
+	if firstCol <= lastCol {
+		t.Fatalf("log-log rising cloud should descend left: first %d last %d\n%s",
+			firstCol, lastCol, out)
+	}
+}
+
+func TestScatterErrors(t *testing.T) {
+	if _, err := Scatter("t", "x", "y", nil, nil, 40, 10); err == nil {
+		t.Fatal("empty scatter should error")
+	}
+	if _, err := Scatter("t", "x", "y", []float64{1, 2}, []float64{1}, 40, 10); err == nil {
+		t.Fatal("mismatched series should error")
+	}
+}
+
+func TestCurveWithMarker(t *testing.T) {
+	xs := []float64{200, 400, 600, 800, 1000}
+	ys := []float64{50, 30, 22, 18, 16}
+	out, err := Curve("dse", "GB/s", "ms", xs, ys, 672, 50, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "●") {
+		t.Fatalf("curve markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "¦") {
+		t.Fatalf("vertical marker missing:\n%s", out)
+	}
+}
+
+func TestSCurve(t *testing.T) {
+	ratios := []float64{0.8, 0.9, 0.95, 1.0, 1.05, 1.2, 1.6}
+	out, err := SCurve("s", ratios, 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "┄") {
+		t.Fatalf("reference line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "pred / measured") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	if _, err := SCurve("s", nil, 40, 10); err == nil {
+		t.Fatal("empty S-curve should error")
+	}
+}
+
+func TestCanvasAxisValidation(t *testing.T) {
+	c := NewCanvas("t", 20, 10)
+	if err := c.Axes(1, 1, 0, 1, false, false); err == nil {
+		t.Fatal("empty x range should error")
+	}
+	if err := c.Axes(0, 1, 0, 1, true, false); err == nil {
+		t.Fatal("log axis with zero limit should error")
+	}
+	if err := c.Axes(1, 10, 1, 10, true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutOfRangePointsDropped(t *testing.T) {
+	c := NewCanvas("t", 20, 10)
+	if err := c.Axes(0, 1, 0, 1, false, false); err != nil {
+		t.Fatal(err)
+	}
+	c.Point(5, 5, 'X') // outside: silently clipped
+	if strings.Contains(c.Render(), "X") {
+		t.Fatal("out-of-range point was drawn")
+	}
+	c.Point(0.5, 0.5, 'X')
+	if !strings.Contains(c.Render(), "X") {
+		t.Fatal("in-range point missing")
+	}
+}
+
+func TestMinimumCanvasSize(t *testing.T) {
+	c := NewCanvas("t", 1, 1)
+	if c.w < 16 || c.h < 8 {
+		t.Fatalf("minimum size not enforced: %d×%d", c.w, c.h)
+	}
+}
+
+func TestRenderDimensionsStable(t *testing.T) {
+	c := NewCanvas("", 30, 10)
+	if err := c.Axes(0, 1, 0, 1, false, false); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(c.Render(), "\n"), "\n")
+	// frame top + 10 rows + frame bottom + x labels.
+	if len(lines) != 13 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), c.Render())
+	}
+}

@@ -1,0 +1,238 @@
+// Package profiler reproduces the role of the PyTorch Profiler in the
+// paper's methodology (§3): it executes a network on a device model and
+// produces a trace that links network-level information (layer shapes,
+// FLOPs), framework-level information (layer execution spans) and
+// hardware-level information (kernel launches and durations), creating the
+// layer↔kernel mapping the kernel-wise model trains on (Figure 2).
+//
+// Timing follows the paper's measurement protocol: a warm-up period is
+// skipped, the next Batches batches are measured, and every reported number
+// is the average across measured batches.
+package profiler
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"repro/internal/dnn"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+)
+
+// ErrOutOfMemory marks runs whose footprint exceeds device memory; the
+// dataset builder drops them, as the paper's cleaning step does.
+var ErrOutOfMemory = errors.New("profiler: out of device memory")
+
+// KernelEvent is one averaged kernel execution within a batch.
+type KernelEvent struct {
+	// Name is the kernel implementation name.
+	Name string
+	// LayerIndex is the index of the producing layer in the network.
+	LayerIndex int
+	// Start is the kernel's start offset within the batch timeline, seconds.
+	Start float64
+	// Duration is the measured (batch-averaged) kernel duration, seconds.
+	Duration float64
+	// Kernel carries the structural features of the invocation.
+	Kernel kernels.Kernel
+}
+
+// LayerRecord aggregates the kernels of one layer.
+type LayerRecord struct {
+	// Index is the layer's position in the network.
+	Index int
+	// Name and Kind identify the layer; Signature is its structural key.
+	Name      string
+	Kind      dnn.Kind
+	Signature string
+	// FLOPs, InputElems and OutputElems are the layer's structural metrics.
+	FLOPs       int64
+	InputElems  int64
+	OutputElems int64
+	// Kernels lists the kernel events the layer dispatched.
+	Kernels []KernelEvent
+	// Duration is the layer execution time: the sum of its kernels'
+	// durations ("we calculate layer execution times from the start and end
+	// execution times for all the kernels launched for this layer", §3).
+	Duration float64
+}
+
+// Trace is the full profile of one (network, batch size, GPU) execution.
+type Trace struct {
+	Network   string
+	Family    string
+	Task      dnn.Task
+	GPU       string
+	BatchSize int
+	// Training marks a training-step trace (forward + backward + optimizer).
+	Training bool
+	// TotalFLOPs is the theoretical FLOPs of the whole forward pass.
+	TotalFLOPs int64
+	// Layers holds one record per network layer (including layers that
+	// dispatch no kernels, with empty Kernels).
+	Layers []LayerRecord
+	// E2ETime is the measured (batch-averaged) end-to-end wall time of one
+	// batch, seconds — what torch.cuda.Event timestamps would report.
+	E2ETime float64
+	// KernelSum is the sum of all averaged kernel durations, seconds.
+	KernelSum float64
+}
+
+// KernelEvents returns all kernel events across layers, in launch order.
+func (t *Trace) KernelEvents() []KernelEvent {
+	var out []KernelEvent
+	for _, l := range t.Layers {
+		out = append(out, l.Kernels...)
+	}
+	return out
+}
+
+// Profiler runs networks on a device model with the paper's warm-up and
+// averaging protocol.
+type Profiler struct {
+	// Device is the device timing model to execute on.
+	Device *sim.Device
+	// Warmup is the number of discarded warm-up batches (paper: 20).
+	Warmup int
+	// Batches is the number of measured batches (paper: batches 21–50, 30).
+	Batches int
+	// Training profiles full training steps (forward + backward + optimizer
+	// kernels) instead of inference — the paper's future-work extension.
+	Training bool
+}
+
+// New returns a profiler for the device with the paper's protocol
+// (20 warm-up batches, 30 measured batches).
+func New(dev *sim.Device) *Profiler {
+	return &Profiler{Device: dev, Warmup: 20, Batches: 30}
+}
+
+// NewFast returns a profiler with a reduced measurement count for tests and
+// large dataset sweeps; averages are noisier but unbiased.
+func NewFast(dev *sim.Device, batches int) *Profiler {
+	return &Profiler{Device: dev, Warmup: 2, Batches: batches}
+}
+
+// seedFor derives a deterministic RNG seed per (network, GPU, batch) so the
+// whole dataset is reproducible.
+func (p *Profiler) seedFor(net string, batch int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%t", net, p.Device.GPU.Name, batch, p.Training)
+	return int64(h.Sum64())
+}
+
+// Profile executes the network at the given batch size and returns its
+// trace. The network is (re-)shape-inferred at that batch size. Runs whose
+// memory footprint exceeds the device return ErrOutOfMemory.
+func (p *Profiler) Profile(n *dnn.Network, batch int) (*Trace, error) {
+	if err := n.Infer(batch); err != nil {
+		return nil, err
+	}
+	fits := p.Device.FitsMemory
+	if p.Training {
+		fits = p.Device.FitsMemoryTraining
+	}
+	if !fits(n) {
+		return nil, fmt.Errorf("%w: %s at batch %d on %s",
+			ErrOutOfMemory, n.Name, batch, p.Device.GPU.Name)
+	}
+	totalFLOPs, err := n.TotalFLOPs()
+	if err != nil {
+		return nil, err
+	}
+
+	var ks []kernels.Kernel
+	var layerIdx []int
+	if p.Training {
+		ks, layerIdx = kernels.ForNetworkTraining(n)
+	} else {
+		ks, layerIdx = kernels.ForNetwork(n)
+	}
+	base := make([]float64, len(ks))
+	for i, k := range ks {
+		base[i] = p.Device.BaseKernelTime(k)
+	}
+
+	rnd := rand.New(rand.NewSource(p.seedFor(n.Name, batch)))
+	// Warm-up batches: executed for protocol fidelity (they advance the
+	// noise stream) but not recorded.
+	noisy := make([]float64, len(ks))
+	for b := 0; b < p.Warmup; b++ {
+		for i := range ks {
+			_ = p.Device.KernelTime(ks[i], rnd)
+		}
+	}
+
+	batches := p.Batches
+	if batches <= 0 {
+		batches = 1
+	}
+	sumDur := make([]float64, len(ks))
+	var wallSum float64
+	for b := 0; b < batches; b++ {
+		for i := range ks {
+			noisy[i] = base[i] * noiseDraw(rnd, p.Device)
+			sumDur[i] += noisy[i]
+		}
+		wallSum += p.Device.WallTime(noisy)
+	}
+
+	tr := &Trace{
+		Network:    n.Name,
+		Family:     n.Family,
+		Task:       n.Task,
+		GPU:        p.Device.GPU.Name,
+		BatchSize:  batch,
+		Training:   p.Training,
+		TotalFLOPs: totalFLOPs,
+		E2ETime:    wallSum / float64(batches),
+	}
+
+	tr.Layers = make([]LayerRecord, len(n.Layers))
+	for i, l := range n.Layers {
+		inElems := int64(0)
+		for _, s := range l.InShapes {
+			inElems += s.Numel()
+		}
+		tr.Layers[i] = LayerRecord{
+			Index:       i,
+			Name:        l.Name,
+			Kind:        l.Kind,
+			Signature:   l.Signature(),
+			FLOPs:       dnn.LayerFLOPs(l),
+			InputElems:  inElems,
+			OutputElems: l.OutShape.Numel(),
+		}
+	}
+
+	var cursor float64
+	for i, k := range ks {
+		avg := sumDur[i] / float64(batches)
+		ev := KernelEvent{
+			Name:       k.Name,
+			LayerIndex: layerIdx[i],
+			Start:      cursor,
+			Duration:   avg,
+			Kernel:     k,
+		}
+		cursor += avg
+		lr := &tr.Layers[layerIdx[i]]
+		lr.Kernels = append(lr.Kernels, ev)
+		lr.Duration += avg
+		tr.KernelSum += avg
+	}
+	return tr, nil
+}
+
+// noiseDraw draws one lognormal measurement-noise factor matching the
+// device's configured sigma.
+func noiseDraw(rnd *rand.Rand, dev *sim.Device) float64 {
+	sigma := dev.Config().NoiseSigma
+	if sigma <= 0 {
+		return 1
+	}
+	return math.Exp(rnd.NormFloat64() * sigma)
+}

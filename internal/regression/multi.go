@@ -1,0 +1,146 @@
+package regression
+
+import (
+	"fmt"
+	"math"
+)
+
+// Multiple linear regression via the normal equations, sized for the
+// handful-of-predictors calibration models this project needs (the
+// small-batch CPU/overhead correction). A tiny ridge term keeps the solve
+// stable when predictors are nearly collinear.
+
+// MultiModel is a fitted linear model y = Coef·x + Intercept with k
+// predictors.
+type MultiModel struct {
+	Coef      []float64
+	Intercept float64
+	// R2 is the coefficient of determination on the training data.
+	R2 float64
+	// N is the number of training points.
+	N int
+}
+
+// Predict evaluates the model; x must have len(Coef) entries.
+func (m MultiModel) Predict(x []float64) float64 {
+	y := m.Intercept
+	for i, c := range m.Coef {
+		y += c * x[i]
+	}
+	return y
+}
+
+// ridgeEps is the relative ridge regularization of MultiFit.
+const ridgeEps = 1e-9
+
+// MultiFit fits y against the rows of x (each row one observation with k
+// predictors) by least squares with an intercept.
+func MultiFit(x [][]float64, y []float64) (MultiModel, error) {
+	n := len(x)
+	if n != len(y) {
+		return MultiModel{}, fmt.Errorf("regression: mismatched lengths %d vs %d", n, len(y))
+	}
+	if n == 0 {
+		return MultiModel{}, fmt.Errorf("%w: no points", ErrDegenerate)
+	}
+	k := len(x[0])
+	if n < k+2 {
+		return MultiModel{}, fmt.Errorf("%w: %d points for %d predictors", ErrDegenerate, n, k)
+	}
+	// Augment with the intercept column: d = k+1 coefficients.
+	d := k + 1
+	// Normal equations: (XᵀX) β = Xᵀy.
+	xtx := make([][]float64, d)
+	for i := range xtx {
+		xtx[i] = make([]float64, d)
+	}
+	xty := make([]float64, d)
+	row := make([]float64, d)
+	for i := range x {
+		if len(x[i]) != k {
+			return MultiModel{}, fmt.Errorf("regression: row %d has %d predictors, want %d", i, len(x[i]), k)
+		}
+		copy(row, x[i])
+		row[d-1] = 1
+		for a := 0; a < d; a++ {
+			for b := 0; b < d; b++ {
+				xtx[a][b] += row[a] * row[b]
+			}
+			xty[a] += row[a] * y[i]
+		}
+	}
+	// Ridge: scale-aware diagonal boost.
+	for a := 0; a < d; a++ {
+		xtx[a][a] += ridgeEps * (xtx[a][a] + 1)
+	}
+
+	beta, err := solve(xtx, xty)
+	if err != nil {
+		return MultiModel{}, err
+	}
+	m := MultiModel{Coef: beta[:k], Intercept: beta[k], N: n}
+
+	var my float64
+	for _, v := range y {
+		my += v
+	}
+	my /= float64(n)
+	var ssRes, ssTot float64
+	for i := range x {
+		r := y[i] - m.Predict(x[i])
+		ssRes += r * r
+		dd := y[i] - my
+		ssTot += dd * dd
+	}
+	if ssTot > 0 {
+		m.R2 = 1 - ssRes/ssTot
+	} else if ssRes == 0 {
+		m.R2 = 1
+	}
+	return m, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on a (small)
+// symmetric positive-definite-ish system.
+func solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	// Work on copies.
+	m := make([][]float64, n)
+	for i := range a {
+		m[i] = append([]float64(nil), a[i]...)
+	}
+	v := append([]float64(nil), b...)
+
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-30 {
+			return nil, fmt.Errorf("%w: singular system", ErrDegenerate)
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		v[col], v[pivot] = v[pivot], v[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] / m[col][col]
+			for c := col; c < n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+			v[r] -= f * v[col]
+		}
+	}
+	// Back-substitute.
+	out := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := v[r]
+		for c := r + 1; c < n; c++ {
+			s -= m[r][c] * out[c]
+		}
+		out[r] = s / m[r][r]
+	}
+	return out, nil
+}

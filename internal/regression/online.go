@@ -1,0 +1,108 @@
+package regression
+
+import "math"
+
+// Online (incremental) least squares. The paper argues its models are
+// "more suitable for online learning (updating the model in the deployed
+// environment in real-time)" (§5.2); an Accumulator makes that concrete:
+// it maintains the sufficient statistics of a 1-D OLS fit so measurements
+// can stream in one at a time, and two accumulators can merge exactly.
+
+// Accumulator maintains running sums sufficient to produce the OLS line of
+// everything added so far. The zero value is ready to use.
+type Accumulator struct {
+	n             int
+	sx, sy        float64
+	sxx, sxy, syy float64
+}
+
+// Add incorporates one observation.
+func (a *Accumulator) Add(x, y float64) {
+	a.n++
+	a.sx += x
+	a.sy += y
+	a.sxx += x * x
+	a.sxy += x * y
+	a.syy += y * y
+}
+
+// AddAll incorporates paired slices (panics on length mismatch, as the
+// caller controls both).
+func (a *Accumulator) AddAll(xs, ys []float64) {
+	if len(xs) != len(ys) {
+		panic("regression: AddAll length mismatch")
+	}
+	for i := range xs {
+		a.Add(xs[i], ys[i])
+	}
+}
+
+// Merge folds another accumulator's observations into a. The result is
+// identical to having Added both streams into one accumulator.
+func (a *Accumulator) Merge(b Accumulator) {
+	a.n += b.n
+	a.sx += b.sx
+	a.sy += b.sy
+	a.sxx += b.sxx
+	a.sxy += b.sxy
+	a.syy += b.syy
+}
+
+// N returns the observation count.
+func (a *Accumulator) N() int { return a.n }
+
+// Line produces the OLS fit of everything accumulated.
+func (a *Accumulator) Line() (Line, error) {
+	if a.n < 2 {
+		return Line{}, ErrDegenerate
+	}
+	nf := float64(a.n)
+	mx, my := a.sx/nf, a.sy/nf
+	sxx := a.sxx - nf*mx*mx
+	if sxx <= 0 {
+		return Line{}, ErrDegenerate
+	}
+	sxy := a.sxy - nf*mx*my
+	slope := sxy / sxx
+	intercept := my - slope*mx
+
+	// R² from the sufficient statistics.
+	ssTot := a.syy - nf*my*my
+	ssRes := ssTot - slope*sxy
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+		if r2 < 0 {
+			r2 = 0
+		}
+	}
+	return Line{Slope: slope, Intercept: intercept, R2: r2, N: a.n}, nil
+}
+
+// RMSE returns the root-mean-square residual of the current OLS fit, or 0
+// when the fit is degenerate.
+func (a *Accumulator) RMSE() float64 {
+	line, err := a.Line()
+	if err != nil {
+		return 0
+	}
+	nf := float64(a.n)
+	my := a.sy / nf
+	mx := a.sx / nf
+	ssTot := a.syy - nf*my*my
+	sxy := a.sxy - nf*mx*my
+	ssRes := ssTot - line.Slope*sxy
+	if ssRes < 0 {
+		ssRes = 0
+	}
+	return math.Sqrt(ssRes / nf)
+}
+
+// MeanY returns the running mean of y (the constant-model fallback for
+// degenerate accumulators), or 0 when empty.
+func (a *Accumulator) MeanY() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sy / float64(a.n)
+}

@@ -1,0 +1,189 @@
+package regression
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorMatchesBatchFit(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	var xs, ys []float64
+	var acc Accumulator
+	for i := 0; i < 500; i++ {
+		x := rnd.Float64() * 100
+		y := 3*x + 2 + rnd.NormFloat64()
+		xs = append(xs, x)
+		ys = append(ys, y)
+		acc.Add(x, y)
+	}
+	batch, err := Fit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	online, err := acc.Line()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(batch.Slope-online.Slope) > 1e-9 ||
+		math.Abs(batch.Intercept-online.Intercept) > 1e-7 {
+		t.Fatalf("online %v vs batch %v", online, batch)
+	}
+	if math.Abs(batch.R2-online.R2) > 1e-6 {
+		t.Fatalf("R²: online %v vs batch %v", online.R2, batch.R2)
+	}
+	if online.N != 500 || acc.N() != 500 {
+		t.Fatalf("N = %d", online.N)
+	}
+}
+
+func TestAccumulatorMergeExact(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	var whole, a, b Accumulator
+	for i := 0; i < 200; i++ {
+		x, y := rnd.Float64(), rnd.Float64()
+		whole.Add(x, y)
+		if i%2 == 0 {
+			a.Add(x, y)
+		} else {
+			b.Add(x, y)
+		}
+	}
+	a.Merge(b)
+	lw, err1 := whole.Line()
+	lm, err2 := a.Line()
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if math.Abs(lw.Slope-lm.Slope) > 1e-12 || math.Abs(lw.Intercept-lm.Intercept) > 1e-12 {
+		t.Fatalf("merge differs: %v vs %v", lm, lw)
+	}
+}
+
+func TestAccumulatorDegenerate(t *testing.T) {
+	var acc Accumulator
+	if _, err := acc.Line(); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("empty accumulator should be degenerate")
+	}
+	acc.Add(5, 1)
+	acc.Add(5, 3)
+	if _, err := acc.Line(); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("zero x-variance should be degenerate")
+	}
+	if acc.MeanY() != 2 {
+		t.Fatalf("MeanY = %v", acc.MeanY())
+	}
+}
+
+func TestAccumulatorAddAll(t *testing.T) {
+	var acc Accumulator
+	acc.AddAll([]float64{1, 2, 3}, []float64{2, 4, 6})
+	line, err := acc.Line()
+	if err != nil || math.Abs(line.Slope-2) > 1e-12 {
+		t.Fatalf("line = %v, %v", line, err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	acc.AddAll([]float64{1}, nil)
+}
+
+func TestMultiFitRecoversPlane(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 300; i++ {
+		a, b := rnd.Float64()*10, rnd.Float64()*5
+		xs = append(xs, []float64{a, b})
+		ys = append(ys, 2*a-3*b+7)
+	}
+	m, err := MultiFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-2) > 1e-6 || math.Abs(m.Coef[1]+3) > 1e-6 ||
+		math.Abs(m.Intercept-7) > 1e-5 {
+		t.Fatalf("MultiFit = %+v", m)
+	}
+	if m.R2 < 0.999999 {
+		t.Fatalf("R² = %v", m.R2)
+	}
+	if got := m.Predict([]float64{1, 1}); math.Abs(got-6) > 1e-5 {
+		t.Fatalf("Predict = %v", got)
+	}
+}
+
+func TestMultiFitMatchesSimpleFit(t *testing.T) {
+	// With one predictor, MultiFit must agree with Fit.
+	rnd := rand.New(rand.NewSource(4))
+	var xs1 []float64
+	var xsM [][]float64
+	var ys []float64
+	for i := 0; i < 100; i++ {
+		x := rnd.Float64() * 50
+		xs1 = append(xs1, x)
+		xsM = append(xsM, []float64{x})
+		ys = append(ys, 1.5*x+rnd.NormFloat64())
+	}
+	simple, err := Fit(xs1, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := MultiFit(xsM, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(simple.Slope-multi.Coef[0]) > 1e-6 ||
+		math.Abs(simple.Intercept-multi.Intercept) > 1e-6 {
+		t.Fatalf("simple %v vs multi %+v", simple, multi)
+	}
+}
+
+func TestMultiFitErrors(t *testing.T) {
+	if _, err := MultiFit(nil, nil); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("empty input")
+	}
+	if _, err := MultiFit([][]float64{{1, 2}}, []float64{1}); !errors.Is(err, ErrDegenerate) {
+		t.Fatal("too few points for two predictors")
+	}
+	if _, err := MultiFit([][]float64{{1}, {2}}, []float64{1}); err == nil {
+		t.Fatal("mismatched lengths")
+	}
+	if _, err := MultiFit([][]float64{{1}, {2}, {3, 4}, {5}}, []float64{1, 2, 3, 4}); err == nil {
+		t.Fatal("ragged rows")
+	}
+}
+
+// TestAccumulatorStreamingProperty: any prefix order of the same points
+// yields the same final line.
+func TestAccumulatorStreamingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := rnd.Intn(40) + 5
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rnd.Float64() * 100
+			ys[i] = rnd.Float64() * 100
+		}
+		var fwd, rev Accumulator
+		for i := 0; i < n; i++ {
+			fwd.Add(xs[i], ys[i])
+			rev.Add(xs[n-1-i], ys[n-1-i])
+		}
+		lf, ef := fwd.Line()
+		lr, er := rev.Line()
+		if ef != nil || er != nil {
+			return errors.Is(ef, ErrDegenerate) == errors.Is(er, ErrDegenerate)
+		}
+		return math.Abs(lf.Slope-lr.Slope) < 1e-9 && math.Abs(lf.Intercept-lr.Intercept) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package sched implements case study 3 (§6): using the performance models
+// to make real-time scheduling decisions across heterogeneous GPUs — both
+// per-network GPU selection (Figure 18) and whole-queue makespan-minimizing
+// assignment (Figure 19), where the models' speed makes brute-force search
+// practical.
+package sched
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Task is one network inference job in the queue.
+type Task struct {
+	// Name identifies the network.
+	Name string
+	// Batch is the inference batch size.
+	Batch int
+}
+
+// Times holds per-GPU execution time estimates (or measurements) for a task
+// list: Times[gpuName][i] is task i's time on that GPU, in seconds.
+type Times map[string][]float64
+
+// Validate checks that every GPU has one time per task and all are positive.
+func (tm Times) Validate(nTasks int) error {
+	if len(tm) == 0 {
+		return fmt.Errorf("sched: no GPUs")
+	}
+	for g, ts := range tm {
+		if len(ts) != nTasks {
+			return fmt.Errorf("sched: GPU %q has %d times for %d tasks", g, len(ts), nTasks)
+		}
+		for i, t := range ts {
+			if t <= 0 || math.IsNaN(t) || math.IsInf(t, 0) {
+				return fmt.Errorf("sched: GPU %q task %d has non-positive time %v", g, i, t)
+			}
+		}
+	}
+	return nil
+}
+
+// gpuNames returns the map keys sorted, for deterministic iteration.
+func (tm Times) gpuNames() []string {
+	out := make([]string, 0, len(tm))
+	for g := range tm {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ChooseGPU returns, for each task, the GPU with the smallest time — the
+// per-network decision of Figure 18 ("which GPU runs the network faster").
+func ChooseGPU(tm Times, nTasks int) ([]string, error) {
+	if err := tm.Validate(nTasks); err != nil {
+		return nil, err
+	}
+	gpus := tm.gpuNames()
+	out := make([]string, nTasks)
+	for i := 0; i < nTasks; i++ {
+		best := gpus[0]
+		for _, g := range gpus[1:] {
+			if tm[g][i] < tm[best][i] {
+				best = g
+			}
+		}
+		out[i] = best
+	}
+	return out, nil
+}
+
+// Assignment maps each task index to a GPU and reports the resulting
+// per-GPU loads and makespan.
+type Assignment struct {
+	// GPUOf[i] is the GPU task i runs on.
+	GPUOf []string
+	// Load is each GPU's total assigned time, seconds.
+	Load map[string]float64
+	// Makespan is the maximum load — the overall completion time.
+	Makespan float64
+}
+
+// recomputes loads/makespan from GPUOf and the time table.
+func finishAssignment(a *Assignment, tm Times) {
+	a.Load = map[string]float64{}
+	for g := range tm {
+		a.Load[g] = 0
+	}
+	for i, g := range a.GPUOf {
+		a.Load[g] += tm[g][i]
+	}
+	a.Makespan = 0
+	for _, l := range a.Load {
+		if l > a.Makespan {
+			a.Makespan = l
+		}
+	}
+}
+
+// maxBruteForceTasks bounds the exhaustive search (g^n assignments).
+const maxBruteForceTasks = 16
+
+// BruteForce enumerates every assignment of tasks to GPUs and returns one
+// with minimal makespan ("thanks to the extremely fast execution, we can
+// easily run a brute force design space search", §6). It requires
+// len(tasks) ≤ 16 and at most 4 GPUs; use Greedy beyond that.
+func BruteForce(tm Times, nTasks int) (Assignment, error) {
+	if err := tm.Validate(nTasks); err != nil {
+		return Assignment{}, err
+	}
+	gpus := tm.gpuNames()
+	if nTasks > maxBruteForceTasks {
+		return Assignment{}, fmt.Errorf("sched: brute force limited to %d tasks, got %d", maxBruteForceTasks, nTasks)
+	}
+	if len(gpus) > 4 {
+		return Assignment{}, fmt.Errorf("sched: brute force limited to 4 GPUs, got %d", len(gpus))
+	}
+
+	g := len(gpus)
+	total := 1
+	for i := 0; i < nTasks; i++ {
+		total *= g
+	}
+	best := Assignment{Makespan: math.Inf(1)}
+	choice := make([]int, nTasks)
+	loads := make([]float64, g)
+	for code := 0; code < total; code++ {
+		c := code
+		for i := range loads {
+			loads[i] = 0
+		}
+		for i := 0; i < nTasks; i++ {
+			choice[i] = c % g
+			c /= g
+			loads[choice[i]] += tm[gpus[choice[i]]][i]
+		}
+		span := 0.0
+		for _, l := range loads {
+			if l > span {
+				span = l
+			}
+		}
+		if span < best.Makespan {
+			best.Makespan = span
+			best.GPUOf = make([]string, nTasks)
+			for i, ci := range choice {
+				best.GPUOf[i] = gpus[ci]
+			}
+		}
+	}
+	finishAssignment(&best, tm)
+	return best, nil
+}
+
+// Greedy is the longest-processing-time heuristic: tasks sorted by their
+// best-GPU time descending, each placed on the GPU minimizing the resulting
+// completion time. Provided as the scalable baseline the experiments compare
+// against brute force.
+func Greedy(tm Times, nTasks int) (Assignment, error) {
+	if err := tm.Validate(nTasks); err != nil {
+		return Assignment{}, err
+	}
+	gpus := tm.gpuNames()
+	order := make([]int, nTasks)
+	for i := range order {
+		order[i] = i
+	}
+	key := func(i int) float64 {
+		best := math.Inf(1)
+		for _, g := range gpus {
+			if tm[g][i] < best {
+				best = tm[g][i]
+			}
+		}
+		return best
+	}
+	sort.Slice(order, func(a, b int) bool { return key(order[a]) > key(order[b]) })
+
+	a := Assignment{GPUOf: make([]string, nTasks)}
+	load := map[string]float64{}
+	for _, i := range order {
+		bestG, bestFinish := "", math.Inf(1)
+		for _, g := range gpus {
+			if f := load[g] + tm[g][i]; f < bestFinish {
+				bestFinish = f
+				bestG = g
+			}
+		}
+		a.GPUOf[i] = bestG
+		load[bestG] += tm[bestG][i]
+	}
+	finishAssignment(&a, tm)
+	return a, nil
+}
+
+// MakespanOf evaluates an existing assignment under a different time table —
+// e.g. a predicted-time assignment re-costed with measured times, the
+// comparison behind Figure 19's "identical to the oracle" claim.
+func MakespanOf(gpuOf []string, tm Times) (float64, error) {
+	if err := tm.Validate(len(gpuOf)); err != nil {
+		return 0, err
+	}
+	load := map[string]float64{}
+	for i, g := range gpuOf {
+		ts, ok := tm[g]
+		if !ok {
+			return 0, fmt.Errorf("sched: assignment references unknown GPU %q", g)
+		}
+		load[g] += ts[i]
+	}
+	span := 0.0
+	for _, l := range load {
+		if l > span {
+			span = l
+		}
+	}
+	return span, nil
+}

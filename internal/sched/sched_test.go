@@ -1,0 +1,202 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func twoGPUTimes() Times {
+	return Times{
+		"fast": {1, 2, 3, 4},
+		"slow": {2, 4, 6, 8},
+	}
+}
+
+func TestChooseGPU(t *testing.T) {
+	tm := Times{
+		"a": {1, 5, 3},
+		"b": {2, 4, 3},
+	}
+	got, err := ChooseGPU(tm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "a"} // ties go to the lexicographically first
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ChooseGPU = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBruteForceBeatsSingleGPU(t *testing.T) {
+	tm := twoGPUTimes()
+	a, err := BruteForce(tm, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Everything on "fast" costs 10; splitting must do better.
+	if a.Makespan >= 10 {
+		t.Fatalf("brute force makespan %v not better than single GPU", a.Makespan)
+	}
+	// Known optimum: fast {3,4}=7 or {1,2,4}=7, slow covers the rest.
+	if a.Makespan != 7 {
+		t.Fatalf("makespan = %v, want 7", a.Makespan)
+	}
+	// Loads must be consistent with the assignment.
+	var check float64
+	for _, l := range a.Load {
+		if l > check {
+			check = l
+		}
+	}
+	if check != a.Makespan {
+		t.Fatalf("makespan %v != max load %v", a.Makespan, check)
+	}
+}
+
+func TestBruteForceSingleTask(t *testing.T) {
+	tm := Times{"a": {5}, "b": {3}}
+	a, err := BruteForce(tm, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.GPUOf[0] != "b" || a.Makespan != 3 {
+		t.Fatalf("assignment = %+v", a)
+	}
+}
+
+func TestBruteForceLimits(t *testing.T) {
+	tm := Times{"a": make([]float64, 20), "b": make([]float64, 20)}
+	for i := range tm["a"] {
+		tm["a"][i], tm["b"][i] = 1, 1
+	}
+	if _, err := BruteForce(tm, 20); err == nil {
+		t.Fatal("20 tasks should exceed the brute-force limit")
+	}
+}
+
+func TestGreedyFeasibleAndBounded(t *testing.T) {
+	tm := twoGPUTimes()
+	g, err := Greedy(tm, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BruteForce(tm, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Makespan < b.Makespan {
+		t.Fatalf("greedy %v beat brute force %v", g.Makespan, b.Makespan)
+	}
+	if len(g.GPUOf) != 4 {
+		t.Fatalf("greedy assigned %d tasks", len(g.GPUOf))
+	}
+}
+
+func TestMakespanOf(t *testing.T) {
+	tm := twoGPUTimes()
+	span, err := MakespanOf([]string{"fast", "fast", "slow", "slow"}, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != 14 { // slow: 6+8
+		t.Fatalf("makespan = %v, want 14", span)
+	}
+	if _, err := MakespanOf([]string{"nope", "fast", "fast", "fast"}, tm); err == nil {
+		t.Fatal("unknown GPU should error")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if err := (Times{}).Validate(1); err == nil {
+		t.Fatal("empty Times should error")
+	}
+	if err := (Times{"a": {1, 2}}).Validate(3); err == nil {
+		t.Fatal("wrong count should error")
+	}
+	if err := (Times{"a": {1, -2}}).Validate(2); err == nil {
+		t.Fatal("negative time should error")
+	}
+	if err := (Times{"a": {1, math.NaN()}}).Validate(2); err == nil {
+		t.Fatal("NaN time should error")
+	}
+}
+
+// TestBruteForceOptimal: no random assignment may beat the brute-force
+// makespan.
+func TestBruteForceOptimal(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := int(nRaw%6) + 2
+		tm := Times{"g0": make([]float64, n), "g1": make([]float64, n)}
+		for i := 0; i < n; i++ {
+			tm["g0"][i] = rnd.Float64() + 0.01
+			tm["g1"][i] = rnd.Float64() + 0.01
+		}
+		best, err := BruteForce(tm, n)
+		if err != nil {
+			return false
+		}
+		for trial := 0; trial < 30; trial++ {
+			gpuOf := make([]string, n)
+			for i := range gpuOf {
+				gpuOf[i] = []string{"g0", "g1"}[rnd.Intn(2)]
+			}
+			span, err := MakespanOf(gpuOf, tm)
+			if err != nil {
+				return false
+			}
+			if span < best.Makespan-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(19))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGreedyNeverWorseThanTwiceOptimal: the LPT heuristic on two unrelated
+// machines is within 2× of the optimum for these instance sizes (checked
+// empirically against brute force).
+func TestGreedyNeverWorseThanTwiceOptimal(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rnd := rand.New(rand.NewSource(seed))
+		n := int(nRaw%8) + 2
+		tm := Times{"g0": make([]float64, n), "g1": make([]float64, n)}
+		for i := 0; i < n; i++ {
+			tm["g0"][i] = rnd.Float64() + 0.01
+			tm["g1"][i] = rnd.Float64() + 0.01
+		}
+		g, err1 := Greedy(tm, n)
+		b, err2 := BruteForce(tm, n)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return g.Makespan <= 2*b.Makespan+1e-12
+	}
+	cfg := &quick.Config{MaxCount: 80, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThreeGPUs(t *testing.T) {
+	tm := Times{
+		"a": {3, 3, 3},
+		"b": {3, 3, 3},
+		"c": {3, 3, 3},
+	}
+	a, err := BruteForce(tm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != 3 {
+		t.Fatalf("three identical tasks on three GPUs: makespan %v, want 3", a.Makespan)
+	}
+}

@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gpu"
+	"repro/internal/kernels"
+	"repro/internal/zoo"
+)
+
+// testKernel builds a representative main-compute kernel invocation.
+func testKernel(name string, flops, bytes, outElems int64) kernels.Kernel {
+	return kernels.Kernel{
+		Name:             name,
+		Class:            kernels.ClassOperation,
+		FLOPs:            flops,
+		BytesRead:        bytes / 2,
+		BytesWritten:     bytes - bytes/2,
+		LayerFLOPs:       flops,
+		LayerInputElems:  outElems,
+		LayerOutputElems: outElems,
+	}
+}
+
+func TestBaseKernelTimeDeterministic(t *testing.T) {
+	d1 := NewDefault(gpu.A100)
+	d2 := NewDefault(gpu.A100)
+	k := testKernel("winograd_gemm_128x64", 1e9, 1e8, 1e6)
+	if d1.BaseKernelTime(k) != d2.BaseKernelTime(k) {
+		t.Fatal("BaseKernelTime is not deterministic")
+	}
+}
+
+func TestBaseKernelTimePositiveFinite(t *testing.T) {
+	d := NewDefault(gpu.V100)
+	f := func(flopsRaw, bytesRaw uint32, outRaw uint16) bool {
+		k := testKernel("implicit_gemm_64x64",
+			int64(flopsRaw), int64(bytesRaw)+1, int64(outRaw)+1)
+		got := d.BaseKernelTime(k)
+		return got > 0 && !math.IsInf(got, 0) && !math.IsNaN(got)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMuchMoreWorkTakesLonger(t *testing.T) {
+	// Size-bucket jitter and curvature allow small non-monotonicities, but
+	// a 64× larger problem must always take longer.
+	d := NewDefault(gpu.A100)
+	small := testKernel("implicit_gemm_128x64", 1e9, 1e8, 1e6)
+	big := testKernel("implicit_gemm_128x64", 64e9, 64e8, 64e6)
+	ts, tb := d.BaseKernelTime(small), d.BaseKernelTime(big)
+	if tb <= ts {
+		t.Fatalf("64× work: %v ≤ %v", tb, ts)
+	}
+}
+
+func TestOverheadFloorsTinyKernels(t *testing.T) {
+	d := NewDefault(gpu.A100)
+	tiny := testKernel("elementwise_relu", 10, 40, 10)
+	got := d.BaseKernelTime(tiny)
+	floor := d.Config().KernelOverheadUS * 1e-6
+	if got < floor {
+		t.Fatalf("tiny kernel time %v below the launch overhead %v", got, floor)
+	}
+}
+
+func TestEfficienciesInRange(t *testing.T) {
+	for _, g := range gpu.All() {
+		d := NewDefault(g)
+		for _, name := range []string{"winograd_gemm_128x128", "bn_fwd_inference",
+			"elementwise_relu", "depthwise_conv_k3_s1", "sgemm_256x128"} {
+			c, b := d.Efficiencies(name)
+			if c <= 0 || c >= 1 {
+				t.Errorf("%s on %s: computeEff = %v", name, g.Name, c)
+			}
+			if b <= 0 || b >= 1 {
+				t.Errorf("%s on %s: bwEff = %v", name, g.Name, b)
+			}
+		}
+	}
+}
+
+// TestO6BandwidthEfficiencyStability verifies the mechanism behind
+// observation O6: for a fixed kernel, bandwidth efficiency varies far less
+// across GPUs (after removing the architecture factor) than it varies across
+// kernels on one GPU.
+func TestO6BandwidthEfficiencyStability(t *testing.T) {
+	kernelsUnderTest := []string{
+		"winograd_gemm_128x128", "implicit_gemm_64x64", "bn_fwd_inference",
+		"elementwise_relu", "pooling_fwd_max", "sgemm_128x128",
+	}
+	// Use same-architecture GPUs to isolate the per-GPU jitter.
+	gpus := []gpu.Spec{gpu.A100, gpu.A40, gpu.RTXA5000}
+
+	var acrossGPU, acrossKernel []float64
+	for _, k := range kernelsUnderTest {
+		var effs []float64
+		for _, g := range gpus {
+			_, b := NewDefault(g).Efficiencies(k)
+			effs = append(effs, b)
+		}
+		acrossGPU = append(acrossGPU, spread(effs))
+	}
+	d := NewDefault(gpu.A100)
+	var effs []float64
+	for _, k := range kernelsUnderTest {
+		_, b := d.Efficiencies(k)
+		effs = append(effs, b)
+	}
+	acrossKernel = append(acrossKernel, spread(effs))
+
+	if mean(acrossGPU) >= mean(acrossKernel) {
+		t.Fatalf("bwEff spread across GPUs (%v) should be below spread across kernels (%v)",
+			mean(acrossGPU), mean(acrossKernel))
+	}
+}
+
+func spread(xs []float64) float64 {
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		lo, hi = math.Min(lo, x), math.Max(hi, x)
+	}
+	return hi / lo
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestSeedChangesUniverse(t *testing.T) {
+	a := New(gpu.A100, Config{Seed: 0})
+	b := New(gpu.A100, Config{Seed: 1})
+	k := testKernel("winograd_gemm_128x64", 1e9, 1e8, 1e6)
+	if a.BaseKernelTime(k) == b.BaseKernelTime(k) {
+		t.Fatal("different seeds should give different device behaviour")
+	}
+}
+
+func TestKernelTimeNoiseAveragesOut(t *testing.T) {
+	d := NewDefault(gpu.A100)
+	k := testKernel("implicit_gemm_128x128", 1e10, 1e9, 1e7)
+	base := d.BaseKernelTime(k)
+	rnd := rand.New(rand.NewSource(5))
+	var sum float64
+	const n = 4000
+	for i := 0; i < n; i++ {
+		sum += d.KernelTime(k, rnd)
+	}
+	avg := sum / n
+	if math.Abs(avg-base)/base > 0.01 {
+		t.Fatalf("noisy average %v deviates from base %v", avg, base)
+	}
+}
+
+func TestWallTimePipelineOverlap(t *testing.T) {
+	d := NewDefault(gpu.A100)
+	durations := []float64{1e-3, 1e-3, 1e-3, 1e-3}
+	wall := d.WallTime(durations)
+	var sum float64
+	for _, t := range durations {
+		sum += t
+	}
+	floor := d.Config().BatchFloorUS * 1e-6
+	if wall >= sum+floor {
+		t.Fatalf("wall %v should be below serialized sum %v (pipelining)", wall, sum+floor)
+	}
+	if wall <= sum/2 {
+		t.Fatalf("wall %v implausibly small vs sum %v", wall, sum)
+	}
+}
+
+func TestWallTimeFloor(t *testing.T) {
+	d := NewDefault(gpu.A100)
+	if wall := d.WallTime(nil); wall != d.Config().BatchFloorUS*1e-6 {
+		t.Fatalf("empty wall = %v", wall)
+	}
+	// Tiny kernels can never make the batch faster than the CPU floor.
+	tiny := make([]float64, 100)
+	for i := range tiny {
+		tiny[i] = 1e-7
+	}
+	if wall := d.WallTime(tiny); wall < d.Config().BatchFloorUS*1e-6 {
+		t.Fatalf("wall %v below scheduling floor", wall)
+	}
+}
+
+func TestFitsMemory(t *testing.T) {
+	net := zoo.MustResNet(50)
+	if err := net.Infer(512); err != nil {
+		t.Fatal(err)
+	}
+	if !NewDefault(gpu.A100).FitsMemory(net) {
+		t.Fatal("resnet50@512 should fit in 40 GB")
+	}
+	if NewDefault(gpu.QuadroP620).FitsMemory(net) {
+		t.Fatal("resnet50@512 should not fit in 2 GB")
+	}
+}
+
+func TestMemoryBoundConsistency(t *testing.T) {
+	d := NewDefault(gpu.A100)
+	// Pure data movement: memory bound by construction.
+	mem := testKernel("elementwise_relu", 1, 1e9, 1e8)
+	if !d.MemoryBound(mem) {
+		t.Fatal("byte-heavy kernel should be memory bound")
+	}
+	// Enormous arithmetic intensity: compute bound.
+	comp := testKernel("sgemm_256x128", 1e13, 1e6, 1e6)
+	if d.MemoryBound(comp) {
+		t.Fatal("FLOP-heavy kernel should be compute bound")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	d := New(gpu.A100, Config{})
+	cfg := d.Config()
+	def := DefaultConfig()
+	if cfg != def {
+		t.Fatalf("zero config should resolve to defaults: %+v vs %+v", cfg, def)
+	}
+	// Partial overrides keep the rest at defaults.
+	d2 := New(gpu.A100, Config{NoiseSigma: 0.5})
+	if d2.Config().NoiseSigma != 0.5 || d2.Config().KernelOverheadUS != def.KernelOverheadUS {
+		t.Fatalf("partial override mishandled: %+v", d2.Config())
+	}
+}
+
+func TestArchFactorsOrdered(t *testing.T) {
+	// Newer architectures must not be less efficient than older ones.
+	if archComputeFactor("Ampere") < archComputeFactor("Pascal") {
+		t.Fatal("compute factors inverted")
+	}
+	if archMemFactor("Ampere") < archMemFactor("Pascal") {
+		t.Fatal("memory factors inverted")
+	}
+	if archSensitivity("Ampere") != 0 {
+		t.Fatal("reference architecture should have zero sensitivity")
+	}
+}
+
+func TestHash01Range(t *testing.T) {
+	d := NewDefault(gpu.A100)
+	f := func(s string) bool {
+		v := d.hash01(s)
+		return v >= 0 && v < 1
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(13))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKernelTimesLinearWithinFamily verifies the central dataset property
+// the paper's models rely on (O5): within a kernel family, scaling the
+// problem k× scales time roughly k× (modulo the bounded geometry and
+// curvature modulations).
+func TestKernelTimesLinearWithinFamily(t *testing.T) {
+	d := NewDefault(gpu.A100)
+	base := testKernel("implicit_gemm_128x128", 2e9, 2e8, 2e6)
+	t1 := d.BaseKernelTime(base)
+	for _, k := range []int64{2, 4, 8} {
+		scaled := testKernel("implicit_gemm_128x128", 2e9*k, 2e8*k, 2e6*k)
+		tk := d.BaseKernelTime(scaled)
+		ratio := tk / (t1 * float64(k))
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Fatalf("scaling %d×: time ratio %v strays too far from linear", k, ratio)
+		}
+	}
+}
+
+var sinkTime float64
+
+func BenchmarkBaseKernelTime(b *testing.B) {
+	d := NewDefault(gpu.A100)
+	k := testKernel("winograd_gemm_128x128", 1e9, 1e8, 1e6)
+	for i := 0; i < b.N; i++ {
+		sinkTime = d.BaseKernelTime(k)
+	}
+}

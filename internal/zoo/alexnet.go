@@ -1,0 +1,126 @@
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+)
+
+// AlexNet builds the classic five-conv/three-FC AlexNet at the given input
+// resolution (224 is standard; the torchvision implementation).
+func AlexNet(res int) *dnn.Network {
+	if res == 0 {
+		res = 224
+	}
+	name := "alexnet"
+	if res != 224 {
+		name = fmt.Sprintf("alexnet_%d", res)
+	}
+	n := dnn.New(name, "AlexNet", dnn.TaskImageClassification, imageInput(res))
+
+	x := n.Conv(dnn.NetworkInput, 3, 64, 11, 4, 2)
+	x = n.ReLU(x)
+	x = n.MaxPool(x, 3, 2, 0)
+	x = n.Conv(x, 64, 192, 5, 1, 2)
+	x = n.ReLU(x)
+	x = n.MaxPool(x, 3, 2, 0)
+	x = n.Conv(x, 192, 384, 3, 1, 1)
+	x = n.ReLU(x)
+	x = n.Conv(x, 384, 256, 3, 1, 1)
+	x = n.ReLU(x)
+	x = n.Conv(x, 256, 256, 3, 1, 1)
+	x = n.ReLU(x)
+	x = n.MaxPool(x, 3, 2, 0)
+
+	// torchvision adaptive-pools to 6×6 before the classifier; we reproduce
+	// that with a global-average-free equivalent only when the feature map
+	// is already larger than 6×6.
+	side := alexNetFeatureSide(res)
+	if side > 6 {
+		k := side / 6
+		x = n.AvgPool(x, k, k, 0)
+		side = (side-k)/k + 1
+	}
+	x = n.Flatten(x)
+	feat := 256 * side * side
+	x = n.Dropout(x)
+	x = n.Linear(x, feat, 4096)
+	x = n.ReLU(x)
+	x = n.Dropout(x)
+	x = n.Linear(x, 4096, 4096)
+	x = n.ReLU(x)
+	n.Linear(x, 4096, numClasses)
+	return n
+}
+
+// alexNetFeatureSide computes the spatial side after the conv trunk.
+func alexNetFeatureSide(res int) int {
+	s := (res+2*2-11)/4 + 1 // conv1
+	s = (s-3)/2 + 1         // pool1
+	s = (s + 2*2 - 5) + 1   // conv2
+	s = (s-3)/2 + 1         // pool2
+	// conv3..5 are stride-1 pad-1 3×3: size-preserving.
+	s = (s-3)/2 + 1 // pool3
+	return s
+}
+
+// SqueezeNet builds SqueezeNet v1.0 or v1.1 at the given resolution.
+func SqueezeNet(version string, res int) *dnn.Network {
+	if res == 0 {
+		res = 224
+	}
+	name := "squeezenet" + version
+	if res != 224 {
+		name = fmt.Sprintf("%s_%d", name, res)
+	}
+	n := dnn.New(name, "SqueezeNet", dnn.TaskImageClassification, imageInput(res))
+
+	var x int
+	fire := func(in, inC, squeeze, expand int) (int, int) {
+		s := n.Conv(in, inC, squeeze, 1, 1, 0)
+		s = n.ReLU(s)
+		e1 := n.Conv(s, squeeze, expand, 1, 1, 0)
+		e1 = n.ReLU(e1)
+		e3 := n.Conv(s, squeeze, expand, 3, 1, 1)
+		e3 = n.ReLU(e3)
+		return n.Concat(e1, e3), 2 * expand
+	}
+
+	var c int
+	if version == "1.0" {
+		x = n.Conv(dnn.NetworkInput, 3, 96, 7, 2, 0)
+		x = n.ReLU(x)
+		x = n.MaxPool(x, 3, 2, 0)
+		x, c = fire(x, 96, 16, 64)
+		x, c = fire(x, c, 16, 64)
+		x, c = fire(x, c, 32, 128)
+		x = n.MaxPool(x, 3, 2, 0)
+		x, c = fire(x, c, 32, 128)
+		x, c = fire(x, c, 48, 192)
+		x, c = fire(x, c, 48, 192)
+		x, c = fire(x, c, 64, 256)
+		x = n.MaxPool(x, 3, 2, 0)
+		x, c = fire(x, c, 64, 256)
+	} else { // 1.1
+		x = n.Conv(dnn.NetworkInput, 3, 64, 3, 2, 0)
+		x = n.ReLU(x)
+		x = n.MaxPool(x, 3, 2, 0)
+		x, c = fire(x, 64, 16, 64)
+		x, c = fire(x, c, 16, 64)
+		x = n.MaxPool(x, 3, 2, 0)
+		x, c = fire(x, c, 32, 128)
+		x, c = fire(x, c, 32, 128)
+		x = n.MaxPool(x, 3, 2, 0)
+		x, c = fire(x, c, 48, 192)
+		x, c = fire(x, c, 48, 192)
+		x, c = fire(x, c, 64, 256)
+		x, c = fire(x, c, 64, 256)
+	}
+
+	x = n.Dropout(x)
+	x = n.Conv(x, c, numClasses, 1, 1, 0)
+	x = n.ReLU(x)
+	x = n.GlobalAvgPool(x)
+	n.Flatten(x)
+	return n
+}

@@ -1,0 +1,105 @@
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+)
+
+// DenseNetConfig parameterizes a DenseNet.
+type DenseNetConfig struct {
+	// Blocks is the dense-layer count of each dense block. DenseNet-121 is
+	// {6, 12, 24, 16}.
+	Blocks []int
+	// GrowthRate is the channel increment per dense layer (32 for most
+	// standard DenseNets, 48 for DenseNet-161).
+	GrowthRate int
+	// InitChannels is the stem output width (2×growth by convention).
+	InitChannels int
+	// Resolution is the input image side (224 by default).
+	Resolution int
+}
+
+// DenseNet builds a DenseNet from the configuration.
+func DenseNet(name string, cfg DenseNetConfig) *dnn.Network {
+	if cfg.Resolution == 0 {
+		cfg.Resolution = 224
+	}
+	if cfg.GrowthRate == 0 {
+		cfg.GrowthRate = 32
+	}
+	if cfg.InitChannels == 0 {
+		cfg.InitChannels = 2 * cfg.GrowthRate
+	}
+	n := dnn.New(name, "DenseNet", dnn.TaskImageClassification, imageInput(cfg.Resolution))
+
+	// Stem.
+	x := n.Conv(dnn.NetworkInput, 3, cfg.InitChannels, 7, 2, 3)
+	x = n.BN(x)
+	x = n.ReLU(x)
+	x = n.MaxPool(x, 3, 2, 1)
+
+	c := cfg.InitChannels
+	for bi, layers := range cfg.Blocks {
+		for l := 0; l < layers; l++ {
+			x, c = denseLayer(n, x, c, cfg.GrowthRate)
+		}
+		if bi != len(cfg.Blocks)-1 {
+			// Transition: BN, ReLU, 1×1 conv halving channels, 2×2 avg pool.
+			t := n.BN(x)
+			t = n.ReLU(t)
+			outC := c / 2
+			t = n.Conv(t, c, outC, 1, 1, 0)
+			x = n.AvgPool(t, 2, 2, 0)
+			c = outC
+		}
+	}
+
+	x = n.BN(x)
+	x = n.ReLU(x)
+	x = n.GlobalAvgPool(x)
+	x = n.Flatten(x)
+	n.Linear(x, c, numClasses)
+	return n
+}
+
+// denseLayer appends one BN-ReLU-1×1-BN-ReLU-3×3 dense layer and the concat
+// that accumulates its growth channels onto the running feature map.
+func denseLayer(n *dnn.Network, x, c, growth int) (int, int) {
+	bottleneck := 4 * growth
+	y := n.BN(x)
+	y = n.ReLU(y)
+	y = n.Conv(y, c, bottleneck, 1, 1, 0)
+	y = n.BN(y)
+	y = n.ReLU(y)
+	y = n.Conv(y, bottleneck, growth, 3, 1, 1)
+	out := n.Concat(x, y)
+	return out, c + growth
+}
+
+// standardDenseNets maps depth names to configurations.
+var standardDenseNets = map[int]DenseNetConfig{
+	121: {Blocks: []int{6, 12, 24, 16}, GrowthRate: 32},
+	161: {Blocks: []int{6, 12, 36, 24}, GrowthRate: 48, InitChannels: 96},
+	169: {Blocks: []int{6, 12, 32, 32}, GrowthRate: 32},
+	201: {Blocks: []int{6, 12, 48, 32}, GrowthRate: 32},
+}
+
+// StandardDenseNet builds densenet121/161/169/201.
+func StandardDenseNet(depth int) (*dnn.Network, error) {
+	cfg, ok := standardDenseNets[depth]
+	if !ok {
+		return nil, fmt.Errorf("zoo: no standard DenseNet of depth %d", depth)
+	}
+	cfg.Blocks = append([]int(nil), cfg.Blocks...)
+	return DenseNet(fmt.Sprintf("densenet%d", depth), cfg), nil
+}
+
+// MustDenseNet is StandardDenseNet that panics on unknown depth.
+func MustDenseNet(depth int) *dnn.Network {
+	n, err := StandardDenseNet(depth)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}

@@ -1,0 +1,77 @@
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+)
+
+// inceptionSpec gives the branch widths of one GoogLeNet inception module:
+// 1×1, 3×3-reduce/3×3, 5×5-reduce/5×5, pool-proj.
+type inceptionSpec struct {
+	c1, c3r, c3, c5r, c5, pp int
+}
+
+// googLeNetModules is the canonical inception table (3a…5b).
+var googLeNetModules = []struct {
+	spec inceptionSpec
+	pool bool // max-pool after this module
+}{
+	{inceptionSpec{64, 96, 128, 16, 32, 32}, false},     // 3a
+	{inceptionSpec{128, 128, 192, 32, 96, 64}, true},    // 3b
+	{inceptionSpec{192, 96, 208, 16, 48, 64}, false},    // 4a
+	{inceptionSpec{160, 112, 224, 24, 64, 64}, false},   // 4b
+	{inceptionSpec{128, 128, 256, 24, 64, 64}, false},   // 4c
+	{inceptionSpec{112, 144, 288, 32, 64, 64}, false},   // 4d
+	{inceptionSpec{256, 160, 320, 32, 128, 128}, true},  // 4e
+	{inceptionSpec{256, 160, 320, 32, 128, 128}, false}, // 5a
+	{inceptionSpec{384, 192, 384, 48, 128, 128}, false}, // 5b
+}
+
+// GoogLeNet builds the torchvision GoogLeNet (with BN, without aux heads) at
+// the given resolution.
+func GoogLeNet(res int) *dnn.Network {
+	if res == 0 {
+		res = 224
+	}
+	name := "googlenet"
+	if res != 224 {
+		name = fmt.Sprintf("googlenet_%d", res)
+	}
+	n := dnn.New(name, "GoogLeNet", dnn.TaskImageClassification, imageInput(res))
+
+	convBN := func(in, cin, cout, k, stride, pad int) int {
+		x := n.Conv(in, cin, cout, k, stride, pad)
+		x = n.BN(x)
+		return n.ReLU(x)
+	}
+
+	x := convBN(dnn.NetworkInput, 3, 64, 7, 2, 3)
+	x = n.MaxPool(x, 3, 2, 1)
+	x = convBN(x, 64, 64, 1, 1, 0)
+	x = convBN(x, 64, 192, 3, 1, 1)
+	x = n.MaxPool(x, 3, 2, 1)
+
+	c := 192
+	for _, m := range googLeNetModules {
+		s := m.spec
+		b1 := convBN(x, c, s.c1, 1, 1, 0)
+		b2 := convBN(x, c, s.c3r, 1, 1, 0)
+		b2 = convBN(b2, s.c3r, s.c3, 3, 1, 1)
+		b3 := convBN(x, c, s.c5r, 1, 1, 0)
+		b3 = convBN(b3, s.c5r, s.c5, 3, 1, 1) // torchvision uses 3×3 here
+		b4 := n.MaxPool(x, 3, 1, 1)
+		b4 = convBN(b4, c, s.pp, 1, 1, 0)
+		x = n.Concat(b1, b2, b3, b4)
+		c = s.c1 + s.c3 + s.c5 + s.pp
+		if m.pool {
+			x = n.MaxPool(x, 3, 2, 1)
+		}
+	}
+
+	x = n.GlobalAvgPool(x)
+	x = n.Flatten(x)
+	x = n.Dropout(x)
+	n.Linear(x, c, numClasses)
+	return n
+}

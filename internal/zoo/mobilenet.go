@@ -1,0 +1,121 @@
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+)
+
+// invertedResidualSetting is MobileNetV2's (expansion, channels, repeats,
+// stride) block table.
+type invertedResidualSetting struct {
+	t, c, n, s int
+}
+
+var mobileNetV2Settings = []invertedResidualSetting{
+	{1, 16, 1, 1},
+	{6, 24, 2, 2},
+	{6, 32, 3, 2},
+	{6, 64, 4, 2},
+	{6, 96, 3, 1},
+	{6, 160, 3, 2},
+	{6, 320, 1, 1},
+}
+
+// MobileNetV2Config parameterizes a MobileNetV2.
+type MobileNetV2Config struct {
+	// WidthMult scales every channel count (1.0 is the standard model).
+	WidthMult float64
+	// Resolution is the input image side (224 by default).
+	Resolution int
+	// ExpandOverride replaces the per-block expansion factor of every block
+	// except the first (which stays at 1); zero keeps the standard table
+	// value of 6.
+	ExpandOverride int
+}
+
+// MobileNetV2 builds a MobileNetV2 from the configuration.
+func MobileNetV2(name string, cfg MobileNetV2Config) *dnn.Network {
+	if cfg.WidthMult == 0 {
+		cfg.WidthMult = 1.0
+	}
+	if cfg.Resolution == 0 {
+		cfg.Resolution = 224
+	}
+	n := dnn.New(name, "MobileNetV2", dnn.TaskImageClassification, imageInput(cfg.Resolution))
+
+	scale := func(c int) int {
+		v := int(float64(c)*cfg.WidthMult+4) / 8 * 8
+		if v < 8 {
+			v = 8
+		}
+		return v
+	}
+
+	inC := scale(32)
+	x := n.Conv(dnn.NetworkInput, 3, inC, 3, 2, 1)
+	x = n.BN(x)
+	x = n.ReLU6(x)
+
+	for _, set := range mobileNetV2Settings {
+		outC := scale(set.c)
+		expand := set.t
+		if cfg.ExpandOverride > 0 && expand != 1 {
+			expand = cfg.ExpandOverride
+		}
+		for i := 0; i < set.n; i++ {
+			stride := 1
+			if i == 0 {
+				stride = set.s
+			}
+			x, inC = invertedResidual(n, x, inC, outC, expand, stride)
+		}
+	}
+
+	// torchvision keeps the final 1280 unscaled for width ≤ 1.0.
+	lastC := 1280
+	if cfg.WidthMult > 1.0 {
+		lastC = scale(1280)
+	}
+	x = n.Conv(x, inC, lastC, 1, 1, 0)
+	x = n.BN(x)
+	x = n.ReLU6(x)
+	x = n.GlobalAvgPool(x)
+	x = n.Flatten(x)
+	x = n.Dropout(x)
+	n.Linear(x, lastC, numClasses)
+	return n
+}
+
+// invertedResidual appends one MobileNetV2 block: 1×1 expand, 3×3 depthwise,
+// 1×1 project, with a residual when shapes permit.
+func invertedResidual(n *dnn.Network, x, inC, outC, expand, stride int) (int, int) {
+	identity := x
+	y := x
+	hidden := inC * expand
+	if expand != 1 {
+		y = n.Conv(y, inC, hidden, 1, 1, 0)
+		y = n.BN(y)
+		y = n.ReLU6(y)
+	}
+	y = n.DWConv(y, hidden, 3, stride, 1)
+	y = n.BN(y)
+	y = n.ReLU6(y)
+	y = n.Conv(y, hidden, outC, 1, 1, 0)
+	y = n.BN(y)
+	if stride == 1 && inC == outC {
+		y = n.Residual(y, identity)
+	}
+	return y, outC
+}
+
+// StandardMobileNetV2 builds the width-1.0, 224-resolution model.
+func StandardMobileNetV2() *dnn.Network {
+	return MobileNetV2("mobilenet_v2", MobileNetV2Config{})
+}
+
+// mobileNetVariantName renders the conventional "mobilenet_v2_075_192" style
+// variant names.
+func mobileNetVariantName(width float64, res int) string {
+	return fmt.Sprintf("mobilenet_v2_%03d_%d", int(width*100+0.5), res)
+}

@@ -1,0 +1,217 @@
+// Package zoo constructs the DNN workloads of the paper's dataset: the
+// standard TorchVision image-classification families (ResNet, VGG, DenseNet,
+// MobileNetV2, ShuffleNet v1, AlexNet, SqueezeNet, GoogLeNet), the
+// non-standard ResNet/VGG variants used in Figure 4, the custom ResNet depths
+// (44/62/77) of the case studies, and HuggingFace-style text-classification
+// transformers. Full() deterministically generates the 646-network zoo the
+// paper's dataset is built from.
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+)
+
+// numClasses is the ILSVRC2012 class count used by every image classifier.
+const numClasses = 1000
+
+// imageInput returns the per-sample input shape for a given resolution.
+func imageInput(res int) dnn.Shape { return dnn.Shape{3, res, res} }
+
+// ResNetConfig parameterizes a (possibly non-standard) ResNet.
+type ResNetConfig struct {
+	// Blocks is the residual block count of each of the four stages.
+	Blocks [4]int
+	// Bottleneck selects 1×1/3×3/1×1 bottleneck blocks (ResNet-50 style)
+	// instead of two-3×3 basic blocks (ResNet-18 style).
+	Bottleneck bool
+	// BaseWidth is the channel count of the first stage (64 for standard
+	// ResNets).
+	BaseWidth int
+	// Groups is the group count of the bottleneck 3×3 convolutions
+	// (ResNeXt's cardinality; 1 for plain ResNets).
+	Groups int
+	// WidthPerGroup widens the bottleneck inner convolutions: torchvision's
+	// base_width (64 for ResNet, 4 for ResNeXt-32x4d, 128 for Wide ResNets).
+	WidthPerGroup int
+	// Resolution is the input image side (224 for standard ResNets).
+	Resolution int
+}
+
+// Depth returns the conventional layer-count name of the configuration
+// (counting convolutions and the final FC, as in "ResNet-50").
+func (c ResNetConfig) Depth() int {
+	sum := c.Blocks[0] + c.Blocks[1] + c.Blocks[2] + c.Blocks[3]
+	if c.Bottleneck {
+		return 3*sum + 2
+	}
+	return 2*sum + 2
+}
+
+// ResNet builds a ResNet from the given configuration.
+func ResNet(name string, cfg ResNetConfig) *dnn.Network {
+	if cfg.BaseWidth == 0 {
+		cfg.BaseWidth = 64
+	}
+	if cfg.Groups == 0 {
+		cfg.Groups = 1
+	}
+	if cfg.WidthPerGroup == 0 {
+		cfg.WidthPerGroup = 64
+	}
+	if cfg.Resolution == 0 {
+		cfg.Resolution = 224
+	}
+	family := "ResNet"
+	if cfg.Groups > 1 {
+		family = "ResNeXt"
+	}
+	n := dnn.New(name, family, dnn.TaskImageClassification, imageInput(cfg.Resolution))
+
+	// Stem: 7×7/2 conv, BN, ReLU, 3×3/2 max pool.
+	x := n.Conv(dnn.NetworkInput, 3, cfg.BaseWidth, 7, 2, 3)
+	x = n.BN(x)
+	x = n.ReLU(x)
+	x = n.MaxPool(x, 3, 2, 1)
+
+	expansion := 1
+	if cfg.Bottleneck {
+		expansion = 4
+	}
+	inC := cfg.BaseWidth
+	for stage := 0; stage < 4; stage++ {
+		planes := cfg.BaseWidth << stage
+		for b := 0; b < cfg.Blocks[stage]; b++ {
+			stride := 1
+			if stage > 0 && b == 0 {
+				stride = 2
+			}
+			if cfg.Bottleneck {
+				x, inC = bottleneckBlock(n, x, inC, planes, stride, expansion,
+					cfg.Groups, cfg.WidthPerGroup)
+			} else {
+				x, inC = basicBlock(n, x, inC, planes, stride)
+			}
+		}
+	}
+
+	x = n.GlobalAvgPool(x)
+	x = n.Flatten(x)
+	n.Linear(x, inC, numClasses)
+	return n
+}
+
+// basicBlock appends a two-3×3-conv residual block and returns the new
+// feature index and channel count.
+func basicBlock(n *dnn.Network, x, inC, planes, stride int) (int, int) {
+	identity := x
+	y := n.Conv(x, inC, planes, 3, stride, 1)
+	y = n.BN(y)
+	y = n.ReLU(y)
+	y = n.Conv(y, planes, planes, 3, 1, 1)
+	y = n.BN(y)
+	if stride != 1 || inC != planes {
+		identity = n.Conv(x, inC, planes, 1, stride, 0)
+		identity = n.BN(identity)
+	}
+	y = n.Residual(y, identity)
+	y = n.ReLU(y)
+	return y, planes
+}
+
+// bottleneckBlock appends a 1×1/3×3/1×1 bottleneck residual block; groups
+// and widthPerGroup implement the ResNeXt/Wide-ResNet inner widening
+// (torchvision's width = planes · widthPerGroup/64 · groups).
+func bottleneckBlock(n *dnn.Network, x, inC, planes, stride, expansion, groups, widthPerGroup int) (int, int) {
+	outC := planes * expansion
+	width := planes * widthPerGroup / 64 * groups
+	identity := x
+	y := n.Conv(x, inC, width, 1, 1, 0)
+	y = n.BN(y)
+	y = n.ReLU(y)
+	y = n.GroupConv(y, width, width, 3, stride, 1, groups)
+	y = n.BN(y)
+	y = n.ReLU(y)
+	y = n.Conv(y, width, outC, 1, 1, 0)
+	y = n.BN(y)
+	if stride != 1 || inC != outC {
+		identity = n.Conv(x, inC, outC, 1, stride, 0)
+		identity = n.BN(identity)
+	}
+	y = n.Residual(y, identity)
+	y = n.ReLU(y)
+	return y, outC
+}
+
+// standardResNetBlocks maps the canonical depth names to block counts.
+var standardResNetBlocks = map[int]struct {
+	blocks     [4]int
+	bottleneck bool
+}{
+	18:  {[4]int{2, 2, 2, 2}, false},
+	34:  {[4]int{3, 4, 6, 3}, false},
+	50:  {[4]int{3, 4, 6, 3}, true},
+	101: {[4]int{3, 4, 23, 3}, true},
+	152: {[4]int{3, 8, 36, 3}, true},
+	// Non-standard depths used in the paper's case studies (built by
+	// adding/removing blocks from the standard design, §4 O2).
+	44: {[4]int{5, 5, 6, 5}, false}, // 2·21+2
+	62: {[4]int{3, 4, 9, 4}, true},  // 3·20+2
+	77: {[4]int{3, 6, 12, 4}, true}, // 3·25+2
+	26: {[4]int{3, 3, 3, 3}, false}, // 2·12+2
+	89: {[4]int{3, 6, 16, 4}, true}, // 3·29+2
+}
+
+// StandardResNet builds one of the canonical or paper-specific depths
+// ("resnet18" … "resnet152", "resnet44", "resnet62", "resnet77").
+func StandardResNet(depth int) (*dnn.Network, error) {
+	cfg, ok := standardResNetBlocks[depth]
+	if !ok {
+		return nil, fmt.Errorf("zoo: no standard ResNet of depth %d", depth)
+	}
+	return ResNet(fmt.Sprintf("resnet%d", depth), ResNetConfig{
+		Blocks: cfg.blocks, Bottleneck: cfg.bottleneck,
+	}), nil
+}
+
+// MustResNet is StandardResNet that panics on unknown depth; for use in
+// examples and experiment tables where depths are compile-time constants.
+func MustResNet(depth int) *dnn.Network {
+	n, err := StandardResNet(depth)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// ResNeXt builds the canonical ResNeXt variants ("50_32x4d", "101_32x8d").
+func ResNeXt(variant string) (*dnn.Network, error) {
+	switch variant {
+	case "50_32x4d":
+		return ResNet("resnext50_32x4d", ResNetConfig{
+			Blocks: [4]int{3, 4, 6, 3}, Bottleneck: true, Groups: 32, WidthPerGroup: 4,
+		}), nil
+	case "101_32x8d":
+		return ResNet("resnext101_32x8d", ResNetConfig{
+			Blocks: [4]int{3, 4, 23, 3}, Bottleneck: true, Groups: 32, WidthPerGroup: 8,
+		}), nil
+	}
+	return nil, fmt.Errorf("zoo: unknown ResNeXt variant %q", variant)
+}
+
+// WideResNet builds wide_resnet50_2 / wide_resnet101_2 (doubled bottleneck
+// inner width).
+func WideResNet(depth int) (*dnn.Network, error) {
+	switch depth {
+	case 50:
+		return ResNet("wide_resnet50_2", ResNetConfig{
+			Blocks: [4]int{3, 4, 6, 3}, Bottleneck: true, WidthPerGroup: 128,
+		}), nil
+	case 101:
+		return ResNet("wide_resnet101_2", ResNetConfig{
+			Blocks: [4]int{3, 4, 23, 3}, Bottleneck: true, WidthPerGroup: 128,
+		}), nil
+	}
+	return nil, fmt.Errorf("zoo: no wide ResNet of depth %d", depth)
+}

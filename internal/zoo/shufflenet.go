@@ -1,0 +1,122 @@
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+)
+
+// shuffleNetStageChannels maps the group count to the stage-2 output width of
+// ShuffleNet v1 (the original paper's Table 1); stages 3 and 4 double it.
+var shuffleNetStageChannels = map[int]int{
+	1: 144, 2: 200, 3: 240, 4: 272, 8: 384,
+}
+
+// ShuffleNetV1Config parameterizes a ShuffleNet v1.
+type ShuffleNetV1Config struct {
+	// Groups is the group count of the grouped 1×1 convolutions (3 in the
+	// flagship model).
+	Groups int
+	// Scale multiplies all channel counts (the "0.5×", "1.5×" variants).
+	Scale float64
+	// Resolution is the input image side (224 by default).
+	Resolution int
+}
+
+// ShuffleNetV1 builds a ShuffleNet v1 from the configuration.
+func ShuffleNetV1(name string, cfg ShuffleNetV1Config) *dnn.Network {
+	if cfg.Groups == 0 {
+		cfg.Groups = 3
+	}
+	if cfg.Scale == 0 {
+		cfg.Scale = 1.0
+	}
+	if cfg.Resolution == 0 {
+		cfg.Resolution = 224
+	}
+	base, ok := shuffleNetStageChannels[cfg.Groups]
+	if !ok {
+		panic(fmt.Sprintf("zoo: ShuffleNet v1 has no configuration for %d groups", cfg.Groups))
+	}
+	n := dnn.New(name, "ShuffleNetV1", dnn.TaskImageClassification, imageInput(cfg.Resolution))
+
+	g := cfg.Groups
+	scale := func(c int) int {
+		v := int(float64(c)*cfg.Scale + 0.5)
+		// Keep widths divisible by 4·groups so grouped convs and the
+		// bottleneck quarter-width stay integral.
+		q := 4 * g
+		v = (v + q - 1) / q * q
+		return v
+	}
+
+	inC := 24
+	x := n.Conv(dnn.NetworkInput, 3, inC, 3, 2, 1)
+	x = n.BN(x)
+	x = n.ReLU(x)
+	x = n.MaxPool(x, 3, 2, 1)
+
+	repeats := []int{4, 8, 4}
+	for stage := 0; stage < 3; stage++ {
+		outC := scale(base << stage)
+		for b := 0; b < repeats[stage]; b++ {
+			stride := 1
+			if b == 0 {
+				stride = 2
+			}
+			// The very first unit uses ungrouped 1×1 (input is only 24ch).
+			firstGroups := g
+			if stage == 0 && b == 0 {
+				firstGroups = 1
+			}
+			x, inC = shuffleUnit(n, x, inC, outC, g, firstGroups, stride)
+		}
+	}
+
+	x = n.GlobalAvgPool(x)
+	x = n.Flatten(x)
+	n.Linear(x, inC, numClasses)
+	return n
+}
+
+// shuffleUnit appends one ShuffleNet unit: grouped 1×1 reduce, channel
+// shuffle, 3×3 depthwise, grouped 1×1 expand; stride-2 units concatenate an
+// average-pooled shortcut, stride-1 units add the identity.
+func shuffleUnit(n *dnn.Network, x, inC, outC, groups, firstGroups, stride int) (int, int) {
+	branchOut := outC
+	if stride == 2 {
+		branchOut = outC - inC // concat shortcut supplies the rest
+		if branchOut <= 0 {
+			branchOut = outC
+		}
+	}
+	mid := outC / 4
+	if mid < groups {
+		mid = groups
+	}
+	mid = mid / groups * groups
+
+	y := n.GroupConv(x, inC, mid, 1, 1, 0, firstGroups)
+	y = n.BN(y)
+	y = n.ReLU(y)
+	y = n.ChannelShuffle(y, groups)
+	y = n.DWConv(y, mid, 3, stride, 1)
+	y = n.BN(y)
+	y = n.GroupConv(y, mid, branchOut, 1, 1, 0, groups)
+	y = n.BN(y)
+
+	if stride == 2 {
+		short := n.AvgPool(x, 3, 2, 1)
+		out := n.Concat(short, y)
+		out = n.ReLU(out)
+		return out, inC + branchOut
+	}
+	out := n.Residual(y, x)
+	out = n.ReLU(out)
+	return out, outC
+}
+
+// StandardShuffleNetV1 builds the flagship g=3, 1.0× model.
+func StandardShuffleNetV1() *dnn.Network {
+	return ShuffleNetV1("shufflenet_v1", ShuffleNetV1Config{Groups: 3, Scale: 1.0})
+}

@@ -1,0 +1,100 @@
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+)
+
+// TransformerConfig parameterizes a BERT-style text-classification encoder,
+// matching the HuggingFace text-classification group the paper extends the
+// KW model with (§5.4).
+type TransformerConfig struct {
+	// Layers is the encoder block count (12 for BERT-base).
+	Layers int
+	// Hidden is the model width (768 for BERT-base).
+	Hidden int
+	// Heads is the attention head count (Hidden must be divisible by it).
+	Heads int
+	// FFNMult is the feed-forward expansion (4 for BERT).
+	FFNMult int
+	// SeqLen is the token sequence length per sample.
+	SeqLen int
+	// Vocab is the tokenizer vocabulary size (30522 for BERT).
+	Vocab int
+	// Classes is the classification label count.
+	Classes int
+}
+
+// Transformer builds a text-classification encoder from the configuration.
+func Transformer(name string, cfg TransformerConfig) *dnn.Network {
+	if cfg.FFNMult == 0 {
+		cfg.FFNMult = 4
+	}
+	if cfg.Vocab == 0 {
+		cfg.Vocab = 30522
+	}
+	if cfg.Classes == 0 {
+		cfg.Classes = 2
+	}
+	if cfg.Heads == 0 {
+		cfg.Heads = cfg.Hidden / 64
+	}
+	if cfg.Hidden%cfg.Heads != 0 {
+		panic(fmt.Sprintf("zoo: transformer %q: hidden %d not divisible by heads %d",
+			name, cfg.Hidden, cfg.Heads))
+	}
+	n := dnn.New(name, "Transformer", dnn.TaskTextClassification, dnn.Shape{cfg.SeqLen})
+
+	h := cfg.Hidden
+	x := n.Embedding(dnn.NetworkInput, cfg.Vocab, h)
+	x = n.LN(x)
+	x = n.Dropout(x)
+
+	for l := 0; l < cfg.Layers; l++ {
+		// Self-attention.
+		q := n.Linear(x, h, h)
+		k := n.Linear(x, h, h)
+		v := n.Linear(x, h, h)
+		scores := n.MatMul(q, k, cfg.Heads, true)
+		scores = n.Softmax(scores)
+		ctx := n.MatMul(scores, v, cfg.Heads, false)
+		attnOut := n.Linear(ctx, h, h)
+		attnOut = n.Dropout(attnOut)
+		x = n.Residual(attnOut, x)
+		x = n.LN(x)
+
+		// Feed-forward.
+		ff := n.Linear(x, h, cfg.FFNMult*h)
+		ff = n.GELU(ff)
+		ff = n.Linear(ff, cfg.FFNMult*h, h)
+		ff = n.Dropout(ff)
+		x = n.Residual(ff, x)
+		x = n.LN(x)
+	}
+
+	// Pooler + classification head (applied per token; the [CLS] slice is a
+	// zero-FLOPs view we do not model separately).
+	x = n.Linear(x, h, h)
+	x = n.GELU(x)
+	n.Linear(x, h, cfg.Classes)
+	return n
+}
+
+// standardTransformers lists the BERT size ladder used for the text group.
+var standardTransformers = map[string]TransformerConfig{
+	"bert-tiny":   {Layers: 2, Hidden: 128, Heads: 2, SeqLen: 128},
+	"bert-mini":   {Layers: 4, Hidden: 256, Heads: 4, SeqLen: 128},
+	"bert-small":  {Layers: 4, Hidden: 512, Heads: 8, SeqLen: 128},
+	"bert-medium": {Layers: 8, Hidden: 512, Heads: 8, SeqLen: 128},
+	"bert-base":   {Layers: 12, Hidden: 768, Heads: 12, SeqLen: 128},
+}
+
+// StandardTransformer builds one of the canonical BERT sizes.
+func StandardTransformer(name string) (*dnn.Network, error) {
+	cfg, ok := standardTransformers[name]
+	if !ok {
+		return nil, fmt.Errorf("zoo: unknown transformer %q", name)
+	}
+	return Transformer(name, cfg), nil
+}

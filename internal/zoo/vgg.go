@@ -1,0 +1,118 @@
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+)
+
+// VGGConfig parameterizes a (possibly non-standard) VGG network.
+type VGGConfig struct {
+	// Stages lists, per stage, the number of 3×3 convolutions before the
+	// 2×2 max pool that ends the stage. Standard VGG-16 is {2,2,3,3,3}.
+	Stages []int
+	// Channels lists the output channel count of each stage. Standard VGG
+	// is {64,128,256,512,512}.
+	Channels []int
+	// BatchNorm inserts BN after every convolution (the "_bn" variants).
+	BatchNorm bool
+	// Resolution is the input image side (224 by default).
+	Resolution int
+	// ClassifierWidth is the hidden width of the two FC layers (4096 by
+	// default).
+	ClassifierWidth int
+}
+
+// VGG builds a VGG network from the configuration.
+func VGG(name string, cfg VGGConfig) *dnn.Network {
+	if cfg.Resolution == 0 {
+		cfg.Resolution = 224
+	}
+	if cfg.ClassifierWidth == 0 {
+		cfg.ClassifierWidth = 4096
+	}
+	if len(cfg.Stages) != len(cfg.Channels) {
+		panic(fmt.Sprintf("zoo: VGG %q: %d stages but %d channel entries",
+			name, len(cfg.Stages), len(cfg.Channels)))
+	}
+	n := dnn.New(name, "VGG", dnn.TaskImageClassification, imageInput(cfg.Resolution))
+
+	x := dnn.NetworkInput
+	inC := 3
+	res := cfg.Resolution
+	for s, convs := range cfg.Stages {
+		outC := cfg.Channels[s]
+		for c := 0; c < convs; c++ {
+			x = n.Conv(x, inC, outC, 3, 1, 1)
+			if cfg.BatchNorm {
+				x = n.BN(x)
+			}
+			x = n.ReLU(x)
+			inC = outC
+		}
+		x = n.MaxPool(x, 2, 2, 0)
+		res /= 2
+	}
+
+	x = n.Flatten(x)
+	feat := inC * res * res
+	x = n.Linear(x, feat, cfg.ClassifierWidth)
+	x = n.ReLU(x)
+	x = n.Dropout(x)
+	x = n.Linear(x, cfg.ClassifierWidth, cfg.ClassifierWidth)
+	x = n.ReLU(x)
+	x = n.Dropout(x)
+	n.Linear(x, cfg.ClassifierWidth, numClasses)
+	return n
+}
+
+// standardVGGStages maps depth names to per-stage conv counts.
+var standardVGGStages = map[int][]int{
+	11: {1, 1, 2, 2, 2},
+	13: {2, 2, 2, 2, 2},
+	16: {2, 2, 3, 3, 3},
+	19: {2, 2, 4, 4, 4},
+}
+
+// standardVGGChannels is the canonical stage channel ramp.
+var standardVGGChannels = []int{64, 128, 256, 512, 512}
+
+// StandardVGG builds vgg11/13/16/19, optionally with batch norm.
+func StandardVGG(depth int, batchNorm bool) (*dnn.Network, error) {
+	stages, ok := standardVGGStages[depth]
+	if !ok {
+		return nil, fmt.Errorf("zoo: no standard VGG of depth %d", depth)
+	}
+	name := fmt.Sprintf("vgg%d", depth)
+	if batchNorm {
+		name += "_bn"
+	}
+	return VGG(name, VGGConfig{
+		Stages:    append([]int(nil), stages...),
+		Channels:  append([]int(nil), standardVGGChannels...),
+		BatchNorm: batchNorm,
+	}), nil
+}
+
+// MustVGG is StandardVGG that panics on unknown depth.
+func MustVGG(depth int, batchNorm bool) *dnn.Network {
+	n, err := StandardVGG(depth, batchNorm)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// scaleChannels multiplies a channel ramp by f, rounding to multiples of 8
+// (minimum 8), the convention width-scaled models use.
+func scaleChannels(channels []int, f float64) []int {
+	out := make([]int, len(channels))
+	for i, c := range channels {
+		v := int(float64(c)*f+4) / 8 * 8
+		if v < 8 {
+			v = 8
+		}
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package zoo
+
+import (
+	"fmt"
+
+	"repro/internal/dnn"
+)
+
+// ViTConfig parameterizes a Vision Transformer: images are cut into patches
+// by a strided convolution (the patch embedding), then processed by a
+// standard transformer encoder. ViTs stress the predictors with a workload
+// that is convolutional at the stem and attention-dominated everywhere else.
+type ViTConfig struct {
+	// PatchSize is the patch side (16 for ViT-B/16).
+	PatchSize int
+	// Hidden is the embedding width (768 for ViT-Base).
+	Hidden int
+	// Layers is the encoder depth (12 for ViT-Base).
+	Layers int
+	// Heads is the attention head count (Hidden/64 by default).
+	Heads int
+	// FFNMult is the MLP expansion (4 for standard ViTs).
+	FFNMult int
+	// Resolution is the input image side (224 by default).
+	Resolution int
+	// Classes is the classification label count.
+	Classes int
+}
+
+// ViT builds a Vision Transformer from the configuration.
+func ViT(name string, cfg ViTConfig) *dnn.Network {
+	if cfg.Resolution == 0 {
+		cfg.Resolution = 224
+	}
+	if cfg.FFNMult == 0 {
+		cfg.FFNMult = 4
+	}
+	if cfg.Classes == 0 {
+		cfg.Classes = numClasses
+	}
+	if cfg.Heads == 0 {
+		cfg.Heads = cfg.Hidden / 64
+	}
+	if cfg.Resolution%cfg.PatchSize != 0 {
+		panic(fmt.Sprintf("zoo: ViT %q: resolution %d not divisible by patch %d",
+			name, cfg.Resolution, cfg.PatchSize))
+	}
+	if cfg.Hidden%cfg.Heads != 0 {
+		panic(fmt.Sprintf("zoo: ViT %q: hidden %d not divisible by heads %d",
+			name, cfg.Hidden, cfg.Heads))
+	}
+	n := dnn.New(name, "ViT", dnn.TaskImageClassification, imageInput(cfg.Resolution))
+
+	h := cfg.Hidden
+	// Patch embedding: a PatchSize-strided convolution, then the zero-copy
+	// view from (N, D, P, P) to the (N, T=P², D) token sequence.
+	x := n.Conv(dnn.NetworkInput, 3, h, cfg.PatchSize, cfg.PatchSize, 0)
+	x = n.Add(&dnn.Layer{Kind: dnn.KindReshapeTokens, Inputs: []int{x}})
+	x = n.LN(x)
+
+	for l := 0; l < cfg.Layers; l++ {
+		// Pre-LN encoder block.
+		ln1 := n.LN(x)
+		q := n.Linear(ln1, h, h)
+		k := n.Linear(ln1, h, h)
+		v := n.Linear(ln1, h, h)
+		scores := n.MatMul(q, k, cfg.Heads, true)
+		scores = n.Softmax(scores)
+		ctx := n.MatMul(scores, v, cfg.Heads, false)
+		attn := n.Linear(ctx, h, h)
+		x = n.Residual(attn, x)
+
+		ln2 := n.LN(x)
+		ff := n.Linear(ln2, h, cfg.FFNMult*h)
+		ff = n.GELU(ff)
+		ff = n.Linear(ff, cfg.FFNMult*h, h)
+		x = n.Residual(ff, x)
+	}
+
+	x = n.LN(x)
+	// Classification head (per token; the [CLS] slice is a zero-cost view).
+	n.Linear(x, h, cfg.Classes)
+	return n
+}
+
+// standardViTs is the canonical size ladder.
+var standardViTs = map[string]ViTConfig{
+	"vit-tiny":  {PatchSize: 16, Hidden: 192, Layers: 12, Heads: 3},
+	"vit-small": {PatchSize: 16, Hidden: 384, Layers: 12, Heads: 6},
+	"vit-base":  {PatchSize: 16, Hidden: 768, Layers: 12, Heads: 12},
+}
+
+// StandardViT builds vit-tiny/small/base (patch 16, 224²).
+func StandardViT(name string) (*dnn.Network, error) {
+	cfg, ok := standardViTs[name]
+	if !ok {
+		return nil, fmt.Errorf("zoo: unknown ViT %q", name)
+	}
+	return ViT(name, cfg), nil
+}

@@ -1,0 +1,201 @@
+package repro
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+// collectSmall builds a compact dataset through the public facade.
+func collectSmall(t testing.TB, gpus []GPU) *Dataset {
+	t.Helper()
+	var nets []*Network
+	for i, n := range Zoo() {
+		if i%12 == 0 {
+			nets = append(nets, n)
+		}
+	}
+	opt := DefaultCollectOptions()
+	opt.Batches = 3
+	opt.Warmup = 1
+	ds, _, err := Collect(nets, gpus, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestFacadeWorkflow(t *testing.T) {
+	// The README/Figure-10 workflow, end to end through the public API.
+	ds := collectSmall(t, []GPU{A100})
+	train, test := ds.SplitByNetwork(0.15, 1)
+	if len(train.NetworkNames()) == 0 || len(test.NetworkNames()) == 0 {
+		t.Fatal("empty split")
+	}
+
+	kw, err := TrainKW(train, "A100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2e, err := TrainE2E(train, "A100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lw, err := TrainLW(train, "A100")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	net, err := NetworkByName("resnet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Profile(net, TrainBatchSize, A100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Predictor{e2e, lw, kw} {
+		pred, err := m.PredictNetwork(net, TrainBatchSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred <= 0 {
+			t.Fatalf("%s predicted %v", m.Name(), pred)
+		}
+		// Even the coarse models stay within a small factor on a
+		// well-represented network.
+		if ratio := pred / tr.E2ETime; ratio < 0.2 || ratio > 5 {
+			t.Fatalf("%s ratio = %v", m.Name(), ratio)
+		}
+	}
+}
+
+func TestFacadeIGKWAndDSE(t *testing.T) {
+	trainGPUs := []GPU{A100, A40, GTX1080Ti}
+	ds := collectSmall(t, trainGPUs)
+	base, err := TrainIGKWBase(ds, trainGPUs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NetworkByName("resnet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for _, bw := range []float64{400, 800, 1200} {
+		m, err := base.Resolve(TitanRTX.WithBandwidth(bw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred, err := m.PredictNetwork(net, TrainBatchSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != 0 && pred >= prev {
+			t.Fatalf("more bandwidth should not be slower: %v then %v", prev, pred)
+		}
+		prev = pred
+	}
+	// Hypothetical GPUs work the same way.
+	hypo := HypotheticalGPU("future", 2500, 80, 60)
+	m, err := base.Resolve(hypo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, err := m.PredictNetwork(net, TrainBatchSize); err != nil || p <= 0 {
+		t.Fatalf("hypothetical prediction = %v, %v", p, err)
+	}
+}
+
+func TestFacadeDisagg(t *testing.T) {
+	ds := collectSmall(t, []GPU{TitanRTX})
+	kw, err := TrainKW(ds, "TITAN RTX")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NetworkByName("resnet50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := DisaggJobsFromNetwork(net, 64, kw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != len(net.Layers) {
+		t.Fatalf("jobs = %d, layers = %d", len(jobs), len(net.Layers))
+	}
+	results, err := SweepDisagg(jobs, DisaggConfig{LinkLatencyUS: 2}, []float64{16, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := DisaggSpeedups(results)
+	if sp[1] < 1 {
+		t.Fatalf("speedups = %v", sp)
+	}
+}
+
+func TestFacadeScheduling(t *testing.T) {
+	tm := ScheduleTimes{"A40": {1, 4}, "TITAN RTX": {2, 2}}
+	choice, err := ChooseGPU(tm, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice[0] != "A40" || choice[1] != "TITAN RTX" {
+		t.Fatalf("choice = %v", choice)
+	}
+	plan, err := ScheduleBruteForce(tm, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Makespan != 2 {
+		t.Fatalf("makespan = %v", plan.Makespan)
+	}
+	g, err := ScheduleGreedy(tm, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Makespan < plan.Makespan {
+		t.Fatal("greedy beat brute force")
+	}
+	span, err := MakespanOf(plan.GPUOf, tm)
+	if err != nil || math.Abs(span-plan.Makespan) > 1e-12 {
+		t.Fatalf("MakespanOf = %v, %v", span, err)
+	}
+}
+
+func TestFacadeDatasetPersistence(t *testing.T) {
+	ds := collectSmall(t, []GPU{A100})
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := ds.WriteDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Summary() != ds.Summary() {
+		t.Fatalf("round trip: %s vs %s", back.Summary(), ds.Summary())
+	}
+}
+
+func TestFacadeRegistry(t *testing.T) {
+	if len(AllGPUs()) != 7 {
+		t.Fatal("GPU registry incomplete")
+	}
+	if _, err := GPUByName("V100"); err != nil {
+		t.Fatal(err)
+	}
+	if len(Zoo()) != 646 {
+		t.Fatalf("zoo = %d", len(Zoo()))
+	}
+	if len(StandardNetworks()) == 0 {
+		t.Fatal("no standard networks")
+	}
+	n := NewNetwork("custom", "Custom", "image-classification", Shape{3, 64, 64})
+	x := n.Conv(-1, 3, 8, 3, 1, 1)
+	x = n.ReLU(x)
+	n.GlobalAvgPool(x)
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
