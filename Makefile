@@ -1,0 +1,30 @@
+# Developer entry points. `make verify` is the full pre-merge gate; CI runs
+# the same three commands.
+
+GO ?= go
+
+.PHONY: build test verify bench-smoke bench-baseline
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the pre-merge gate: vet, build, and the full test suite under the
+# race detector (the concurrency tests in internal/bench, internal/cache and
+# internal/core only bite with -race on).
+verify:
+	$(GO) vet ./...
+	$(GO) build ./...
+	$(GO) test -race ./...
+
+# bench-smoke compiles and runs every benchmark exactly once — a cheap check
+# that no benchmark has rotted, without producing timing numbers.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# bench-baseline regenerates BENCH_baseline.json from the performance-critical
+# benchmarks (see scripts/bench_baseline.sh).
+bench-baseline:
+	./scripts/bench_baseline.sh

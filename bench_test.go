@@ -173,6 +173,67 @@ func BenchmarkKWPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkKWPredictUncachedE2E measures the same query through the reference
+// (pre-plan) path: full shape inference plus per-kernel map lookups every
+// call. The ratio against BenchmarkKWPredict is the speedup the compiled
+// prediction plans buy.
+func BenchmarkKWPredictUncachedE2E(b *testing.B) {
+	l := sharedLab(b)
+	ds, err := l.Dataset(gpu.A100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kw, err := core.FitKW(ds, "A100", bench.TrainBatch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := zoo.MustResNet(50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kw.PredictNetworkUncached(net, 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkKWPredictConcurrent measures contended prediction throughput —
+// many goroutines querying one model's cached plan, the scheduler pattern.
+func BenchmarkKWPredictConcurrent(b *testing.B) {
+	l := sharedLab(b)
+	ds, err := l.Dataset(gpu.A100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kw, err := core.FitKW(ds, "A100", bench.TrainBatch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := zoo.MustResNet(50)
+	if _, err := kw.PredictNetwork(net, 512); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := kw.PredictNetwork(net, 512); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLabDatasetBuild measures one full parallel collection pass for the
+// scheduling GPUs on a fresh lab (nothing cached): the wall time the per-GPU
+// worker pool saves shows up against a sequential build of the same pair.
+func BenchmarkLabDatasetBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		l := bench.NewQuickLab()
+		if _, err := l.Dataset(gpu.A40, gpu.TitanRTX); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkZooGeneration measures building all 646 network structures.
 func BenchmarkZooGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/disagg"
@@ -239,6 +240,78 @@ var figure18Nets = []string{"resnet50", "resnet77", "densenet161", "densenet169"
 // schedGPUs are the two cloud devices of case study 3.
 func schedGPUs() []gpu.Spec { return []gpu.Spec{gpu.A40, gpu.TitanRTX} }
 
+// fitSchedModels trains one KW model per scheduling GPU, fitting the GPUs in
+// parallel (dataset collection for distinct GPUs shares nothing, and the
+// lab's per-GPU flights dedupe concurrent collection anyway).
+func fitSchedModels(l *Lab) (map[string]*core.KWModel, error) {
+	gpus := schedGPUs()
+	models := make([]*core.KWModel, len(gpus))
+	errs := make([]error, len(gpus))
+	var wg sync.WaitGroup
+	for i, g := range gpus {
+		wg.Add(1)
+		go func(i int, g gpu.Spec) {
+			defer wg.Done()
+			ds, err := l.Dataset(g)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			train, _ := l.Split(ds)
+			models[i], errs[i] = core.FitKW(train, g.Name, TrainBatch)
+		}(i, g)
+	}
+	wg.Wait()
+
+	kws := map[string]*core.KWModel{}
+	for i, g := range gpus {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		kws[g.Name] = models[i]
+	}
+	return kws, nil
+}
+
+// schedPrediction is one (network, GPU) query result of a concurrent batch.
+type schedPrediction struct {
+	seconds float64
+	err     error
+}
+
+// predictSchedTimes issues every (network, GPU) prediction of the scheduling
+// case studies concurrently — the query pattern a scheduler serving many
+// placement decisions generates — and returns them indexed by network then
+// GPU, so assembly stays deterministic.
+func predictSchedTimes(l *Lab, kws map[string]*core.KWModel, names []string) ([][]schedPrediction, error) {
+	gpus := schedGPUs()
+	out := make([][]schedPrediction, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		out[i] = make([]schedPrediction, len(gpus))
+		net, err := l.Network(name)
+		if err != nil {
+			return nil, err
+		}
+		for j, g := range gpus {
+			wg.Add(1)
+			go func(cell *schedPrediction, kw *core.KWModel) {
+				defer wg.Done()
+				cell.seconds, cell.err = kw.PredictNetwork(net, TrainBatch)
+			}(&out[i][j], kws[g.Name])
+		}
+	}
+	wg.Wait()
+	for i := range out {
+		for j := range out[i] {
+			if out[i][j].err != nil {
+				return nil, out[i][j].err
+			}
+		}
+	}
+	return out, nil
+}
+
 // Figure18Row is one network's measured/predicted pair on both GPUs.
 type Figure18Row struct {
 	Network                 string
@@ -254,40 +327,29 @@ type Figure18Result struct {
 }
 
 // Figure18 compares measured and KW-predicted times on A40 and TITAN RTX and
-// checks the per-network GPU choice.
+// checks the per-network GPU choice. Model fitting and the (network, GPU)
+// prediction queries both run concurrently; row assembly is serial, so the
+// result is identical to the sequential computation.
 func Figure18(l *Lab) (*Figure18Result, error) {
-	kws := map[string]*core.KWModel{}
-	for _, g := range schedGPUs() {
-		ds, err := l.Dataset(g)
-		if err != nil {
-			return nil, err
-		}
-		train, _ := l.Split(ds)
-		kw, err := core.FitKW(train, g.Name, TrainBatch)
-		if err != nil {
-			return nil, err
-		}
-		kws[g.Name] = kw
+	kws, err := fitSchedModels(l)
+	if err != nil {
+		return nil, err
 	}
 	meas, err := l.Sweep(figure18Nets, schedGPUs(), []int{TrainBatch})
 	if err != nil {
 		return nil, err
 	}
+	preds, err := predictSchedTimes(l, kws, figure18Nets)
+	if err != nil {
+		return nil, err
+	}
 
 	res := &Figure18Result{}
-	for _, name := range figure18Nets {
-		net, err := l.Network(name)
-		if err != nil {
-			return nil, err
-		}
+	for i, name := range figure18Nets {
 		row := Figure18Row{Network: name,
 			MeasuredMs: map[string]float64{}, PredictedMs: map[string]float64{}}
-		for _, g := range schedGPUs() {
-			p, err := kws[g.Name].PredictNetwork(net, TrainBatch)
-			if err != nil {
-				return nil, err
-			}
-			row.PredictedMs[g.Name] = p * 1e3
+		for j, g := range schedGPUs() {
+			row.PredictedMs[g.Name] = preds[i][j].seconds * 1e3
 			for _, r := range meas.Networks {
 				if r.Network == name && r.GPU == g.Name && r.BatchSize == TrainBatch {
 					row.MeasuredMs[g.Name] = r.E2ESeconds * 1e3
@@ -359,22 +421,18 @@ type Figure19Result struct {
 }
 
 // Figure19 brute-force schedules the queue on A40 + TITAN RTX using
-// predicted times and compares with the measured-time oracle.
+// predicted times and compares with the measured-time oracle. As in Figure18,
+// model fitting and the per-(network, GPU) queries run concurrently.
 func Figure19(l *Lab) (*Figure19Result, error) {
-	kws := map[string]*core.KWModel{}
-	for _, g := range schedGPUs() {
-		ds, err := l.Dataset(g)
-		if err != nil {
-			return nil, err
-		}
-		train, _ := l.Split(ds)
-		kw, err := core.FitKW(train, g.Name, TrainBatch)
-		if err != nil {
-			return nil, err
-		}
-		kws[g.Name] = kw
+	kws, err := fitSchedModels(l)
+	if err != nil {
+		return nil, err
 	}
 	meas, err := l.Sweep(figure19Nets, schedGPUs(), []int{TrainBatch})
+	if err != nil {
+		return nil, err
+	}
+	preds, err := predictSchedTimes(l, kws, figure19Nets)
 	if err != nil {
 		return nil, err
 	}
@@ -386,16 +444,8 @@ func Figure19(l *Lab) (*Figure19Result, error) {
 		actual[g.Name] = make([]float64, len(figure19Nets))
 	}
 	for i, name := range figure19Nets {
-		net, err := l.Network(name)
-		if err != nil {
-			return nil, err
-		}
-		for _, g := range schedGPUs() {
-			p, err := kws[g.Name].PredictNetwork(net, TrainBatch)
-			if err != nil {
-				return nil, err
-			}
-			pred[g.Name][i] = p
+		for j, g := range schedGPUs() {
+			pred[g.Name][i] = preds[i][j].seconds
 			for _, r := range meas.Networks {
 				if r.Network == name && r.GPU == g.Name && r.BatchSize == TrainBatch {
 					actual[g.Name][i] = r.E2ESeconds

@@ -10,8 +10,10 @@ package bench
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"text/tabwriter"
 
 	"repro/internal/dataset"
@@ -44,7 +46,18 @@ type Lab struct {
 	warmup  int
 
 	mu    sync.Mutex
-	cache map[string]*dataset.Dataset // per-GPU detail datasets
+	cache map[string]*labBuild // per-GPU collection flights
+
+	builds atomic.Int64 // completed collection passes, for tests/telemetry
+}
+
+// labBuild is one per-GPU collection flight. The entry is installed in the
+// cache before the build starts, so concurrent requesters share a single
+// collection pass via once instead of racing to build duplicates.
+type labBuild struct {
+	once sync.Once
+	ds   *dataset.Dataset
+	err  error
 }
 
 // NewLab builds the full-fidelity lab: the complete 646-network zoo and the
@@ -70,7 +83,7 @@ func newLab(nets []*dnn.Network, batches, warmup int) *Lab {
 		byName:  make(map[string]*dnn.Network, len(nets)),
 		batches: batches,
 		warmup:  warmup,
-		cache:   map[string]*dataset.Dataset{},
+		cache:   map[string]*labBuild{},
 	}
 	for _, n := range nets {
 		l.byName[n.Name] = n
@@ -92,40 +105,72 @@ func (l *Lab) Network(name string) (*dnn.Network, error) {
 
 // Dataset returns (building and caching on first use) the detail dataset of
 // the given GPUs: end-to-end records at batch sizes {4, 64, 512} and
-// layer/kernel detail at the training batch size.
+// layer/kernel detail at the training batch size. Uncached GPUs are collected
+// in parallel with bounded workers; each GPU's collection runs at most once
+// across all concurrent callers. The merged result is ordered by the gpus
+// argument, so concurrent use is fully deterministic.
 func (l *Lab) Dataset(gpus ...gpu.Spec) (*dataset.Dataset, error) {
+	results := make([]*dataset.Dataset, len(gpus))
+	errs := make([]error, len(gpus))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(gpus) {
+		workers = len(gpus)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, g := range gpus {
+		wg.Add(1)
+		go func(i int, g gpu.Spec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = l.gpuDataset(g)
+		}(i, g)
+	}
+	wg.Wait()
+
 	out := &dataset.Dataset{}
-	for _, g := range gpus {
-		ds, err := l.gpuDataset(g)
-		if err != nil {
-			return nil, err
+	for i := range gpus {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
-		out.Merge(ds)
+		out.Merge(results[i])
 	}
 	return out, nil
 }
 
-// gpuDataset builds or fetches the cached per-GPU dataset.
+// gpuDataset builds or fetches the cached per-GPU dataset. Concurrent callers
+// for the same GPU join one in-flight build rather than duplicating the
+// collection pass.
 func (l *Lab) gpuDataset(g gpu.Spec) (*dataset.Dataset, error) {
 	l.mu.Lock()
-	ds, ok := l.cache[g.Name]
-	l.mu.Unlock()
-	if ok {
-		return ds, nil
+	b, ok := l.cache[g.Name]
+	if !ok {
+		b = &labBuild{}
+		l.cache[g.Name] = b
 	}
-	opt := dataset.DefaultBuildOptions()
-	opt.Batches = l.batches
-	opt.Warmup = l.warmup
-	built, _, err := dataset.Build(l.nets, []gpu.Spec{g}, opt)
-	if err != nil {
-		return nil, fmt.Errorf("bench: collecting %s dataset: %w", g.Name, err)
-	}
-	built.Clean()
-	l.mu.Lock()
-	l.cache[g.Name] = built
 	l.mu.Unlock()
-	return built, nil
+
+	b.once.Do(func() {
+		opt := dataset.DefaultBuildOptions()
+		opt.Batches = l.batches
+		opt.Warmup = l.warmup
+		built, _, err := dataset.Build(l.nets, []gpu.Spec{g}, opt)
+		if err != nil {
+			b.err = fmt.Errorf("bench: collecting %s dataset: %w", g.Name, err)
+			return
+		}
+		built.Clean()
+		b.ds = built
+		l.builds.Add(1)
+	})
+	return b.ds, b.err
 }
+
+// BuildCount reports how many per-GPU collection passes have completed — in
+// tests, the proof that concurrent Dataset calls share builds instead of
+// duplicating them.
+func (l *Lab) BuildCount() int64 { return l.builds.Load() }
 
 // Sweep collects an ad-hoc dataset: the named networks on the given GPUs at
 // the given batch sizes (end-to-end detail at each batch size).

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/gpu"
+)
+
+// TestDatasetConcurrentSingleBuild hammers Dataset and Sweep from eight
+// goroutines (run under -race in CI) and asserts every GPU's collection pass
+// ran exactly once — the check-then-act race the per-GPU flight cache fixes
+// would build duplicates here.
+func TestDatasetConcurrentSingleBuild(t *testing.T) {
+	l := NewQuickLab()
+	gpus := []gpu.Spec{gpu.A40, gpu.TitanRTX}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	results := make([]int, goroutines) // dataset record counts, compared below
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			switch g % 3 {
+			case 0: // both GPUs at once
+				ds, err := l.Dataset(gpus...)
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				results[g] = len(ds.Networks)
+			case 1: // single GPU
+				ds, err := l.Dataset(gpus[0])
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				results[g] = -len(ds.Networks)
+			case 2: // an independent sweep, concurrent with the builds
+				ds, err := l.Sweep([]string{"resnet50"}, []gpu.Spec{gpu.A100}, []int{64})
+				if err != nil {
+					t.Errorf("goroutine %d: %v", g, err)
+					return
+				}
+				if len(ds.Networks) == 0 {
+					t.Errorf("goroutine %d: empty sweep", g)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if got := l.BuildCount(); got != int64(len(gpus)) {
+		t.Fatalf("%d collection passes for %d GPUs; concurrent callers must share builds",
+			got, len(gpus))
+	}
+	// Every goroutine that asked the same question must have seen the same
+	// dataset.
+	for g := 3; g < goroutines; g++ {
+		if g%3 == 2 || results[g] == 0 {
+			continue
+		}
+		if results[g] != results[g%3] {
+			t.Fatalf("goroutine %d saw %d records, goroutine %d saw %d",
+				g, results[g], g%3, results[g%3])
+		}
+	}
+}
+
+// TestDatasetDeterministicOrder: the parallel merge must order per-GPU
+// datasets by the gpus argument, not completion order.
+func TestDatasetDeterministicOrder(t *testing.T) {
+	l := NewQuickLab()
+	a, err := l.Dataset(gpu.A40, gpu.TitanRTX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Dataset(gpu.A40, gpu.TitanRTX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Networks) != len(b.Networks) {
+		t.Fatalf("record counts differ: %d vs %d", len(a.Networks), len(b.Networks))
+	}
+	for i := range a.Networks {
+		if a.Networks[i] != b.Networks[i] {
+			t.Fatalf("record %d differs between identical Dataset calls:\n%+v\n%+v",
+				i, a.Networks[i], b.Networks[i])
+		}
+	}
+}
+
+// TestFigure18RenderInvariance: rendering the scheduling case study twice —
+// the second pass served entirely from cached datasets, fitted models with
+// warm plan caches and the concurrent query path — must produce byte-equal
+// tables, and every concurrent prediction must equal its uncached reference.
+func TestFigure18RenderInvariance(t *testing.T) {
+	l := quickLab(t)
+	r1, err := Figure18(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Figure18(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Render() != r2.Render() {
+		t.Fatalf("renders differ:\n--- first\n%s\n--- second\n%s", r1.Render(), r2.Render())
+	}
+
+	// Cross-check the concurrent plan-served predictions against the
+	// reference path, network by network.
+	kws, err := fitSchedModels(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, err := predictSchedTimes(l, kws, figure18Nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, name := range figure18Nets {
+		net, err := l.Network(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, g := range schedGPUs() {
+			want, err := kws[g.Name].PredictNetworkUncached(net.Clone(), TrainBatch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if preds[i][j].seconds != want {
+				t.Fatalf("%s on %s: concurrent %v != uncached %v",
+					name, g.Name, preds[i][j].seconds, want)
+			}
+		}
+	}
+}

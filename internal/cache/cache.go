@@ -1,0 +1,245 @@
+// Package cache provides a small sharded, bounded, concurrency-safe
+// memoization cache with in-flight deduplication (singleflight semantics):
+// concurrent callers asking for the same missing key run the compute function
+// exactly once and all receive its result. It backs the compiled-prediction-
+// plan layer in internal/core, where a cache miss is expensive (a full plan
+// compilation) and many goroutines may ask for the same (network, model) pair
+// at once.
+//
+// The zero value is ready to use, which lets model structs embed a cache by
+// value without constructor plumbing; capacity defaults apply lazily.
+package cache
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Hasher is implemented by key types so shard selection needs no reflection:
+// the key carries its own (precomputed) hash.
+type Hasher interface{ Hash() uint64 }
+
+// numShards is the fixed shard count; sixteen ways is plenty for the
+// prediction-serving workloads this backs while keeping the zero value small.
+const numShards = 16
+
+// DefaultCapacity bounds the total entry count when Capacity is left zero.
+const DefaultCapacity = 1024
+
+// Sharded is a sharded LRU cache with singleflight computation. Keys must be
+// comparable and carry their own hash (see Hasher). The zero value is valid.
+type Sharded[K interface {
+	comparable
+	Hasher
+}, V any] struct {
+	// Capacity bounds the total number of cached entries (0 = DefaultCapacity).
+	// Eviction is LRU per shard; entries still being computed are never
+	// evicted. Set it before first use; later changes apply on the next
+	// insertion into each shard.
+	Capacity int
+
+	hits, misses atomic.Int64
+	shards       [numShards]shard[K, V]
+}
+
+// shard is one lock domain: a map plus an intrusive LRU list (front = most
+// recently used).
+type shard[K comparable, V any] struct {
+	mu          sync.Mutex
+	entries     map[K]*entry[K, V]
+	front, back *entry[K, V]
+}
+
+// entry is one cached (or in-flight) computation. val and err are written
+// once, before wg.Done, so waiters reading after wg.Wait observe them safely.
+type entry[K comparable, V any] struct {
+	key        K
+	wg         sync.WaitGroup
+	val        V
+	err        error
+	inflight   bool // guarded by shard.mu
+	prev, next *entry[K, V]
+}
+
+// GetOrCompute returns the cached value for the key, computing it with fn on
+// a miss. Concurrent callers for the same missing key share one fn call.
+// Errors are returned to every waiter of that flight but are not cached:
+// the next caller retries.
+func (c *Sharded[K, V]) GetOrCompute(key K, fn func() (V, error)) (V, error) {
+	s := &c.shards[key.Hash()%numShards]
+
+	s.mu.Lock()
+	if s.entries == nil {
+		s.entries = make(map[K]*entry[K, V])
+	}
+	if e, ok := s.entries[key]; ok {
+		s.moveToFront(e)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		e.wg.Wait()
+		return e.val, e.err
+	}
+	e := &entry[K, V]{key: key, inflight: true}
+	e.wg.Add(1)
+	s.entries[key] = e
+	s.pushFront(e)
+	s.evict(c.perShardCapacity())
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	completed := false
+	defer func() {
+		if !completed {
+			// fn panicked: drop the entry and release waiters (they see the
+			// zero value and a nil error only after the panic already
+			// propagated to the caller; the entry is gone either way).
+			s.remove(e)
+			e.wg.Done()
+		}
+	}()
+	v, err := fn()
+	completed = true
+
+	s.mu.Lock()
+	e.val, e.err = v, err
+	e.inflight = false
+	if err != nil {
+		s.removeLocked(e)
+	}
+	s.mu.Unlock()
+	e.wg.Done()
+	return v, err
+}
+
+// Get returns the cached value without computing, waiting for an in-flight
+// computation if one is running.
+func (c *Sharded[K, V]) Get(key K) (V, bool) {
+	s := &c.shards[key.Hash()%numShards]
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if ok {
+		s.moveToFront(e)
+	}
+	s.mu.Unlock()
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	e.wg.Wait()
+	if e.err != nil {
+		var zero V
+		return zero, false
+	}
+	return e.val, true
+}
+
+// Len returns the total number of entries (including in-flight ones).
+func (c *Sharded[K, V]) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += len(s.entries)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Clear drops every completed entry (in-flight computations finish and are
+// dropped by their creators only on error; their results remain reachable by
+// waiters but are unlinked from the cache). Use it to invalidate after the
+// backing data changes.
+func (c *Sharded[K, V]) Clear() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.entries = nil
+		s.front, s.back = nil, nil
+		s.mu.Unlock()
+	}
+}
+
+// Hits and Misses report cumulative lookup statistics.
+func (c *Sharded[K, V]) Hits() int64   { return c.hits.Load() }
+func (c *Sharded[K, V]) Misses() int64 { return c.misses.Load() }
+
+func (c *Sharded[K, V]) perShardCapacity() int {
+	total := c.Capacity
+	if total <= 0 {
+		total = DefaultCapacity
+	}
+	per := (total + numShards - 1) / numShards
+	if per < 1 {
+		per = 1
+	}
+	return per
+}
+
+// remove unlinks an entry under the shard lock.
+func (s *shard[K, V]) remove(e *entry[K, V]) {
+	s.mu.Lock()
+	s.removeLocked(e)
+	s.mu.Unlock()
+}
+
+func (s *shard[K, V]) removeLocked(e *entry[K, V]) {
+	if s.entries == nil {
+		return
+	}
+	if cur, ok := s.entries[e.key]; !ok || cur != e {
+		return // already evicted or replaced (e.g. by Clear)
+	}
+	delete(s.entries, e.key)
+	s.unlink(e)
+}
+
+// evict trims the shard to the capacity, oldest first, skipping entries that
+// are still being computed.
+func (s *shard[K, V]) evict(capacity int) {
+	for len(s.entries) > capacity {
+		victim := s.back
+		for victim != nil && victim.inflight {
+			victim = victim.prev
+		}
+		if victim == nil {
+			return // everything in flight; over-capacity is transient
+		}
+		delete(s.entries, victim.key)
+		s.unlink(victim)
+	}
+}
+
+// moveToFront marks an entry most-recently-used.
+func (s *shard[K, V]) moveToFront(e *entry[K, V]) {
+	if s.front == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+func (s *shard[K, V]) pushFront(e *entry[K, V]) {
+	e.prev = nil
+	e.next = s.front
+	if s.front != nil {
+		s.front.prev = e
+	}
+	s.front = e
+	if s.back == nil {
+		s.back = e
+	}
+}
+
+func (s *shard[K, V]) unlink(e *entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else if s.front == e {
+		s.front = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else if s.back == e {
+		s.back = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

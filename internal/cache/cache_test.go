@@ -1,0 +1,180 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// key is a trivial Hasher for tests: the hash IS the id, so shard placement
+// is fully controlled by the test.
+type key struct{ id uint64 }
+
+func (k key) Hash() uint64 { return k.id }
+
+func TestGetOrComputeBasic(t *testing.T) {
+	var c Sharded[key, int]
+	calls := 0
+	compute := func() (int, error) { calls++; return 42, nil }
+
+	v, err := c.GetOrCompute(key{1}, compute)
+	if err != nil || v != 42 {
+		t.Fatalf("first GetOrCompute = %d, %v; want 42, nil", v, err)
+	}
+	v, err = c.GetOrCompute(key{1}, compute)
+	if err != nil || v != 42 {
+		t.Fatalf("second GetOrCompute = %d, %v; want 42, nil", v, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times; want 1", calls)
+	}
+	if got, ok := c.Get(key{1}); !ok || got != 42 {
+		t.Fatalf("Get = %d, %t; want 42, true", got, ok)
+	}
+	if _, ok := c.Get(key{2}); ok {
+		t.Fatal("Get(uncached) reported a hit")
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d; want 1, 1", c.Hits(), c.Misses())
+	}
+}
+
+func TestGetOrComputeSingleflight(t *testing.T) {
+	var c Sharded[key, int]
+	var computes atomic.Int64
+	release := make(chan struct{})
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	results := make([]int, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.GetOrCompute(key{7}, func() (int, error) {
+				computes.Add(1)
+				<-release // hold every waiter on the in-flight entry
+				return 99, nil
+			})
+			if err != nil {
+				t.Errorf("goroutine %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times under concurrency; want 1", n)
+	}
+	for i, v := range results {
+		if v != 99 {
+			t.Fatalf("goroutine %d saw %d; want 99", i, v)
+		}
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	var c Sharded[key, int]
+	boom := errors.New("boom")
+	calls := 0
+
+	_, err := c.GetOrCompute(key{3}, func() (int, error) { calls++; return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v; want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Fatalf("failed compute left %d entries", c.Len())
+	}
+	v, err := c.GetOrCompute(key{3}, func() (int, error) { calls++; return 5, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("retry = %d, %v; want 5, nil", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times; want 2 (errors must not be cached)", calls)
+	}
+}
+
+func TestEvictionBound(t *testing.T) {
+	c := Sharded[key, int]{Capacity: 32}
+	// All keys land on one shard (same hash low bits) to stress its LRU list.
+	const shardStride = 16
+	for i := 0; i < 100; i++ {
+		id := uint64(i * shardStride)
+		if _, err := c.GetOrCompute(key{id}, func() (int, error) { return i, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	perShard := (c.Capacity + numShards - 1) / numShards
+	if got := c.Len(); got > perShard {
+		t.Fatalf("single-shard fill holds %d entries; want <= %d", got, perShard)
+	}
+	// The most recent key must have survived.
+	if _, ok := c.Get(key{99 * shardStride}); !ok {
+		t.Fatal("most recently inserted key was evicted")
+	}
+}
+
+func TestEvictionLRUOrder(t *testing.T) {
+	c := Sharded[key, int]{Capacity: numShards * 2} // 2 per shard
+	const stride = 16
+	mk := func(i int) key { return key{uint64(i * stride)} }
+
+	for i := 0; i < 2; i++ {
+		c.GetOrCompute(mk(i), func() (int, error) { return i, nil })
+	}
+	// Touch key 0 so key 1 becomes least-recently-used, then overflow.
+	c.Get(mk(0))
+	c.GetOrCompute(mk(2), func() (int, error) { return 2, nil })
+
+	if _, ok := c.Get(mk(0)); !ok {
+		t.Fatal("recently touched key was evicted")
+	}
+	if _, ok := c.Get(mk(1)); ok {
+		t.Fatal("least-recently-used key survived eviction")
+	}
+}
+
+func TestClear(t *testing.T) {
+	var c Sharded[key, int]
+	for i := 0; i < 10; i++ {
+		id := uint64(i)
+		c.GetOrCompute(key{id}, func() (int, error) { return i, nil })
+	}
+	if c.Len() != 10 {
+		t.Fatalf("Len = %d before Clear; want 10", c.Len())
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Clear; want 0", c.Len())
+	}
+	calls := 0
+	v, err := c.GetOrCompute(key{0}, func() (int, error) { calls++; return 7, nil })
+	if err != nil || v != 7 || calls != 1 {
+		t.Fatalf("post-Clear GetOrCompute = %d, %v (calls %d); want recompute", v, err, calls)
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := Sharded[key, string]{Capacity: 64}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := uint64(i % 100)
+				want := fmt.Sprintf("v%d", id)
+				v, err := c.GetOrCompute(key{id}, func() (string, error) { return want, nil })
+				if err != nil || v != want {
+					t.Errorf("worker %d: key %d = %q, %v; want %q", w, id, v, err, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/cache"
 	"repro/internal/dataset"
 	"repro/internal/dnn"
 	"repro/internal/gpu"
@@ -47,6 +48,11 @@ type IGKWModel struct {
 	FamilyDriver map[string]Driver
 	// ClassFallback holds per-driver pooled lines resolved for the target.
 	ClassFallback map[Driver]regression.Line
+
+	// plans caches compiled prediction plans per network (see plan.go),
+	// making the bandwidth design-space sweeps allocation-free per query.
+	// Unexported, so persistence never sees it.
+	plans cache.Sharded[planKey, *Plan]
 }
 
 // IGKWBase is the target-independent part of the inter-GPU model: per-GPU
@@ -348,8 +354,27 @@ func (m *IGKWModel) PredictKernel(name string, layerFLOPs, layerInElems, layerOu
 	return minPrediction
 }
 
-// PredictNetwork implements Predictor for the target GPU.
+// PredictNetwork implements Predictor for the target GPU. Like the KW model,
+// queries are served from a cached compiled plan (see plan.go): repeated
+// predictions run allocation-free, never mutate n, and are safe to issue
+// concurrently, with results bit-identical to PredictNetworkUncached.
 func (m *IGKWModel) PredictNetwork(n *dnn.Network, batch int) (float64, error) {
+	if batch <= 0 {
+		return m.PredictNetworkUncached(n, batch)
+	}
+	key := planKey{name: n.Name, fp: networkFingerprint(n, false)}
+	p, err := m.plans.GetOrCompute(key, func() (*Plan, error) {
+		return compilePlan(n, m.Target.Name, false, m.Mapping, m.resolveKernel)
+	})
+	if err != nil {
+		return m.PredictNetworkUncached(n, batch)
+	}
+	return p.Predict(batch), nil
+}
+
+// PredictNetworkUncached is the reference prediction path (shape inference
+// plus per-kernel lookups on every call); plans are tested against it.
+func (m *IGKWModel) PredictNetworkUncached(n *dnn.Network, batch int) (float64, error) {
 	if err := n.Infer(batch); err != nil {
 		return 0, err
 	}
@@ -366,6 +391,27 @@ func (m *IGKWModel) PredictNetwork(n *dnn.Network, batch int) (float64, error) {
 		}
 	}
 	return total, nil
+}
+
+// resolveKernel mirrors PredictKernel's fallback chain (kernel line → family
+// line → class fallback → minimum floor) as a compile-time resolution. The
+// zero line in the last case predicts 0 at every x, which clamps to exactly
+// the minPrediction literal PredictKernel returns.
+func (m *IGKWModel) resolveKernel(name string, flopsZero bool) (regression.Line, Driver) {
+	if line, ok := m.Lines[name]; ok {
+		return line, m.DriverOf[name]
+	}
+	if line, ok := m.FamilyLines[FamilyOf(name)]; ok {
+		return line, m.FamilyDriver[FamilyOf(name)]
+	}
+	d := DriverOperation
+	if flopsZero {
+		d = DriverOutput
+	}
+	if line, ok := m.ClassFallback[d]; ok {
+		return line, d
+	}
+	return regression.Line{}, d
 }
 
 // PredictRecords predicts from structural kernel records (durations ignored).

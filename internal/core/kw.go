@@ -4,6 +4,7 @@ import (
 	"sort"
 	"strconv"
 
+	"repro/internal/cache"
 	"repro/internal/dataset"
 	"repro/internal/dnn"
 	"repro/internal/kernels"
@@ -50,6 +51,14 @@ type KWModel struct {
 
 	// online holds the incremental-learning state (see online.go).
 	online *onlineState
+
+	// plans caches compiled prediction plans per network and layerPlans
+	// caches resolved per-layer term lists (see plan.go). Both make repeated
+	// predictions allocation-free and safe for concurrent use; ObserveRecords
+	// invalidates them. Zero values are ready; the fields are unexported so
+	// persistence never sees them.
+	plans      cache.Sharded[planKey, *Plan]
+	layerPlans cache.Sharded[layerKey, []layerTerm]
 }
 
 // KWOptions expose the kernel-wise model's design choices for ablation
@@ -295,8 +304,30 @@ func (m *KWModel) kernelsForLayer(l *dnn.Layer) []kernels.Kernel {
 }
 
 // PredictNetwork implements Predictor: the sum over the network's kernel
-// list of the per-kernel predictions.
+// list of the per-kernel predictions. Queries are served from a compiled
+// prediction plan (see plan.go) cached per network, so repeated predictions
+// at any batch size run allocation-free, never mutate n, and are safe to
+// issue from many goroutines. Results are bit-identical to
+// PredictNetworkUncached.
 func (m *KWModel) PredictNetwork(n *dnn.Network, batch int) (float64, error) {
+	if batch <= 0 {
+		// Route through the uncached path for its validation error.
+		return m.PredictNetworkUncached(n, batch)
+	}
+	p, err := m.planFor(n)
+	if err != nil {
+		// Compilation fails only for networks the uncached path also rejects;
+		// take it so callers see the familiar shape-inference errors.
+		return m.PredictNetworkUncached(n, batch)
+	}
+	return p.Predict(batch), nil
+}
+
+// PredictNetworkUncached is the reference prediction path: shape-infer the
+// network at the batch size (mutating n) and sum per-kernel predictions. It
+// is the behavior PredictNetwork had before plan compilation and remains the
+// ground truth plans are tested against.
+func (m *KWModel) PredictNetworkUncached(n *dnn.Network, batch int) (float64, error) {
 	if err := n.Infer(batch); err != nil {
 		return 0, err
 	}
@@ -309,15 +340,81 @@ func (m *KWModel) PredictNetwork(n *dnn.Network, batch int) (float64, error) {
 	return total, nil
 }
 
+// planFor returns the cached compiled plan for the network, compiling it on
+// first use. Concurrent callers for the same network share one compilation.
+func (m *KWModel) planFor(n *dnn.Network) (*Plan, error) {
+	key := planKey{name: n.Name, fp: networkFingerprint(n, m.Training)}
+	return m.plans.GetOrCompute(key, func() (*Plan, error) {
+		return m.CompilePlan(n)
+	})
+}
+
+// CompilePlan compiles a standalone prediction plan for the network without
+// touching the model's plan cache. The input network is never mutated.
+func (m *KWModel) CompilePlan(n *dnn.Network) (*Plan, error) {
+	return compilePlan(n, m.GPU, m.Training, m.Mapping, m.resolveKernel)
+}
+
+// resolveKernel maps a kernel name to the concrete regression line and driver
+// PredictKernel would use — the same three-tier fallback (group → family →
+// class), resolved once at plan-compile time.
+func (m *KWModel) resolveKernel(name string, flopsZero bool) (regression.Line, Driver) {
+	if gi, ok := m.GroupOf[name]; ok {
+		g := m.Groups[gi]
+		return g.Line, g.Driver
+	}
+	if c, ok := m.Families[FamilyOf(name)]; ok && c.N >= MinKernelObservations {
+		return c.Line, c.Driver
+	}
+	d := DriverOperation
+	if flopsZero {
+		d = DriverOutput
+	}
+	return m.ClassFallback[d], d
+}
+
+// launchCount returns the number of kernels one batch of the network
+// dispatches, read off the cached plan (the count is batch-invariant: batch
+// size changes kernel *names*, never how many a layer launches). Returns 0
+// for networks that fail to compile.
+func (m *KWModel) launchCount(n *dnn.Network) int {
+	p, err := m.planFor(n)
+	if err != nil {
+		return 0
+	}
+	return p.EntryCount()
+}
+
 // PredictLayerTime predicts one layer's execution time: the sum of its
 // kernels' predictions. The layer must have inferred shapes. This is the
 // per-layer granularity the disaggregated-memory case study schedules with.
+// Resolved (line, driver value) terms are cached per layer signature, so the
+// scheduling loops that call this per layer per configuration pay the kernel
+// resolution once.
 func (m *KWModel) PredictLayerTime(l *dnn.Layer) float64 {
-	var total float64
-	for _, k := range m.kernelsForLayer(l) {
-		total += m.PredictKernel(k.Name, k.LayerFLOPs, k.LayerInputElems, k.LayerOutputElems)
+	key := layerKeyFor(l, m.Training)
+	terms, err := m.layerPlans.GetOrCompute(key, func() ([]layerTerm, error) {
+		ks := m.kernelsForLayer(l)
+		out := make([]layerTerm, len(ks))
+		for i, k := range ks {
+			line, driver := m.resolveKernel(k.Name, k.LayerFLOPs == 0)
+			var x float64
+			switch driver {
+			case DriverInput:
+				x = float64(k.LayerInputElems)
+			case DriverOperation:
+				x = float64(k.LayerFLOPs)
+			default:
+				x = float64(k.LayerOutputElems)
+			}
+			out[i] = layerTerm{line: line, x: x}
+		}
+		return out, nil
+	})
+	if err != nil {
+		return 0 // unreachable: the compute function never errors
 	}
-	return total
+	return predictTerms(terms)
 }
 
 // PredictRecords predicts the end-to-end time implied by a set of kernel

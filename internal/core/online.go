@@ -257,6 +257,11 @@ func (m *KWModel) ObserveRecords(recs []dataset.KernelRecord) (groups, newKernel
 	}
 	m.rebuildFromAccumulators()
 
+	// The regression structure changed: every compiled plan and cached layer
+	// term list may now be stale.
+	m.plans.Clear()
+	m.layerPlans.Clear()
+
 	for name := range m.GroupOf {
 		if !before[name] {
 			newKernels++

@@ -7,7 +7,6 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/dnn"
-	"repro/internal/kernels"
 	"repro/internal/regression"
 )
 
@@ -57,7 +56,7 @@ func FitSmallBatch(kw *KWModel, ds *dataset.Dataset, resolve NetworkResolver) (*
 		if err != nil {
 			return nil, err
 		}
-		count := float64(kernelLaunchCount(net, kw.Training))
+		count := float64(kw.launchCount(net))
 		byBatch[r.BatchSize] = append(byBatch[r.BatchSize],
 			pt{x: []float64{pred, count}, y: r.E2ESeconds})
 	}
@@ -80,16 +79,6 @@ func FitSmallBatch(kw *KWModel, ds *dataset.Dataset, resolve NetworkResolver) (*
 	return m, nil
 }
 
-// kernelLaunchCount counts the kernels one batch dispatches.
-func kernelLaunchCount(n *dnn.Network, training bool) int {
-	if training {
-		ks, _ := kernels.ForNetworkTraining(n)
-		return len(ks)
-	}
-	ks, _ := kernels.ForNetwork(n)
-	return len(ks)
-}
-
 // Name implements Predictor.
 func (m *SmallBatchModel) Name() string { return "KW+overhead" }
 
@@ -107,7 +96,7 @@ func (m *SmallBatchModel) PredictNetwork(n *dnn.Network, batch int) (float64, er
 	if !ok {
 		return pred, nil
 	}
-	corrected := cal.Predict([]float64{pred, float64(kernelLaunchCount(n, m.KW.Training))})
+	corrected := cal.Predict([]float64{pred, float64(m.KW.launchCount(n))})
 	return clampTime(corrected), nil
 }
 

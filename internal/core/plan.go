@@ -1,0 +1,388 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dnn"
+	"repro/internal/kernels"
+	"repro/internal/regression"
+)
+
+// Compiled prediction plans. A Plan is the result of running shape inference
+// and layer→kernel resolution once for a (network, model) pair and reducing
+// every kernel to the data its prediction actually needs: a resolved
+// regression line plus the affine map from batch size to the kernel's driver
+// variable. Predicting at any batch size is then a single allocation-free
+// pass over a flat segment slice — no Infer call, no map lookups, no
+// goroutine-visible mutation — which is what makes the models safe and fast
+// to query concurrently.
+//
+// Why an affine map suffices: every driver candidate (layer input elements,
+// layer FLOPs, layer output elements) is an exact affine function of the
+// batch size N. Activation tensors carry N as their leading dimension, so
+// element counts and FLOPs are proportional to N; the one exception, the
+// optimizer kernel whose driver is the (batch-independent) parameter count,
+// is the constant special case. Two shape inferences — at N=1 and N=2 —
+// therefore determine each driver exactly at every batch size, in integer
+// arithmetic, so the compiled path reproduces the uncached path bit for bit.
+//
+// Why segments: the *identity* of a kernel (its name, and therefore which
+// regression line resolves for it) can change with batch size in exactly two
+// ways — GEMM tile variants switch at known row-count thresholds
+// (kernels.BatchBreakpoints), and the learned mapping table can substitute
+// traced names only at the batch sizes embedded in its signatures. The
+// compiler enumerates that finite breakpoint set, resolves the plan at each,
+// and stores one segment per distinct resolution; adjacent identical
+// resolutions merge, so most entries hold a single segment.
+
+// planSeg is one kernel's resolution over a half-open batch range
+// [minBatch, nextSeg.minBatch): the regression line and the affine driver
+// map x(N) = xPer·N + xConst.
+type planSeg struct {
+	minBatch     int
+	xPer, xConst int64
+	line         regression.Line
+}
+
+// Plan is a compiled predictor for one network on one model. It is immutable
+// after compilation and safe for concurrent use.
+type Plan struct {
+	// Network and GPU identify what the plan predicts.
+	Network string
+	GPU     string
+
+	// segs holds every entry's segments back to back, each entry's sorted by
+	// ascending minBatch (the first always has minBatch 1); entryEnd[i] is
+	// the end offset of entry i's segments within segs.
+	segs     []planSeg
+	entryEnd []int32
+}
+
+// EntryCount returns the number of kernel invocations the plan sums over.
+func (p *Plan) EntryCount() int { return len(p.entryEnd) }
+
+// SegmentCount returns the total number of batch-range segments; it exceeds
+// EntryCount only when some kernel resolves differently across batch sizes.
+func (p *Plan) SegmentCount() int { return len(p.segs) }
+
+// Predict returns the predicted end-to-end seconds of one batch. The batch
+// size must be positive (callers route non-positive batches through the
+// uncached path for its validation errors). It performs no allocation and is
+// safe to call concurrently.
+func (p *Plan) Predict(batch int) float64 {
+	var total float64
+	start := 0
+	for _, e := range p.entryEnd {
+		end := int(e)
+		seg := &p.segs[start]
+		for i := end - 1; i > start; i-- {
+			if p.segs[i].minBatch <= batch {
+				seg = &p.segs[i]
+				break
+			}
+		}
+		x := float64(seg.xPer*int64(batch) + seg.xConst)
+		total += clampTime(seg.line.Predict(x))
+		start = end
+	}
+	return total
+}
+
+// kernelResolve maps a kernel name (plus whether its layer carries zero
+// FLOPs, which steers the last-resort fallback) to the concrete regression
+// line and driver the model would use — the model-specific half of plan
+// compilation.
+type kernelResolve func(name string, flopsZero bool) (regression.Line, Driver)
+
+// driverAffine holds the affine batch→value maps of one kernel's three
+// driver candidates.
+type driverAffine struct {
+	inPer, inConst   int64
+	opPer, opConst   int64
+	outPer, outConst int64
+}
+
+func (a driverAffine) pick(d Driver) (per, cnst int64) {
+	switch d {
+	case DriverInput:
+		return a.inPer, a.inConst
+	case DriverOperation:
+		return a.opPer, a.opConst
+	default:
+		return a.outPer, a.outConst
+	}
+}
+
+// compilePlan builds a Plan for the network. It works on a private clone, so
+// the caller's network is never mutated (and concurrent compilations of the
+// same network cannot race).
+func compilePlan(n *dnn.Network, gpuName string, training bool,
+	mapping map[string][]string, resolve kernelResolve) (*Plan, error) {
+
+	clone := n.Clone()
+	dispatch := kernels.ForLayer
+	if training {
+		dispatch = kernels.ForLayerTraining
+	}
+
+	// Driver values at N=1 and N=2 determine each driver's affine map.
+	if err := clone.Infer(1); err != nil {
+		return nil, err
+	}
+	var at1 []kernels.Kernel
+	for _, l := range clone.Layers {
+		at1 = append(at1, dispatch(l)...)
+	}
+	if err := clone.Infer(2); err != nil {
+		return nil, err
+	}
+	var at2 []kernels.Kernel
+	for _, l := range clone.Layers {
+		at2 = append(at2, dispatch(l)...)
+	}
+	if len(at1) != len(at2) {
+		return nil, fmt.Errorf("core: plan compile %q: kernel count changed with batch size (%d vs %d)",
+			n.Name, len(at1), len(at2))
+	}
+	affine := make([]driverAffine, len(at1))
+	for i := range at1 {
+		a := &affine[i]
+		a.inPer, a.inConst = affineFromTwo(at1[i].LayerInputElems, at2[i].LayerInputElems)
+		a.opPer, a.opConst = affineFromTwo(at1[i].LayerFLOPs, at2[i].LayerFLOPs)
+		a.outPer, a.outConst = affineFromTwo(at1[i].LayerOutputElems, at2[i].LayerOutputElems)
+	}
+
+	// The finite set of batch sizes where any kernel's resolution can change.
+	bpSet := map[int]bool{1: true}
+	for _, l := range clone.Layers {
+		for _, bp := range kernels.BatchBreakpoints(l) {
+			bpSet[bp] = true
+		}
+	}
+	for sig := range mapping {
+		if b := signatureBatch(sig); b > 0 {
+			bpSet[b] = true   // the mapping substitution can start applying here
+			bpSet[b+1] = true // ... and stops applying here
+		}
+	}
+	breakpoints := make([]int, 0, len(bpSet))
+	for b := range bpSet {
+		breakpoints = append(breakpoints, b)
+	}
+	sort.Ints(breakpoints)
+
+	// Resolve the full kernel list at every breakpoint; emit a new segment
+	// only where the resolution differs from the previous breakpoint's.
+	perEntry := make([][]planSeg, len(at1))
+	for _, b := range breakpoints {
+		if err := clone.Infer(b); err != nil {
+			return nil, err
+		}
+		idx := 0
+		for _, l := range clone.Layers {
+			ks := dispatch(l)
+			if names, ok := mapping[l.Signature()]; ok && len(names) == len(ks) {
+				for i := range ks {
+					ks[i].Name = names[i]
+				}
+			}
+			for _, k := range ks {
+				if idx >= len(at1) {
+					return nil, fmt.Errorf("core: plan compile %q: kernel count changed at batch %d", n.Name, b)
+				}
+				line, driver := resolve(k.Name, k.LayerFLOPs == 0)
+				per, cnst := affine[idx].pick(driver)
+				seg := planSeg{minBatch: b, xPer: per, xConst: cnst, line: line}
+				if prev := perEntry[idx]; len(prev) > 0 && sameResolution(prev[len(prev)-1], seg) {
+					idx++
+					continue
+				}
+				perEntry[idx] = append(perEntry[idx], seg)
+				idx++
+			}
+		}
+		if idx != len(at1) {
+			return nil, fmt.Errorf("core: plan compile %q: kernel count changed at batch %d", n.Name, b)
+		}
+	}
+
+	p := &Plan{Network: n.Name, GPU: gpuName, entryEnd: make([]int32, len(perEntry))}
+	total := 0
+	for _, segs := range perEntry {
+		total += len(segs)
+	}
+	p.segs = make([]planSeg, 0, total)
+	for i, segs := range perEntry {
+		p.segs = append(p.segs, segs...)
+		p.entryEnd[i] = int32(len(p.segs))
+	}
+	return p, nil
+}
+
+// affineFromTwo recovers v(N) = per·N + const from v(1) and v(2). Every
+// driver variable is affine in the batch size, so the recovery is exact.
+func affineFromTwo(v1, v2 int64) (per, cnst int64) {
+	per = v2 - v1
+	return per, v1 - per
+}
+
+// sameResolution reports whether two segments predict identically (ignoring
+// their batch ranges), allowing adjacent segments to merge.
+func sameResolution(a, b planSeg) bool {
+	return a.xPer == b.xPer && a.xConst == b.xConst && a.line == b.line
+}
+
+// signatureBatch extracts the batch size embedded in a layer signature's
+// first inferred shape ("...|in=(512, 3, 224, 224)|..."). The "(" excludes
+// parameter fields like Linear's "|in=4096". Returns 0 when no shape batch is
+// present.
+func signatureBatch(sig string) int {
+	i := strings.Index(sig, "|in=(")
+	if i < 0 {
+		return 0
+	}
+	n := 0
+	for j := i + len("|in=("); j < len(sig); j++ {
+		c := sig[j]
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// ------------------------------------------------------------- cache keys
+
+// planKey identifies a compiled plan in a model's plan cache. Network names
+// alone are not a safe key — independently built networks can share a name —
+// so the key pairs the name with a structural fingerprint.
+type planKey struct {
+	name string
+	fp   uint64
+}
+
+// Hash implements cache.Hasher.
+func (k planKey) Hash() uint64 { return k.fp }
+
+// layerKey identifies a per-layer term list in the layer-prediction cache.
+// The signature pins the layer's kind, parameters and first-input/output
+// shapes; the summed input element count disambiguates multi-input layers
+// whose extra inputs the signature does not cover.
+type layerKey struct {
+	sig     string
+	inElems int64
+	h       uint64
+}
+
+// Hash implements cache.Hasher.
+func (k layerKey) Hash() uint64 { return k.h }
+
+// layerTerm is one kernel's resolved (line, driver value) pair within a
+// cached layer prediction.
+type layerTerm struct {
+	line regression.Line
+	x    float64
+}
+
+// predictTerms sums a cached layer's kernel predictions.
+func predictTerms(terms []layerTerm) float64 {
+	var total float64
+	for _, t := range terms {
+		total += clampTime(t.line.Predict(t.x))
+	}
+	return total
+}
+
+// FNV-1a, hand-rolled so fingerprinting allocates nothing.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+type fnv64 uint64
+
+func (h *fnv64) str(s string) {
+	x := uint64(*h)
+	for i := 0; i < len(s); i++ {
+		x = (x ^ uint64(s[i])) * fnvPrime64
+	}
+	*h = fnv64(x)
+}
+
+func (h *fnv64) u64(v uint64) {
+	x := uint64(*h)
+	for i := 0; i < 8; i++ {
+		x = (x ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	*h = fnv64(x)
+}
+
+func (h *fnv64) num(v int) { h.u64(uint64(int64(v))) }
+
+func (h *fnv64) flag(b bool) {
+	if b {
+		h.u64(1)
+	} else {
+		h.u64(0)
+	}
+}
+
+// networkFingerprint hashes everything about a network's structure that a
+// prediction can depend on: identity, input shape, and per-layer kinds,
+// parameters and wiring. Layer names are deliberately excluded — predictions
+// never consume them. The training flag is folded in because training and
+// inference plans differ for the same structure.
+func networkFingerprint(n *dnn.Network, training bool) uint64 {
+	h := fnv64(fnvOffset64)
+	h.str(n.Name)
+	h.str(n.Family)
+	h.str(string(n.Task))
+	h.flag(training)
+	h.num(len(n.InputShape))
+	for _, d := range n.InputShape {
+		h.num(d)
+	}
+	h.num(len(n.Layers))
+	for _, l := range n.Layers {
+		h.str(string(l.Kind))
+		h.num(len(l.Inputs))
+		for _, in := range l.Inputs {
+			h.num(in)
+		}
+		h.num(l.Cin)
+		h.num(l.Cout)
+		h.num(l.KH)
+		h.num(l.KW)
+		h.num(l.Stride)
+		h.num(l.Pad)
+		h.num(l.Groups)
+		h.num(l.InFeatures)
+		h.num(l.OutFeatures)
+		h.num(l.VocabSize)
+		h.num(l.EmbedDim)
+		h.num(l.Heads)
+		h.flag(l.TransposeB)
+	}
+	return uint64(h)
+}
+
+// layerKeyFor builds the cache key of one inferred layer.
+func layerKeyFor(l *dnn.Layer, training bool) layerKey {
+	sig := l.Signature()
+	inElems := int64(0)
+	for _, s := range l.InShapes {
+		inElems += s.Numel()
+	}
+	if inElems == 0 {
+		inElems = l.InShape.Numel()
+	}
+	h := fnv64(fnvOffset64)
+	h.str(sig)
+	h.u64(uint64(inElems))
+	h.flag(training)
+	return layerKey{sig: sig, inElems: inElems, h: uint64(h)}
+}

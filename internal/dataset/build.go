@@ -83,12 +83,7 @@ func Build(nets []*dnn.Network, gpus []gpu.Spec, opt BuildOptions) (*Dataset, *B
 		devices[i] = sim.New(g, opt.SimConfig)
 	}
 
-	type result struct {
-		ds  Dataset
-		oom []string
-		err error
-	}
-	results := make([]result, len(nets))
+	results := make([]collectResult, len(nets))
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -114,34 +109,44 @@ func Build(nets []*dnn.Network, gpus []gpu.Spec, opt BuildOptions) (*Dataset, *B
 		}
 		ds.Merge(&results[i].ds)
 		report.OutOfMemory = append(report.OutOfMemory, results[i].oom...)
-		report.Profiled += len(results[i].ds.Networks)
+		report.Profiled += results[i].profiled
 	}
 	sort.Strings(report.OutOfMemory)
 	return ds, report, nil
 }
 
+// collectResult is one network's collection output.
+type collectResult struct {
+	ds Dataset
+	// profiled counts the successful (network, GPU, batch) executions — the
+	// quantity BuildReport.Profiled aggregates.
+	profiled int
+	oom      []string
+	err      error
+}
+
 // collectNetwork profiles one network on every device. It works on a private
 // clone so parallel workers never share mutable shape state.
-func collectNetwork(src *dnn.Network, devices []*sim.Device, opt BuildOptions) (res struct {
-	ds  Dataset
-	oom []string
-	err error
-}) {
+func collectNetwork(src *dnn.Network, devices []*sim.Device, opt BuildOptions) (res collectResult) {
 	net := cloneNetwork(src)
+
+	batches := make([]int, 0, len(opt.E2EBatchSizes)+1)
+	batches = append(batches, opt.E2EBatchSizes...)
+	hasDetail := false
+	for _, b := range batches {
+		if b == opt.DetailBatchSize {
+			hasDetail = true
+		}
+	}
+	if !hasDetail {
+		batches = append(batches, opt.DetailBatchSize)
+	}
+
+	// One profiler for the whole network, re-pointed per device, so its
+	// per-kernel scratch buffers are reused across every profiled run.
+	p := &profiler.Profiler{Warmup: opt.Warmup, Batches: opt.Batches, Training: opt.Training}
 	for _, dev := range devices {
-		p := &profiler.Profiler{Device: dev, Warmup: opt.Warmup, Batches: opt.Batches, Training: opt.Training}
-
-		batches := append([]int(nil), opt.E2EBatchSizes...)
-		hasDetail := false
-		for _, b := range batches {
-			if b == opt.DetailBatchSize {
-				hasDetail = true
-			}
-		}
-		if !hasDetail {
-			batches = append(batches, opt.DetailBatchSize)
-		}
-
+		p.Device = dev
 		for _, bs := range batches {
 			tr, err := p.Profile(net, bs)
 			if errors.Is(err, profiler.ErrOutOfMemory) {
@@ -152,6 +157,7 @@ func collectNetwork(src *dnn.Network, devices []*sim.Device, opt BuildOptions) (
 				res.err = err
 				return res
 			}
+			res.profiled++
 			if bs == opt.DetailBatchSize {
 				res.ds.AddTrace(tr) // full detail
 			} else {
@@ -167,17 +173,6 @@ func collectNetwork(src *dnn.Network, devices []*sim.Device, opt BuildOptions) (
 	return res
 }
 
-// cloneNetwork deep-copies the network structure (layers and input refs) so
-// shape inference in one goroutine cannot race another.
-func cloneNetwork(n *dnn.Network) *dnn.Network {
-	c := dnn.New(n.Name, n.Family, n.Task, n.InputShape)
-	for _, l := range n.Layers {
-		lc := *l
-		lc.Inputs = append([]int(nil), l.Inputs...)
-		lc.InShape = nil
-		lc.InShapes = nil
-		lc.OutShape = nil
-		c.Add(&lc)
-	}
-	return c
-}
+// cloneNetwork deep-copies the network structure so shape inference in one
+// goroutine cannot race another.
+func cloneNetwork(n *dnn.Network) *dnn.Network { return n.Clone() }

@@ -143,6 +143,42 @@ func TestBuildReportsOOM(t *testing.T) {
 	}
 }
 
+func TestBuildReportProfiledCounts(t *testing.T) {
+	// Without OOMs, Profiled is exactly networks × GPUs × batch sizes.
+	nets := []*dnn.Network{zoo.MustResNet(18), zoo.StandardMobileNetV2(), zoo.MustDenseNet(121)}
+	opt := DefaultBuildOptions()
+	opt.Batches = 1
+	opt.Warmup = 0
+	opt.E2EBatchSizes = []int{4, 512} // detail size 512 folds into this list
+	gpus := []gpu.Spec{gpu.A100, gpu.V100}
+	_, rep, err := Build(nets, gpus, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.OutOfMemory) != 0 {
+		t.Fatalf("unexpected OOMs: %v", rep.OutOfMemory)
+	}
+	want := len(nets) * len(gpus) * 2
+	if rep.Profiled != want {
+		t.Fatalf("Profiled = %d; want %d (one per (network, GPU, batch) execution)",
+			rep.Profiled, want)
+	}
+
+	// With OOMs, the dropped runs move from Profiled to OutOfMemory and the
+	// two still account for every attempted execution.
+	_, rep, err = Build([]*dnn.Network{zoo.MustVGG(16, false)}, []gpu.Spec{gpu.QuadroP620}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.OutOfMemory) == 0 {
+		t.Fatal("VGG-16 at batch 512 should OOM on a 2 GB card")
+	}
+	if got := rep.Profiled + len(rep.OutOfMemory); got != 2 {
+		t.Fatalf("Profiled (%d) + OOM (%d) = %d; want 2 attempted executions",
+			rep.Profiled, len(rep.OutOfMemory), got)
+	}
+}
+
 func TestBuildValidation(t *testing.T) {
 	if _, _, err := Build(nil, []gpu.Spec{gpu.A100}, DefaultBuildOptions()); err == nil {
 		t.Fatal("empty network list should error")

@@ -401,3 +401,19 @@ func (n *Network) PeakActivationBytes() int64 {
 
 // Validate runs shape inference at batch size 1 purely as a structural check.
 func (n *Network) Validate() error { return n.Infer(1) }
+
+// Clone deep-copies the network structure (layers and input references) with
+// shape state reset, so inference on the clone never races or disturbs the
+// original. Callers that need shapes run Infer on the clone.
+func (n *Network) Clone() *Network {
+	c := New(n.Name, n.Family, n.Task, n.InputShape)
+	for _, l := range n.Layers {
+		lc := *l
+		lc.Inputs = append([]int(nil), l.Inputs...)
+		lc.InShape = nil
+		lc.InShapes = nil
+		lc.OutShape = nil
+		c.Add(&lc)
+	}
+	return c
+}

@@ -314,6 +314,37 @@ func kindSlug(k dnn.Kind) string {
 	return "op"
 }
 
+// BatchBreakpoints returns the batch sizes at which the layer's kernel
+// *names* can change as the batch grows, in ascending order. Only GEMM-backed
+// layers (Conv2D, Linear) dispatch tile variants keyed by the GEMM row count
+// m = batch·positions; the tile thresholds {32, 64, 128, 256} are first
+// crossed at batch ceil(threshold/positions). All other kernel-name inputs
+// (algorithm selection, column counts, MatMul sequence lengths) are
+// batch-independent. The layer must have inferred shapes; the result is the
+// same whatever batch size they were inferred at.
+func BatchBreakpoints(l *dnn.Layer) []int {
+	var perSample int64
+	switch l.Kind {
+	case dnn.KindConv2D:
+		perSample = l.OutShape.Numel() / int64(l.Cout) / int64(l.OutShape.Batch())
+	case dnn.KindLinear:
+		perSample = l.OutShape.Numel() / int64(l.OutFeatures) / int64(l.OutShape.Batch())
+	default:
+		return nil
+	}
+	if perSample <= 0 {
+		return nil
+	}
+	var bps []int
+	for _, threshold := range []int64{32, 64, 128, 256} {
+		bp := (threshold + perSample - 1) / perSample
+		if bp > 1 {
+			bps = append(bps, int(bp))
+		}
+	}
+	return bps
+}
+
 // ForNetwork returns the concatenated kernel sequence of every layer, paired
 // with the producing layer index. The network must have inferred shapes.
 func ForNetwork(n *dnn.Network) ([]Kernel, []int) {

@@ -83,7 +83,11 @@ type Trace struct {
 
 // KernelEvents returns all kernel events across layers, in launch order.
 func (t *Trace) KernelEvents() []KernelEvent {
-	var out []KernelEvent
+	total := 0
+	for _, l := range t.Layers {
+		total += len(l.Kernels)
+	}
+	out := make([]KernelEvent, 0, total)
 	for _, l := range t.Layers {
 		out = append(out, l.Kernels...)
 	}
@@ -102,6 +106,12 @@ type Profiler struct {
 	// Training profiles full training steps (forward + backward + optimizer
 	// kernels) instead of inference — the paper's future-work extension.
 	Training bool
+
+	// base, noisy and sumDur are per-kernel scratch buffers reused across
+	// Profile calls — the dominant allocations of a collection sweep. Their
+	// presence makes a Profiler single-goroutine; the dataset builder already
+	// creates one per worker.
+	base, noisy, sumDur []float64
 }
 
 // New returns a profiler for the device with the paper's protocol
@@ -151,18 +161,18 @@ func (p *Profiler) Profile(n *dnn.Network, batch int) (*Trace, error) {
 	} else {
 		ks, layerIdx = kernels.ForNetwork(n)
 	}
-	base := make([]float64, len(ks))
+	base := growScratch(&p.base, len(ks))
 	for i, k := range ks {
 		base[i] = p.Device.BaseKernelTime(k)
 	}
 
 	rnd := rand.New(rand.NewSource(p.seedFor(n.Name, batch)))
 	// Warm-up batches: executed for protocol fidelity (they advance the
-	// noise stream) but not recorded.
-	noisy := make([]float64, len(ks))
+	// noise stream — one draw per kernel, exactly as a timed execution
+	// would) but not recorded, so the base-time computation is skipped.
 	for b := 0; b < p.Warmup; b++ {
-		for i := range ks {
-			_ = p.Device.KernelTime(ks[i], rnd)
+		for range ks {
+			_ = noiseDraw(rnd, p.Device)
 		}
 	}
 
@@ -170,7 +180,11 @@ func (p *Profiler) Profile(n *dnn.Network, batch int) (*Trace, error) {
 	if batches <= 0 {
 		batches = 1
 	}
-	sumDur := make([]float64, len(ks))
+	noisy := growScratch(&p.noisy, len(ks))
+	sumDur := growScratch(&p.sumDur, len(ks))
+	for i := range sumDur {
+		sumDur[i] = 0
+	}
 	var wallSum float64
 	for b := 0; b < batches; b++ {
 		for i := range ks {
@@ -225,6 +239,16 @@ func (p *Profiler) Profile(n *dnn.Network, batch int) (*Trace, error) {
 		tr.KernelSum += avg
 	}
 	return tr, nil
+}
+
+// growScratch resizes a reusable buffer to n elements, reallocating only when
+// capacity is exceeded. Contents are unspecified.
+func growScratch(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // noiseDraw draws one lognormal measurement-noise factor matching the

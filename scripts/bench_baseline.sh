@@ -1,0 +1,43 @@
+#!/bin/sh
+# Regenerates BENCH_baseline.json: the committed reference numbers for the
+# prediction hot path and the lab collection pipeline. Run from the repo root
+# on a quiet machine; numbers are indicative (one -benchtime=1000x sample per
+# benchmark), meant to catch order-of-magnitude regressions, not 5% drifts.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_baseline.json
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+# Plan-layer micro-benchmarks (internal/core) and the end-to-end prediction
+# benchmarks at the root package.
+go test -run '^$' -bench 'BenchmarkPlanCompile|BenchmarkKWPredictPlan|BenchmarkKWPredictUncached$|BenchmarkKWPredictParallel' \
+    -benchtime 1000x ./internal/core/ >"$tmp"
+go test -run '^$' -bench 'BenchmarkKWPredict$|BenchmarkKWPredictUncachedE2E|BenchmarkKWPredictConcurrent' \
+    -benchtime 1000x . >>"$tmp"
+go test -run '^$' -bench 'BenchmarkLabDatasetBuild' -benchtime 3x . >>"$tmp"
+
+# Convert `BenchmarkName-P  N  T ns/op  B B/op  A allocs/op` lines to JSON.
+awk 'BEGIN { print "{"; first = 1 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    nsop = ""; bop = ""; allocs = ""
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "ns/op") nsop = $i
+        if ($(i + 1) == "B/op") bop = $i
+        if ($(i + 1) == "allocs/op") allocs = $i
+    }
+    if (nsop == "") next
+    if (!first) printf(",\n")
+    first = 0
+    printf("  \"%s\": {\"ns_per_op\": %s", name, nsop)
+    if (bop != "") printf(", \"bytes_per_op\": %s", bop)
+    if (allocs != "") printf(", \"allocs_per_op\": %s", allocs)
+    printf("}")
+}
+END { print "\n}" }' "$tmp" >"$out"
+
+echo "wrote $out:"
+cat "$out"
