@@ -1,9 +1,9 @@
 # Developer entry points. `make verify` is the full pre-merge gate; CI runs
-# the same three commands.
+# the same script.
 
 GO ?= go
 
-.PHONY: build test verify bench-smoke bench-baseline
+.PHONY: build test lint verify bench-smoke bench-baseline
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,17 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the pre-merge gate: vet, build, and the full test suite under the
+# lint runs the repository's own static analyzers (internal/analysis) over
+# every package: detrange, unitsafe, floateq, locksafe, staleplan.
+lint:
+	$(GO) run ./cmd/dnnlint ./...
+
+# verify is the pre-merge gate: vet, dnnlint, the full test suite under the
 # race detector (the concurrency tests in internal/bench, internal/cache and
-# internal/core only bite with -race on).
+# internal/core only bite with -race on), and the lint self-test proving the
+# gate fails on a seeded violation. scripts/ci.sh runs all four.
 verify:
-	$(GO) vet ./...
-	$(GO) build ./...
-	$(GO) test -race ./...
+	./scripts/ci.sh
 
 # bench-smoke compiles and runs every benchmark exactly once — a cheap check
 # that no benchmark has rotted, without producing timing numbers.

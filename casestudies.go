@@ -4,6 +4,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/disagg"
 	"repro/internal/sched"
+	"repro/internal/units"
 )
 
 // This file exposes the building blocks of the paper's three case studies
@@ -66,7 +67,7 @@ func DisaggJobsFromNetwork(n *Network, batch int, kw *KWModel) ([]DisaggLayerJob
 		jobs = append(jobs, DisaggLayerJob{
 			Name:           l.Name,
 			ComputeSeconds: kw.PredictLayerTime(l),
-			RemoteBytes:    traffic,
+			RemoteBytes:    units.Bytes(traffic),
 		})
 	}
 	return jobs, nil

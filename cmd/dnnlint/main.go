@@ -1,0 +1,195 @@
+// Command dnnlint runs the repository's domain-specific static analyzers
+// (internal/analysis) over package patterns and reports invariant
+// violations with file:line positions. It exits non-zero when any finding
+// is reported, so `go run ./cmd/dnnlint ./...` gates make verify and CI.
+//
+// Usage:
+//
+//	dnnlint [packages]
+//
+// Patterns: "./..." (default) walks every package under the current module;
+// an explicit directory ("./internal/core") checks just that package.
+// Test files and testdata directories are never checked — the invariants
+// guard production behaviour, and tests legitimately assert bit-identity.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dnnlint [packages]\n\nInvariants:\n")
+		for _, a := range analysis.All() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name(), a.Doc())
+		}
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	module, err := moduleName(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	dirs, err := expandPatterns(root, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	fset := token.NewFileSet()
+	imp := analysis.NewImporter(fset)
+	analyzers := analysis.All()
+
+	var findings []analysis.Finding
+	for _, dir := range dirs {
+		pass, err := analysis.LoadDir(fset, imp, dir, importPath(module, root, dir))
+		if err != nil {
+			fatal(err)
+		}
+		for _, a := range analyzers {
+			findings = append(findings, a.Run(pass)...)
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+
+	w := bufio.NewWriter(os.Stdout)
+	for _, f := range findings {
+		rel := f.Pos.Filename
+		if r, err := filepath.Rel(root, rel); err == nil {
+			rel = r
+		}
+		fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", rel, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	w.Flush()
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "dnnlint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// fatal reports a driver error and exits with a status distinct from the
+// findings exit code.
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dnnlint:", err)
+	os.Exit(2)
+}
+
+// moduleName reads the module path from go.mod in root.
+func moduleName(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s/go.mod", root)
+}
+
+// importPath maps a package directory to its import path under the module.
+func importPath(module, root, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return module
+	}
+	return module + "/" + filepath.ToSlash(rel)
+}
+
+// expandPatterns resolves package patterns to package directories: "./..."
+// and "dir/..." walk recursively; anything else is a single directory.
+// Directories named testdata, hidden directories and _-prefixed directories
+// are skipped, matching the go tool's convention.
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		base, recursive := strings.CutSuffix(pat, "...")
+		base = strings.TrimSuffix(base, "/")
+		if base == "" || base == "." {
+			base = root
+		} else if !filepath.IsAbs(base) {
+			base = filepath.Join(root, base)
+		}
+		if !recursive {
+			if hasGoFiles(base) {
+				add(base)
+			} else {
+				return nil, fmt.Errorf("no Go files in %s", base)
+			}
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return fs.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains a non-test Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -48,17 +48,18 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			t, err := m.PredictNetwork(net, repro.TrainBatchSize)
+			tPred, err := m.PredictNetwork(net, repro.TrainBatchSize)
 			if err != nil {
 				log.Fatal(err)
 			}
+			t := float64(tPred)
 			gain := ""
 			if prev > 0 {
 				gain = fmt.Sprintf("  (−%4.1f%% vs −100 GB/s)", 100*(prev-t)/prev)
 			}
 			bar := strings.Repeat("█", int(t*1e3/50))
 			native := ""
-			if bw == 600 {
+			if int(bw) == 600 {
 				native = "  ← native 672 GB/s is here"
 			}
 			fmt.Printf("  %5.0f GB/s  %9.1f ms %s%s%s\n", bw, t*1e3, bar, gain, native)

@@ -62,10 +62,11 @@ func main() {
 	fmt.Printf("\n%s at batch %d on A100 — measured %.1f ms\n",
 		target, repro.TrainBatchSize, trace.E2ETime*1e3)
 	for _, m := range []repro.Predictor{e2e, lw, kw} {
-		pred, err := m.PredictNetwork(net, repro.TrainBatchSize)
+		predT, err := m.PredictNetwork(net, repro.TrainBatchSize)
 		if err != nil {
 			log.Fatal(err)
 		}
+		pred := float64(predT)
 		fmt.Printf("  %-4s predicted %8.1f ms  (error %5.1f%%)\n",
 			m.Name(), pred*1e3, 100*abs(pred-trace.E2ETime)/trace.E2ETime)
 	}

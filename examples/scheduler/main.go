@@ -60,7 +60,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			pred[g.Name][i] = p
+			pred[g.Name][i] = float64(p)
 			tr, err := repro.Profile(net, repro.TrainBatchSize, g)
 			if err != nil {
 				log.Fatal(err)

@@ -63,12 +63,12 @@ func main() {
 	fmt.Printf("\nresnet50 at batch %d on A100:\n", batch)
 	fmt.Printf("  measured training step   %8.1f ms\n", trainTrace.E2ETime*1e3)
 	fmt.Printf("  predicted training step  %8.1f ms  (±2σ: %.1f–%.1f ms)\n",
-		iv.Predicted*1e3, iv.Lo()*1e3, iv.Hi()*1e3)
+		float64(iv.Predicted)*1e3, float64(iv.Lo())*1e3, float64(iv.Hi())*1e3)
 	fmt.Printf("  measured inference step  %8.1f ms\n", inferTrace.E2ETime*1e3)
 	fmt.Printf("  training / inference     %8.2f×\n",
 		trainTrace.E2ETime/inferTrace.E2ETime)
 	fmt.Printf("  prediction error         %8.1f%%\n",
-		100*abs(iv.Predicted-trainTrace.E2ETime)/trainTrace.E2ETime)
+		100*abs(float64(iv.Predicted)-trainTrace.E2ETime)/trainTrace.E2ETime)
 }
 
 func abs(x float64) float64 {

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+)
+
+// Floateq flags == and != between floating-point operands in non-test code.
+// Predictions flow through regression coefficients whose last bits depend on
+// summation order and compiler fusion; exact equality on such values either
+// encodes a hidden bit-identity assumption or is a latent flake. Call
+// core.ApproxEqual(a, b, eps) instead.
+//
+// Exemptions:
+//   - comparison against the constant 0 (the idiomatic "unset field" check:
+//     zero is an exact float value and the zero-value sentinel for structs);
+//   - the bodies of epsilon helpers themselves (ApproxEqual, almostEqual),
+//     whose fast path legitimately uses ==.
+type Floateq struct{}
+
+// NewFloateq returns the analyzer.
+func NewFloateq() *Floateq { return &Floateq{} }
+
+// Name implements Analyzer.
+func (*Floateq) Name() string { return "floateq" }
+
+// Doc implements Analyzer.
+func (*Floateq) Doc() string {
+	return "exact ==/!= on floating-point operands (use core.ApproxEqual)"
+}
+
+// epsilonHelpers are function names whose bodies are exempt.
+var epsilonHelpers = map[string]bool{"ApproxEqual": true, "almostEqual": true}
+
+// Run implements Analyzer.
+func (a *Floateq) Run(p *Pass) []Finding {
+	var findings []Finding
+	for _, fd := range funcDecls(p) {
+		if epsilonHelpers[fd.Name.Name] {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := p.Info.Types[be.X]
+			yt, yok := p.Info.Types[be.Y]
+			if !xok || !yok || !isFloat(xt.Type) || !isFloat(yt.Type) {
+				return true
+			}
+			if isConstZero(xt.Value) || isConstZero(yt.Value) {
+				return true
+			}
+			reportf(p, &findings, a.Name(), be,
+				"exact %s on float operands; use core.ApproxEqual(a, b, eps) (floats differ in final bits across summation orders)",
+				be.Op)
+			return true
+		})
+	}
+	return findings
+}
+
+// isConstZero reports whether v is the exact constant 0.
+func isConstZero(v constant.Value) bool {
+	if v == nil {
+		return false
+	}
+	f, ok := constant.Float64Val(v)
+	return ok && f == 0
+}

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"sort"
+	"strings"
+)
+
+// NewImporter returns the stdlib source importer used to resolve
+// dependencies while type-checking. One importer should be shared across
+// every LoadDir call in a run so each dependency is checked once.
+func NewImporter(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "source", nil)
+}
+
+// LoadDir parses and type-checks the non-test Go files of one package
+// directory. pkgPath is the import path recorded on the resulting package
+// (used by scope-sensitive analyzers); imp resolves imports.
+func LoadDir(fset *token.FileSet, imp types.Importer, dir, pkgPath string) (*Pass, error) {
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: parse %s: %w", dir, err)
+	}
+	// A directory holds at most one non-test package (plus an external test
+	// package, already filtered out by the _test.go exclusion). Packages and
+	// files are visited in sorted order so findings are reported (and ASTs
+	// loaded) deterministically.
+	names := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		p := pkgs[name]
+		fnames := make([]string, 0, len(p.Files))
+		for fname := range p.Files {
+			fnames = append(fnames, fname)
+		}
+		sort.Strings(fnames)
+		for _, fname := range fnames {
+			files = append(files, p.Files[fname])
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysis: no Go package in %s", dir)
+	}
+	if len(names) > 1 {
+		return nil, fmt.Errorf("analysis: multiple packages in %s: %v", dir, names)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", dir, err)
+	}
+	return &Pass{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}

@@ -1,0 +1,167 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Locksafe guards mutex hygiene in the concurrent layers (the sharded plan
+// caches and the parallel experiment pipeline):
+//
+//  1. Mutex copies: passing or assigning a mutex-containing struct by value
+//     duplicates the lock state; the copy guards nothing. (A focused subset
+//     of vet's copylocks, kept here so dnnlint is self-contained.)
+//
+//  2. Unpaired locks: a sync Lock/RLock call in a function with no matching
+//     Unlock/RUnlock on the same receiver anywhere in that function —
+//     neither deferred nor direct — leaks the lock on every path.
+//     Pairing is matched syntactically on the receiver expression, so
+//     lock/unlock split across helper functions should keep the receiver
+//     spelling consistent (or be refactored into a locked method).
+type Locksafe struct{}
+
+// NewLocksafe returns the analyzer.
+func NewLocksafe() *Locksafe { return &Locksafe{} }
+
+// Name implements Analyzer.
+func (*Locksafe) Name() string { return "locksafe" }
+
+// Doc implements Analyzer.
+func (*Locksafe) Doc() string {
+	return "mutex copied by value, or Lock without a paired Unlock"
+}
+
+// lockPairs maps acquire methods to their release methods.
+var lockPairs = map[string]string{"Lock": "Unlock", "RLock": "RUnlock"}
+
+// Run implements Analyzer.
+func (a *Locksafe) Run(p *Pass) []Finding {
+	var findings []Finding
+	a.checkCopies(p, &findings)
+	for _, fd := range funcDecls(p) {
+		a.checkPairing(p, fd, &findings)
+	}
+	return findings
+}
+
+// checkCopies flags by-value parameters and assignments of mutex-containing
+// struct types.
+func (a *Locksafe) checkCopies(p *Pass, findings *[]Finding) {
+	for _, fd := range funcDecls(p) {
+		for _, field := range fd.Type.Params.List {
+			tv, ok := p.Info.Types[field.Type]
+			if !ok || !containsMutex(tv.Type) {
+				continue
+			}
+			reportf(p, findings, a.Name(), field,
+				"parameter passes %s by value, copying its mutex; pass a pointer", tv.Type)
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, rhs := range as.Rhs {
+				if _, fresh := rhs.(*ast.CompositeLit); fresh {
+					continue // constructing a new value, not copying one
+				}
+				if _, call := ast.Unparen(rhs).(*ast.CallExpr); call {
+					continue // function results are fresh values
+				}
+				tv, ok := p.Info.Types[rhs]
+				if !ok || !containsMutex(tv.Type) {
+					continue
+				}
+				reportf(p, findings, a.Name(), as,
+					"assignment copies %s by value, duplicating its mutex; use a pointer", tv.Type)
+			}
+			return true
+		})
+	}
+}
+
+// containsMutex reports whether t is (or directly/recursively embeds by
+// value) a sync.Mutex or sync.RWMutex.
+func containsMutex(t types.Type) bool {
+	if isSyncLock(t) {
+		return true
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if isSyncLock(ft) || containsMutex(ft) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSyncLock reports whether t is exactly sync.Mutex or sync.RWMutex.
+func isSyncLock(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// checkPairing flags sync lock acquisitions with no release on the same
+// receiver in the same function.
+func (a *Locksafe) checkPairing(p *Pass, fd *ast.FuncDecl, findings *[]Finding) {
+	type lockCall struct {
+		call *ast.CallExpr
+		recv string
+		acq  string // acquire method name
+		rel  string // required release method
+	}
+	var locks []lockCall
+	releases := map[string]bool{} // "recv.method" seen anywhere in fd
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isSyncLockMethod(p, sel) {
+			return true
+		}
+		recv := types.ExprString(sel.X)
+		switch name := sel.Sel.Name; name {
+		case "Lock", "RLock":
+			locks = append(locks, lockCall{call, recv, name, lockPairs[name]})
+		case "Unlock", "RUnlock":
+			releases[recv+"."+name] = true
+		}
+		return true
+	})
+
+	for _, l := range locks {
+		if !releases[l.recv+"."+l.rel] {
+			reportf(p, findings, a.Name(), l.call,
+				"%s.%s() has no matching %s.%s() in this function; add `defer %s.%s()` or release on every path",
+				l.recv, l.acq, l.recv, l.rel, l.recv, l.rel)
+		}
+	}
+}
+
+// isSyncLockMethod reports whether sel resolves to a method provided by
+// sync.Mutex or sync.RWMutex (directly or through embedding).
+func isSyncLockMethod(p *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := p.Info.Selections[sel]
+	if !ok {
+		return false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "sync"
+}

@@ -1,0 +1,47 @@
+// Package detrangeneg holds true-negative fixtures for the detrange
+// analyzer: map ranges whose results are order-independent, plus the
+// sanctioned append-then-sort idiom.
+package detrangeneg
+
+import "sort"
+
+// sortedKeys is the sanctioned idiom: the appended slice is sorted before
+// use, so map iteration order never escapes.
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sumSorted folds floats in sorted key order: deterministic.
+func sumSorted(m map[string]float64) float64 {
+	var total float64
+	for _, k := range sortedKeys(m) {
+		total += m[k]
+	}
+	return total
+}
+
+// countEntries accumulates an int: addition order cannot matter.
+func countEntries(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// loopLocal appends only to a loop-local slice that dies each iteration.
+func loopLocal(m map[string][]string) int {
+	n := 0
+	for k, vs := range m {
+		parts := make([]string, 0, len(vs)+1)
+		parts = append(parts, k)
+		parts = append(parts, vs...)
+		n += len(parts)
+	}
+	return n
+}

@@ -1,0 +1,30 @@
+// Package floateqneg holds true-negative fixtures for the floateq
+// analyzer: the sanctioned comparison forms.
+package floateqneg
+
+import "math"
+
+// isUnset uses the exempt zero-sentinel check.
+func isUnset(x float64) bool { return x == 0 }
+
+// ApproxEqual is the epsilon helper itself; its fast path may use ==.
+func ApproxEqual(a, b, eps float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= eps
+}
+
+// almostEqual is the test-local helper spelling, equally exempt.
+func almostEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) < 1e-12
+}
+
+// intEqual compares integers: exact equality is correct.
+func intEqual(a, b int) bool { return a == b }
+
+// ordered uses ordering comparisons, which are fine on floats.
+func ordered(a, b float64) bool { return a < b || a > b }

@@ -1,0 +1,15 @@
+// Package floateqpos holds true-positive fixtures for the floateq
+// analyzer: exact equality on floating-point operands.
+package floateqpos
+
+// equal compares floats exactly.
+func equal(a, b float64) bool { return a == b }
+
+// notEqual is the != form.
+func notEqual(a, b float64) bool { return a != b }
+
+// Celsius shows that named float types are still floats.
+type Celsius float64
+
+// sameTemp compares named floats exactly.
+func sameTemp(a, b Celsius) bool { return a == b }

@@ -1,0 +1,45 @@
+// Package locksafeneg holds true-negative fixtures for the locksafe
+// analyzer: correct lock pairing and pointer passing.
+package locksafeneg
+
+import "sync"
+
+// guarded carries a mutex accessed only through pointer receivers.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// incr uses the defer-unlock idiom.
+func (g *guarded) incr() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+}
+
+// get releases directly on the single path.
+func (g *guarded) get() int {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	return n
+}
+
+// rw pairs reader locks with reader unlocks.
+type rw struct {
+	mu sync.RWMutex
+	v  int
+}
+
+// read pairs RLock with a deferred RUnlock.
+func (r *rw) read() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.v
+}
+
+// fresh constructs new values; pointers never copy the mutex.
+func fresh() *guarded {
+	g := &guarded{}
+	return g
+}

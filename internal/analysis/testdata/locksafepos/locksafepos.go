@@ -1,0 +1,27 @@
+// Package locksafepos holds true-positive fixtures for the locksafe
+// analyzer: mutex copies and unpaired locks.
+package locksafepos
+
+import "sync"
+
+// guarded carries a mutex by value.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// byValue receives a mutex-containing struct by value: the copy's lock
+// state guards nothing.
+func byValue(g guarded) int { return g.n }
+
+// leak locks and returns without any matching unlock.
+func leak(g *guarded) {
+	g.mu.Lock()
+	g.n++
+}
+
+// copyAssign duplicates the mutex through a dereference copy.
+func copyAssign(g *guarded) int {
+	c := *g
+	return c.n
+}

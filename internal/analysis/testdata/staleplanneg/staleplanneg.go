@@ -1,0 +1,39 @@
+// Package staleplanneg holds true-negative fixtures for the staleplan
+// analyzer: blessed mutators, non-coefficient fields and unguarded types.
+package staleplanneg
+
+// KWModel mirrors the guarded model.
+type KWModel struct {
+	Classif  map[string]int
+	Training string
+}
+
+// FitKW is blessed by the Fit prefix.
+func FitKW() *KWModel {
+	m := &KWModel{}
+	m.Classif = map[string]int{}
+	return m
+}
+
+// ObserveRecords is blessed by exact name.
+func (m *KWModel) ObserveRecords() {
+	m.Classif = nil
+}
+
+// rebuildFromAccumulators is blessed by exact name.
+func (m *KWModel) rebuildFromAccumulators() {
+	m.Classif = map[string]int{}
+}
+
+// SetTraining writes a non-coefficient field: no plan depends on it.
+func (m *KWModel) SetTraining(s string) {
+	m.Training = s
+}
+
+// OtherModel shares a field name but is not a guarded type.
+type OtherModel struct{ Classif int }
+
+// set writes the unguarded type freely.
+func set(o *OtherModel) {
+	o.Classif = 1
+}

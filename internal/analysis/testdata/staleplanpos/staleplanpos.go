@@ -1,0 +1,26 @@
+// Package staleplanpos holds true-positive fixtures for the staleplan
+// analyzer: coefficient writes outside the blessed mutators.
+package staleplanpos
+
+// KWModel mirrors the guarded model's coefficient fields.
+type KWModel struct {
+	Classif map[string]int
+	Groups  []int
+}
+
+// FitKW is blessed (Fit prefix); its writes are allowed.
+func FitKW() *KWModel {
+	m := &KWModel{}
+	m.Classif = map[string]int{}
+	return m
+}
+
+// tamper mutates a coefficient field from an unblessed function.
+func tamper(m *KWModel) {
+	m.Classif = nil
+}
+
+// SetGroups mutates through a method that is not a blessed mutator.
+func (m *KWModel) SetGroups(gs []int) {
+	m.Groups = gs
+}

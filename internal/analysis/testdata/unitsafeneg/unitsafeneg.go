@@ -1,0 +1,27 @@
+// Package unitsafeneg holds true-negative fixtures for the unitsafe
+// analyzer: unit-coherent arithmetic and properly typed declarations.
+package unitsafeneg
+
+// Seconds mirrors units.Seconds.
+type Seconds float64
+
+// FLOPs mirrors units.FLOPs.
+type FLOPs int64
+
+// rate divides FLOPs by seconds: division forms a derived quantity.
+func rate(t Seconds, f FLOPs) float64 { return float64(f) / float64(t) }
+
+// sum adds like units without conversions.
+func sum(a, b Seconds) Seconds { return a + b }
+
+// diff subtracts conversions of the SAME unit, which is coherent.
+func diff(a, b Seconds) float64 { return float64(a) - float64(b) }
+
+// record declares its unit-named fields with unit types.
+type record struct {
+	E2ESeconds Seconds
+	TotalFLOPs FLOPs
+}
+
+// scale multiplies a unit by a dimensionless factor.
+func scale(t Seconds, k float64) Seconds { return Seconds(float64(t) * k) }

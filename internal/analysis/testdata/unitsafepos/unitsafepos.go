@@ -1,0 +1,25 @@
+// Package unitsafepos holds true-positive fixtures for the unitsafe
+// analyzer: unit mixing laundered through conversions, and unit-named
+// declarations with raw numeric types.
+package unitsafepos
+
+// Seconds mirrors units.Seconds.
+type Seconds float64
+
+// FLOPs mirrors units.FLOPs.
+type FLOPs int64
+
+// badSum adds seconds to FLOPs through conversions.
+func badSum(t Seconds, f FLOPs) float64 { return float64(t) + float64(f) }
+
+// badCompare orders seconds against FLOPs through conversions.
+func badCompare(t Seconds, f FLOPs) bool { return float64(t) < float64(f) }
+
+// record declares unit-named fields with raw numeric types.
+type record struct {
+	ElapsedSeconds float64
+	TotalFLOPs     int64
+}
+
+// waitSeconds declares a unit-named parameter with a raw type.
+func waitSeconds(totalSeconds float64) float64 { return totalSeconds }

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Unitsafe guards the unit discipline introduced by internal/units: seconds,
+// FLOP counts and byte counts are distinct named types, and quantities of
+// different units must never be added, subtracted or compared. The compiler
+// already rejects direct mixing; this analyzer closes the two remaining
+// holes:
+//
+//  1. Conversion laundering (all packages): float64(a) + float64(b) where a
+//     and b carry different unit types. The conversions erase the units and
+//     the compiler is satisfied, but seconds plus FLOPs is still
+//     meaningless. Multiplication and division are allowed — they form
+//     derived quantities (rates) legitimately.
+//
+//  2. Raw-typed unit names (scoped packages): a struct field, parameter or
+//     result whose name ends in "Seconds", "FLOPs" or "Bytes" but whose
+//     type is a unitless float64/int64 re-opens the boundary the migration
+//     closed. Scoping keeps the rule to the packages that adopted the
+//     discipline; elsewhere (e.g. wall-clock timings in benchmarks) raw
+//     floats named *Seconds remain legal.
+type Unitsafe struct {
+	// Scope lists the import paths subject to the raw-typed-name rule.
+	Scope []string
+}
+
+// NewUnitsafe returns the analyzer with the given name-rule scope.
+func NewUnitsafe(scope []string) *Unitsafe { return &Unitsafe{Scope: scope} }
+
+// DefaultUnitScope is the repository's unit-disciplined package set.
+func DefaultUnitScope() []string {
+	return []string{
+		"repro/internal/core",
+		"repro/internal/dataset",
+		"repro/internal/disagg",
+		"repro/internal/units",
+	}
+}
+
+// Name implements Analyzer.
+func (*Unitsafe) Name() string { return "unitsafe" }
+
+// Doc implements Analyzer.
+func (*Unitsafe) Doc() string {
+	return "unit-incoherent arithmetic or raw-typed unit-named declarations"
+}
+
+// unitTypeNames are the named types treated as units.
+var unitTypeNames = map[string]bool{"Seconds": true, "FLOPs": true, "Bytes": true}
+
+// unitSuffixes maps declaration-name suffixes to the unit they imply.
+var unitSuffixes = []string{"Seconds", "FLOPs", "Bytes"}
+
+// Run implements Analyzer.
+func (a *Unitsafe) Run(p *Pass) []Finding {
+	var findings []Finding
+	a.checkMixing(p, &findings)
+	if a.inScope(p.Pkg.Path()) {
+		a.checkRawNames(p, &findings)
+	}
+	return findings
+}
+
+// inScope reports whether the package is subject to the name rule.
+func (a *Unitsafe) inScope(path string) bool {
+	for _, s := range a.Scope {
+		if path == s {
+			return true
+		}
+	}
+	return false
+}
+
+// checkMixing flags additive/comparison operators whose operands are
+// conversions of different unit types.
+func (a *Unitsafe) checkMixing(p *Pass, findings *[]Finding) {
+	additive := map[token.Token]bool{
+		token.ADD: true, token.SUB: true,
+		token.EQL: true, token.NEQ: true,
+		token.LSS: true, token.LEQ: true, token.GTR: true, token.GEQ: true,
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || !additive[be.Op] {
+				return true
+			}
+			ux := conversionUnit(p, be.X)
+			uy := conversionUnit(p, be.Y)
+			if ux != "" && uy != "" && ux != uy {
+				reportf(p, findings, a.Name(), be,
+					"%s between %s and %s laundered through conversions; quantities of different units must not be combined additively",
+					be.Op, ux, uy)
+			}
+			return true
+		})
+	}
+	return
+}
+
+// conversionUnit returns the unit type name when expr is a conversion (to
+// any basic numeric type) of a value carrying a unit type, else "".
+func conversionUnit(p *Pass, expr ast.Expr) string {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return ""
+	}
+	tv, ok := p.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return "" // an ordinary call, not a conversion
+	}
+	if _, basic := tv.Type.Underlying().(*types.Basic); !basic {
+		return ""
+	}
+	return unitName(p.Info.Types[call.Args[0]].Type)
+}
+
+// unitName returns t's name when t is a named unit type, else "".
+func unitName(t types.Type) string {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	if name := named.Obj().Name(); unitTypeNames[name] {
+		return name
+	}
+	return ""
+}
+
+// checkRawNames flags unit-named fields, parameters and results declared
+// with unitless numeric types.
+func (a *Unitsafe) checkRawNames(p *Pass, findings *[]Finding) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.StructType:
+				for _, field := range d.Fields.List {
+					a.checkFieldList(p, field, "field", findings)
+				}
+			case *ast.FuncType:
+				if d.Params != nil {
+					for _, field := range d.Params.List {
+						a.checkFieldList(p, field, "parameter", findings)
+					}
+				}
+				if d.Results != nil {
+					for _, field := range d.Results.List {
+						a.checkFieldList(p, field, "result", findings)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFieldList flags one field/param group if its names imply a unit but
+// its type is a raw numeric.
+func (a *Unitsafe) checkFieldList(p *Pass, field *ast.Field, kind string, findings *[]Finding) {
+	tv, ok := p.Info.Types[field.Type]
+	if !ok {
+		return
+	}
+	if unitName(tv.Type) != "" {
+		return // already a unit type
+	}
+	b, ok := tv.Type.(*types.Basic)
+	if !ok || b.Info()&types.IsNumeric == 0 {
+		return
+	}
+	for _, name := range field.Names {
+		for _, suffix := range unitSuffixes {
+			if name.Name != suffix && strings.HasSuffix(name.Name, suffix) {
+				reportf(p, findings, a.Name(), name,
+					"%s %q implies units.%s but is declared %s; use the unit type or rename",
+					kind, name.Name, suffix, b.Name())
+			}
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/disagg"
 	"repro/internal/gpu"
 	"repro/internal/sched"
+	"repro/internal/units"
 )
 
 // dseTrainGPUs are the measured devices the design-space explorations learn
@@ -68,8 +69,8 @@ func bandwidthDSE(l *Lab, figure, network string, batch int) (*BandwidthDSEResul
 		if err != nil {
 			return nil, err
 		}
-		res.Points = append(res.Points, BandwidthPoint{BandwidthGBps: bw, PredictedMs: t * 1e3})
-		times = append(times, t)
+		res.Points = append(res.Points, BandwidthPoint{BandwidthGBps: bw, PredictedMs: t.Micros() / 1e3})
+		times = append(times, float64(t))
 	}
 
 	// The "ideal range" is read off the knee of the curve: its lower bound
@@ -112,7 +113,7 @@ func (r *BandwidthDSEResult) Render() string {
 	rows := [][]string{{"bandwidth (GB/s)", "predicted time (ms)"}}
 	for _, p := range r.Points {
 		mark := ""
-		if p.BandwidthGBps == 600 || p.BandwidthGBps == 700 {
+		if bwi := int(p.BandwidthGBps); bwi == 600 || bwi == 700 {
 			mark = "  ← native 672 GB/s region"
 		}
 		rows = append(rows, []string{fmt.Sprintf("%.0f", p.BandwidthGBps),
@@ -192,7 +193,7 @@ func Figure17(l *Lab) (*Figure17Result, error) {
 			jobs = append(jobs, disagg.LayerJob{
 				Name:           layer.Name,
 				ComputeSeconds: kw.PredictLayerTime(layer),
-				RemoteBytes:    traffic,
+				RemoteBytes:    units.Bytes(traffic),
 			})
 		}
 		results, err := disagg.Sweep(jobs, disagg.Config{LinkLatencyUS: 2}, figure17Bandwidths)
@@ -275,7 +276,7 @@ func fitSchedModels(l *Lab) (map[string]*core.KWModel, error) {
 
 // schedPrediction is one (network, GPU) query result of a concurrent batch.
 type schedPrediction struct {
-	seconds float64
+	seconds units.Seconds
 	err     error
 }
 
@@ -349,10 +350,10 @@ func Figure18(l *Lab) (*Figure18Result, error) {
 		row := Figure18Row{Network: name,
 			MeasuredMs: map[string]float64{}, PredictedMs: map[string]float64{}}
 		for j, g := range schedGPUs() {
-			row.PredictedMs[g.Name] = preds[i][j].seconds * 1e3
+			row.PredictedMs[g.Name] = float64(preds[i][j].seconds) * 1e3
 			for _, r := range meas.Networks {
 				if r.Network == name && r.GPU == g.Name && r.BatchSize == TrainBatch {
-					row.MeasuredMs[g.Name] = r.E2ESeconds * 1e3
+					row.MeasuredMs[g.Name] = float64(r.E2ESeconds) * 1e3
 				}
 			}
 			if row.MeasuredMs[g.Name] == 0 {
@@ -375,7 +376,14 @@ func Figure18(l *Lab) (*Figure18Result, error) {
 func argminKey(m map[string]float64) string {
 	best := ""
 	for k, v := range m {
-		if best == "" || v < m[best] || (v == m[best] && k < best) {
+		if best == "" || v < m[best] {
+			best = k
+			continue
+		}
+		if v > m[best] {
+			continue
+		}
+		if k < best { // values tie: lexicographic winner
 			best = k
 		}
 	}
@@ -445,10 +453,10 @@ func Figure19(l *Lab) (*Figure19Result, error) {
 	}
 	for i, name := range figure19Nets {
 		for j, g := range schedGPUs() {
-			pred[g.Name][i] = preds[i][j].seconds
+			pred[g.Name][i] = float64(preds[i][j].seconds)
 			for _, r := range meas.Networks {
 				if r.Network == name && r.GPU == g.Name && r.BatchSize == TrainBatch {
-					actual[g.Name][i] = r.E2ESeconds
+					actual[g.Name][i] = float64(r.E2ESeconds)
 				}
 			}
 		}

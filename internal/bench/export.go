@@ -80,7 +80,7 @@ func Export(l *Lab, dir string) error {
 		rows := [][]string{{"network", "predicted_ms", "measured_ms", "ratio"}}
 		for _, e := range curve.Evals {
 			rows = append(rows, []string{e.Network,
-				ftoa(e.Predicted * 1e3), ftoa(e.Measured * 1e3), ftoa(e.Ratio())})
+				ftoa(float64(e.Predicted) * 1e3), ftoa(float64(e.Measured) * 1e3), ftoa(e.Ratio())})
 		}
 		if err := writeRows(filepath.Join(dir, c.file), rows); err != nil {
 			return err

@@ -84,10 +84,10 @@ func MIGExtension(l *Lab) (*MIGResult, error) {
 				if err != nil {
 					return nil, err
 				}
-				if thr := float64(p.Count) * float64(bs) / t; thr > row.Throughput {
+				if thr := float64(p.Count) * float64(bs) / float64(t); thr > row.Throughput {
 					row.Throughput = thr
 					row.BestBatch = bs
-					row.LatencyMs = t * 1e3
+					row.LatencyMs = float64(t) * 1e3
 				}
 			}
 			if row.BestBatch == 0 {

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/gpu"
 	"repro/internal/regression"
+	"repro/internal/units"
 )
 
 // SCurve holds a Predicted/Measured ratio distribution, the content of the
@@ -262,7 +263,7 @@ func Table2(l *Lab) (*Table2Result, error) {
 		}
 		elapsed := time.Since(start).Seconds()
 
-		var measured float64
+		var measured units.Seconds
 		for _, r := range meas.Networks {
 			if r.BatchSize == bs {
 				measured = r.E2ESeconds

@@ -78,9 +78,9 @@ func Figure3(l *Lab, g gpu.Spec) (*Figure3Result, error) {
 		res.Points = append(res.Points, ScatterPoint{
 			Network: r.Network,
 			X:       float64(r.TotalFLOPs) / 1e9,
-			Y:       r.E2ESeconds * 1e3,
+			Y:       float64(r.E2ESeconds) * 1e3,
 		})
-		tpf := r.E2ESeconds / float64(r.TotalFLOPs)
+		tpf := float64(r.E2ESeconds) / float64(r.TotalFLOPs)
 		perFLOP = append(perFLOP, tpf)
 		pfs = append(pfs, pf{float64(r.TotalFLOPs), tpf})
 	}
@@ -169,9 +169,9 @@ func Figure4(l *Lab, g gpu.Spec) (*Figure4Result, error) {
 				continue
 			}
 			sf.Points = append(sf.Points, ScatterPoint{Network: r.Network,
-				X: float64(r.TotalFLOPs) / 1e9, Y: r.E2ESeconds * 1e3})
+				X: float64(r.TotalFLOPs) / 1e9, Y: float64(r.E2ESeconds) * 1e3})
 			xs = append(xs, float64(r.TotalFLOPs))
-			ys = append(ys, r.E2ESeconds)
+			ys = append(ys, float64(r.E2ESeconds))
 		}
 		line, err := regression.Fit(xs, ys)
 		if err != nil {
@@ -239,9 +239,9 @@ func Figure5(l *Lab, g gpu.Spec) (*Figure5Result, error) {
 			for _, r := range ds.Networks {
 				if r.Network == name && r.BatchSize == bs {
 					s.Batch = append(s.Batch, bs)
-					s.Value = append(s.Value, r.E2ESeconds*1e3)
+					s.Value = append(s.Value, float64(r.E2ESeconds)*1e3)
 					xs = append(xs, float64(bs))
-					ys = append(ys, r.E2ESeconds*1e3)
+					ys = append(ys, float64(r.E2ESeconds)*1e3)
 				}
 			}
 		}
@@ -292,7 +292,7 @@ func Figure6(l *Lab, g gpu.Spec) (*Figure6Result, error) {
 			for _, r := range ds.Networks {
 				if r.Network == name && r.BatchSize == bs {
 					s.Batch = append(s.Batch, bs)
-					s.Value = append(s.Value, float64(r.TotalFLOPs)/r.E2ESeconds/1e12)
+					s.Value = append(s.Value, float64(r.TotalFLOPs)/float64(r.E2ESeconds)/1e12)
 				}
 			}
 		}
@@ -364,8 +364,8 @@ func Figure7(l *Lab, g gpu.Spec) (*Figure7Result, error) {
 				continue
 			}
 			xs = append(xs, float64(r.FLOPs))
-			ys = append(ys, r.Seconds)
-			rate += float64(r.FLOPs) / r.Seconds
+			ys = append(ys, float64(r.Seconds))
+			rate += float64(r.FLOPs) / float64(r.Seconds)
 			n++
 		}
 		if n < 2 {
@@ -439,7 +439,9 @@ func Figure8(l *Lab, g gpu.Spec) (*Figure8Result, error) {
 	for _, d := range core.Drivers() {
 		agg := ClassR2{Class: d}
 		var own, other []float64
-		for _, c := range classif {
+		// Sorted kernel order: Mean folds floats, and map order is random.
+		for _, name := range core.SortedKernels(classif) {
+			c := classif[name]
 			if c.Driver != d || c.N < core.MinKernelObservations {
 				continue
 			}
@@ -526,8 +528,8 @@ func Figure9(l *Lab) (*Figure9Result, error) {
 			if r.GPU != g.Name || r.BatchSize != batch {
 				continue
 			}
-			bwEff := (float64(bytes) / r.E2ESeconds) / g.PeakBytesPerSec()
-			cEff := (float64(flops) / r.E2ESeconds) / g.PeakFLOPS()
+			bwEff := (float64(bytes) / float64(r.E2ESeconds)) / g.PeakBytesPerSec()
+			cEff := (float64(flops) / float64(r.E2ESeconds)) / g.PeakFLOPS()
 			res.Rows = append(res.Rows, GPUEfficiency{GPU: g.Name, BWEff: bwEff, ComputeEff: cEff})
 			minBW, maxBW = math.Min(minBW, bwEff), math.Max(maxBW, bwEff)
 			minC, maxC = math.Min(minC, cEff), math.Max(maxC, cEff)

@@ -62,13 +62,13 @@ func TrainingExtension(l *Lab, g gpu.Spec) (*TrainingExtensionResult, error) {
 	inferE2E := map[string]float64{}
 	for _, r := range inferDS.Networks {
 		if r.BatchSize == TrainingBatch {
-			inferE2E[r.Network] = r.E2ESeconds
+			inferE2E[r.Network] = float64(r.E2ESeconds)
 		}
 	}
 	var ratios []float64
 	for _, r := range trainDS.Networks {
 		if r.BatchSize == TrainingBatch && inferE2E[r.Network] > 0 {
-			ratios = append(ratios, r.E2ESeconds/inferE2E[r.Network])
+			ratios = append(ratios, float64(r.E2ESeconds)/inferE2E[r.Network])
 		}
 	}
 	if len(ratios) == 0 {

@@ -2,11 +2,13 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/dnn"
 	"repro/internal/gpu"
+	"repro/internal/units"
 )
 
 // UncertaintyResult validates the KW model's prediction intervals: for every
@@ -40,7 +42,7 @@ func Uncertainty(l *Lab, g gpu.Spec) (*UncertaintyResult, error) {
 	}
 
 	// Measured kernel totals per held-out network, from the kernel records.
-	measured := map[string]float64{}
+	measured := map[string]units.Seconds{}
 	recsOf := map[string][]dataset.KernelRecord{}
 	for _, r := range test.Kernels {
 		if r.GPU != g.Name || r.BatchSize != TrainBatch {
@@ -57,7 +59,13 @@ func Uncertainty(l *Lab, g gpu.Spec) (*UncertaintyResult, error) {
 	res := &UncertaintyResult{GPU: g.Name}
 	covered := 0
 	var relMargin float64
-	for name, meas := range measured {
+	names := make([]string, 0, len(measured))
+	for name := range measured {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		meas := measured[name]
 		if taskOf[name] != string(dnn.TaskImageClassification) {
 			continue
 		}
@@ -66,7 +74,7 @@ func Uncertainty(l *Lab, g gpu.Spec) (*UncertaintyResult, error) {
 			covered++
 		}
 		if iv.Predicted > 0 {
-			relMargin += 2 * iv.Margin / iv.Predicted
+			relMargin += 2 * float64(iv.Margin) / float64(iv.Predicted)
 		}
 		res.Networks++
 	}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestApproxEqual(t *testing.T) {
+	cases := []struct {
+		name    string
+		a, b    float64
+		eps     float64
+		want    bool
+		comment string
+	}{
+		{"identical", 1.5, 1.5, 1e-12, true, "fast path"},
+		{"zero-zero", 0, 0, 1e-12, true, "exact zeros"},
+		{"last-bit", 0.1 + 0.2, 0.3, 1e-12, true, "classic rounding gap"},
+		{"clearly-different", 1.0, 1.1, 1e-12, false, ""},
+		{"relative-large", 1e12, 1e12 * (1 + 1e-13), 1e-12, true, "scaled tolerance above 1"},
+		{"relative-large-fail", 1e12, 1e12 * (1 + 1e-11), 1e-12, false, ""},
+		{"absolute-small", 1e-15, 2e-15, 1e-12, true, "tiny values within absolute eps"},
+		{"absolute-small-fail", 1e-3, 2e-3, 1e-12, false, ""},
+		{"both-inf", math.Inf(1), math.Inf(1), 1e-12, true, "equal infinities"},
+		{"inf-finite", math.Inf(1), 1, 1e-12, false, ""},
+		{"nan", math.NaN(), math.NaN(), 1e-12, false, "NaN equals nothing"},
+		{"sign", 1e-13, -1e-13, 1e-12, true, "straddles zero within eps"},
+	}
+	for _, c := range cases {
+		if got := ApproxEqual(c.a, c.b, c.eps); got != c.want {
+			t.Errorf("%s: ApproxEqual(%v, %v, %v) = %v, want %v %s",
+				c.name, c.a, c.b, c.eps, got, c.want, c.comment)
+		}
+		// Symmetry.
+		if got := ApproxEqual(c.b, c.a, c.eps); got != c.want {
+			t.Errorf("%s: ApproxEqual is asymmetric for (%v, %v)", c.name, c.a, c.b)
+		}
+	}
+}
+
+func TestDefaultEpsilon(t *testing.T) {
+	if !ApproxEqual(0.1+0.2, 0.3, DefaultEpsilon) {
+		t.Fatal("DefaultEpsilon must absorb one-ulp rounding differences")
+	}
+	if ApproxEqual(1.0, 1.0001, DefaultEpsilon) {
+		t.Fatal("DefaultEpsilon must not absorb real differences")
+	}
+}

@@ -70,7 +70,7 @@ func ClassifyKernels(recs []dataset.KernelRecord) map[string]Classification {
 			ys := make([]float64, len(rs))
 			for i, r := range rs {
 				xs[i] = driverX(r, d)
-				ys[i] = r.Seconds
+				ys[i] = float64(r.Seconds)
 			}
 			line, err := regression.Fit(xs, ys)
 			if err != nil {
@@ -93,7 +93,7 @@ func ClassifyKernels(recs []dataset.KernelRecord) map[string]Classification {
 			// Degenerate everywhere: constant-time kernel at its mean.
 			var mean float64
 			for _, r := range rs {
-				mean += r.Seconds
+				mean += float64(r.Seconds)
 			}
 			mean /= float64(len(rs))
 			c.Driver = DriverOutput
@@ -208,8 +208,11 @@ func GroupKernels(classif map[string]Classification, recs []dataset.KernelRecord
 			}
 		}
 		sort.Slice(members, func(i, j int) bool {
-			if members[i].slope != members[j].slope {
-				return members[i].slope < members[j].slope
+			if members[i].slope < members[j].slope {
+				return true
+			}
+			if members[i].slope > members[j].slope {
+				return false
 			}
 			return members[i].name < members[j].name
 		})
@@ -237,7 +240,7 @@ func GroupKernels(classif map[string]Classification, recs []dataset.KernelRecord
 				groupOf[m.name] = len(groups)
 				for _, r := range byKernel[m.name] {
 					xs = append(xs, driverX(r, d))
-					ys = append(ys, r.Seconds)
+					ys = append(ys, float64(r.Seconds))
 				}
 			}
 			if line, stats, err := regression.FitDetail(xs, ys); err == nil {

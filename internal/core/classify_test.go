@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/units"
 )
 
 // plantRecords synthesizes kernel records whose duration is an exact linear
@@ -30,8 +31,8 @@ func plantRecords(kernel string, d Driver, slope, intercept float64, n int, seed
 			Network: "synthetic", GPU: "G", BatchSize: 512,
 			LayerIndex: i, LayerKind: "Conv2D", LayerSignature: "sig",
 			Kernel:     kernel,
-			LayerFLOPs: flops, LayerInputElems: in, LayerOutputElems: out,
-			Seconds: slope*x + intercept + rnd.NormFloat64()*intercept*0.01,
+			LayerFLOPs: units.FLOPs(flops), LayerInputElems: in, LayerOutputElems: out,
+			Seconds: units.Seconds(slope*x + intercept + rnd.NormFloat64()*intercept*0.01),
 		}
 	}
 	return recs
@@ -99,11 +100,11 @@ func TestClassifyPenalizesNegativeSlopes(t *testing.T) {
 		in := int64(1000 + i*100)
 		recs = append(recs, dataset.KernelRecord{
 			Kernel:     "anti",
-			LayerFLOPs: int64(rnd.Intn(1000) + 1),
+			LayerFLOPs: units.FLOPs(rnd.Intn(1000) + 1),
 			// Output is anti-correlated with input.
 			LayerInputElems:  in,
 			LayerOutputElems: 2_000_000 - in,
-			Seconds:          2e-9*float64(in) + 1e-6,
+			Seconds:          units.Seconds(2e-9*float64(in) + 1e-6),
 		})
 	}
 	c := ClassifyKernels(recs)["anti"]

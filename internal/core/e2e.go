@@ -6,6 +6,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dnn"
 	"repro/internal/regression"
+	"repro/internal/units"
 )
 
 // E2EModel is the End-to-End model of §5.2: a single linear regression from
@@ -31,7 +32,7 @@ func FitE2E(ds *dataset.Dataset, gpuName string, trainBatch int) (*E2EModel, err
 			continue
 		}
 		xs = append(xs, float64(r.TotalFLOPs))
-		ys = append(ys, r.E2ESeconds)
+		ys = append(ys, float64(r.E2ESeconds))
 	}
 	if len(xs) == 0 {
 		return nil, errNoRecords("E2E", gpuName)
@@ -50,17 +51,17 @@ func (m *E2EModel) Name() string { return "E2E" }
 func (m *E2EModel) GPUName() string { return m.GPU }
 
 // PredictFLOPs predicts end-to-end seconds from a total-FLOPs count.
-func (m *E2EModel) PredictFLOPs(totalFLOPs int64) float64 {
-	return clampTime(m.Line.Predict(float64(totalFLOPs)))
+func (m *E2EModel) PredictFLOPs(totalFLOPs units.FLOPs) units.Seconds {
+	return clampTime(units.Seconds(m.Line.Predict(float64(totalFLOPs))))
 }
 
 // PredictNetwork implements Predictor: it shape-infers the network at the
 // requested batch size, computes the theoretical FLOPs, and evaluates the
 // regression.
-func (m *E2EModel) PredictNetwork(n *dnn.Network, batch int) (float64, error) {
+func (m *E2EModel) PredictNetwork(n *dnn.Network, batch int) (units.Seconds, error) {
 	flops, err := n.FLOPsAt(batch)
 	if err != nil {
 		return 0, err
 	}
-	return m.PredictFLOPs(flops), nil
+	return m.PredictFLOPs(units.FLOPs(flops)), nil
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/kernels"
 	"repro/internal/regression"
+	"repro/internal/units"
 )
 
 // IGKWModel is the Inter-GPU Kernel-Wise model of §5.5: it predicts a GPU
@@ -188,7 +189,7 @@ func (b *IGKWBase) Resolve(target gpu.Spec) (*IGKWModel, error) {
 					continue
 				}
 				xs = append(xs, driverX(r, d))
-				ys = append(ys, r.Seconds)
+				ys = append(ys, float64(r.Seconds))
 			}
 			line, err := regression.Fit(xs, ys)
 			if err != nil || line.Slope <= 0 {
@@ -258,7 +259,7 @@ func bandwidthScaledLine(fits []gpuFit, kernel string, driver Driver, target gpu
 			for _, r := range f.records {
 				if r.Kernel == kernel {
 					xs = append(xs, driverX(r, driver))
-					ys = append(ys, r.Seconds)
+					ys = append(ys, float64(r.Seconds))
 				}
 			}
 			refit, err := regression.Fit(xs, ys)
@@ -327,7 +328,7 @@ func (m *IGKWModel) Name() string { return "IGKW" }
 func (m *IGKWModel) GPUName() string { return m.Target.Name }
 
 // PredictKernel predicts one kernel invocation's duration on the target GPU.
-func (m *IGKWModel) PredictKernel(name string, layerFLOPs, layerInElems, layerOutElems int64) float64 {
+func (m *IGKWModel) PredictKernel(name string, layerFLOPs units.FLOPs, layerInElems, layerOutElems int64) units.Seconds {
 	x := func(d Driver) float64 {
 		switch d {
 		case DriverInput:
@@ -339,17 +340,17 @@ func (m *IGKWModel) PredictKernel(name string, layerFLOPs, layerInElems, layerOu
 		}
 	}
 	if line, ok := m.Lines[name]; ok {
-		return clampTime(line.Predict(x(m.DriverOf[name])))
+		return clampTime(units.Seconds(line.Predict(x(m.DriverOf[name]))))
 	}
 	if line, ok := m.FamilyLines[FamilyOf(name)]; ok {
-		return clampTime(line.Predict(x(m.FamilyDriver[FamilyOf(name)])))
+		return clampTime(units.Seconds(line.Predict(x(m.FamilyDriver[FamilyOf(name)]))))
 	}
 	d := DriverOperation
 	if layerFLOPs == 0 {
 		d = DriverOutput
 	}
 	if line, ok := m.ClassFallback[d]; ok {
-		return clampTime(line.Predict(x(d)))
+		return clampTime(units.Seconds(line.Predict(x(d))))
 	}
 	return minPrediction
 }
@@ -358,7 +359,7 @@ func (m *IGKWModel) PredictKernel(name string, layerFLOPs, layerInElems, layerOu
 // queries are served from a cached compiled plan (see plan.go): repeated
 // predictions run allocation-free, never mutate n, and are safe to issue
 // concurrently, with results bit-identical to PredictNetworkUncached.
-func (m *IGKWModel) PredictNetwork(n *dnn.Network, batch int) (float64, error) {
+func (m *IGKWModel) PredictNetwork(n *dnn.Network, batch int) (units.Seconds, error) {
 	if batch <= 0 {
 		return m.PredictNetworkUncached(n, batch)
 	}
@@ -374,11 +375,11 @@ func (m *IGKWModel) PredictNetwork(n *dnn.Network, batch int) (float64, error) {
 
 // PredictNetworkUncached is the reference prediction path (shape inference
 // plus per-kernel lookups on every call); plans are tested against it.
-func (m *IGKWModel) PredictNetworkUncached(n *dnn.Network, batch int) (float64, error) {
+func (m *IGKWModel) PredictNetworkUncached(n *dnn.Network, batch int) (units.Seconds, error) {
 	if err := n.Infer(batch); err != nil {
 		return 0, err
 	}
-	var total float64
+	var total units.Seconds
 	for _, l := range n.Layers {
 		ks := kernels.ForLayer(l)
 		if names, ok := m.Mapping[l.Signature()]; ok && len(names) == len(ks) {
@@ -387,7 +388,7 @@ func (m *IGKWModel) PredictNetworkUncached(n *dnn.Network, batch int) (float64, 
 			}
 		}
 		for _, k := range ks {
-			total += m.PredictKernel(k.Name, k.LayerFLOPs, k.LayerInputElems, k.LayerOutputElems)
+			total += m.PredictKernel(k.Name, units.FLOPs(k.LayerFLOPs), k.LayerInputElems, k.LayerOutputElems)
 		}
 	}
 	return total, nil
@@ -415,8 +416,8 @@ func (m *IGKWModel) resolveKernel(name string, flopsZero bool) (regression.Line,
 }
 
 // PredictRecords predicts from structural kernel records (durations ignored).
-func (m *IGKWModel) PredictRecords(recs []dataset.KernelRecord) float64 {
-	var total float64
+func (m *IGKWModel) PredictRecords(recs []dataset.KernelRecord) units.Seconds {
+	var total units.Seconds
 	for _, r := range recs {
 		total += m.PredictKernel(r.Kernel, r.LayerFLOPs, r.LayerInputElems, r.LayerOutputElems)
 	}

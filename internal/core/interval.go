@@ -2,9 +2,11 @@ package core
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/dataset"
 	"repro/internal/dnn"
+	"repro/internal/units"
 )
 
 // Prediction intervals. A key selling point of linear regression over black
@@ -27,13 +29,13 @@ import (
 // Interval is a prediction with its one-sigma margin.
 type Interval struct {
 	// Predicted is the point prediction, seconds.
-	Predicted float64
+	Predicted units.Seconds
 	// Margin is the one-sigma uncertainty, seconds.
-	Margin float64
+	Margin units.Seconds
 }
 
 // Lo and Hi bound the approximate 95 % (±2σ) interval; Lo is floored at 0.
-func (iv Interval) Lo() float64 {
+func (iv Interval) Lo() units.Seconds {
 	lo := iv.Predicted - 2*iv.Margin
 	if lo < 0 {
 		return 0
@@ -42,10 +44,10 @@ func (iv Interval) Lo() float64 {
 }
 
 // Hi returns the upper ±2σ bound.
-func (iv Interval) Hi() float64 { return iv.Predicted + 2*iv.Margin }
+func (iv Interval) Hi() units.Seconds { return iv.Predicted + 2*iv.Margin }
 
 // Contains reports whether a measured value falls inside the ±2σ band.
-func (iv Interval) Contains(measured float64) bool {
+func (iv Interval) Contains(measured units.Seconds) bool {
 	return measured >= iv.Lo() && measured <= iv.Hi()
 }
 
@@ -69,7 +71,7 @@ func (m *KWModel) PredictNetworkInterval(n *dnn.Network, batch int) (Interval, e
 	counts := map[string]int{}
 	for _, l := range n.Layers {
 		for _, k := range m.kernelsForLayer(l) {
-			iv.Predicted += m.PredictKernel(k.Name, k.LayerFLOPs, k.LayerInputElems, k.LayerOutputElems)
+			iv.Predicted += m.PredictKernel(k.Name, units.FLOPs(k.LayerFLOPs), k.LayerInputElems, k.LayerOutputElems)
 			counts[k.Name]++
 		}
 	}
@@ -91,11 +93,19 @@ func (m *KWModel) PredictRecordsInterval(recs []dataset.KernelRecord) Interval {
 }
 
 // aggregateMargin combines per-kernel-name counts into the network margin.
-func (m *KWModel) aggregateMargin(counts map[string]int) float64 {
+// The variance sum is commutative-safe only in exact arithmetic; iterating
+// the kernel names in sorted order keeps the float result identical across
+// runs (the determinism contract serialized reports rely on).
+func (m *KWModel) aggregateMargin(counts map[string]int) units.Seconds {
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	var variance float64
-	for name, c := range counts {
-		contrib := float64(c) * m.groupRMSE(name)
+	for _, name := range names {
+		contrib := float64(counts[name]) * m.groupRMSE(name)
 		variance += contrib * contrib
 	}
-	return math.Sqrt(variance)
+	return units.Seconds(math.Sqrt(variance))
 }

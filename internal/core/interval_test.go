@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/gpu"
+	"repro/internal/units"
 )
 
 func TestIntervalBounds(t *testing.T) {
@@ -30,7 +31,7 @@ func TestPredictRecordsIntervalCoverage(t *testing.T) {
 	// Add noise so RMSE is non-trivial.
 	for i := range train.Kernels {
 		jitter := 1 + 0.05*float64(i%7-3)/3
-		train.Kernels[i].Seconds *= jitter
+		train.Kernels[i].Seconds = units.Seconds(float64(train.Kernels[i].Seconds) * jitter)
 	}
 	m, err := FitKW(train, "A100", 512)
 	if err != nil {
@@ -50,7 +51,7 @@ func TestPredictRecordsIntervalCoverage(t *testing.T) {
 	}
 	covered, total := 0, 0
 	for _, idxs := range byNet {
-		var meas float64
+		var meas units.Seconds
 		recs := test.Kernels[:0:0]
 		for _, i := range idxs {
 			meas += test.Kernels[i].Seconds
@@ -79,7 +80,7 @@ func TestIntervalConsistentWithPointPrediction(t *testing.T) {
 	recs := ds.Kernels[:90]
 	iv := m.PredictRecordsInterval(recs)
 	pt := m.PredictRecords(recs)
-	if math.Abs(iv.Predicted-pt)/pt > 1e-12 {
+	if math.Abs(float64(iv.Predicted-pt))/float64(pt) > 1e-12 {
 		t.Fatalf("interval center %v != point prediction %v", iv.Predicted, pt)
 	}
 }
@@ -89,7 +90,7 @@ func TestMarginGrowsWithRepeats(t *testing.T) {
 	// by k, not √k.
 	ds := plantKernelDataset(gpu.A100, 5)
 	for i := range ds.Kernels {
-		ds.Kernels[i].Seconds *= 1 + 0.03*float64(i%5-2)
+		ds.Kernels[i].Seconds = units.Seconds(float64(ds.Kernels[i].Seconds) * (1 + 0.03*float64(i%5-2)))
 	}
 	m, err := FitKW(ds, "A100", 512)
 	if err != nil {
@@ -101,7 +102,7 @@ func TestMarginGrowsWithRepeats(t *testing.T) {
 	if m1 <= 0 {
 		t.Fatal("zero single-kernel margin")
 	}
-	if math.Abs(m4-4*m1)/(4*m1) > 1e-9 {
+	if math.Abs(float64(m4-4*m1))/float64(4*m1) > 1e-9 {
 		t.Fatalf("margin for 4 repeats = %v, want 4×%v", m4, m1)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/kernels"
 	"repro/internal/regression"
+	"repro/internal/units"
 )
 
 // KWModel is the Kernel-Wise model of §5.4. It consists of
@@ -144,7 +145,7 @@ func forceDriver(classif map[string]Classification, recs []dataset.KernelRecord,
 		var xs, ys []float64
 		for _, r := range rs {
 			xs = append(xs, driverX(r, d))
-			ys = append(ys, r.Seconds)
+			ys = append(ys, float64(r.Seconds))
 		}
 		forced := Classification{Kernel: name, Driver: d, R2: c.R2, N: len(rs)}
 		if line, err := regression.Fit(xs, ys); err == nil {
@@ -223,7 +224,7 @@ func classFallbacks(classif map[string]Classification, recs []dataset.KernelReco
 			continue
 		}
 		xs[c.Driver] = append(xs[c.Driver], driverX(r, c.Driver))
-		ys[c.Driver] = append(ys[c.Driver], r.Seconds)
+		ys[c.Driver] = append(ys[c.Driver], float64(r.Seconds))
 	}
 	out := map[Driver]regression.Line{}
 	for _, d := range Drivers() {
@@ -252,7 +253,7 @@ func (m *KWModel) KernelCount() int { return len(m.Classif) }
 
 // PredictKernel predicts one kernel invocation's duration from its name and
 // the layer-level driver candidates.
-func (m *KWModel) PredictKernel(name string, layerFLOPs, layerInElems, layerOutElems int64) float64 {
+func (m *KWModel) PredictKernel(name string, layerFLOPs units.FLOPs, layerInElems, layerOutElems int64) units.Seconds {
 	x := func(d Driver) float64 {
 		switch d {
 		case DriverInput:
@@ -265,11 +266,11 @@ func (m *KWModel) PredictKernel(name string, layerFLOPs, layerInElems, layerOutE
 	}
 	if gi, ok := m.GroupOf[name]; ok {
 		g := m.Groups[gi]
-		return clampTime(g.Line.Predict(x(g.Driver)))
+		return clampTime(units.Seconds(g.Line.Predict(x(g.Driver))))
 	}
 	// Sparse or unseen kernel: fall back to its family's pooled model.
 	if c, ok := m.Families[FamilyOf(name)]; ok && c.N >= MinKernelObservations {
-		return clampTime(c.Line.Predict(x(c.Driver)))
+		return clampTime(units.Seconds(c.Line.Predict(x(c.Driver))))
 	}
 	// Unknown family: guess the class from an operation-first heuristic and
 	// use the pooled class fallback. Kernels carrying FLOPs are treated as
@@ -278,7 +279,7 @@ func (m *KWModel) PredictKernel(name string, layerFLOPs, layerInElems, layerOutE
 	if layerFLOPs == 0 {
 		d = DriverOutput
 	}
-	return clampTime(m.ClassFallback[d].Predict(x(d)))
+	return clampTime(units.Seconds(m.ClassFallback[d].Predict(x(d))))
 }
 
 // kernelsForLayer resolves a layer to its kernel list: first through the
@@ -309,7 +310,7 @@ func (m *KWModel) kernelsForLayer(l *dnn.Layer) []kernels.Kernel {
 // at any batch size run allocation-free, never mutate n, and are safe to
 // issue from many goroutines. Results are bit-identical to
 // PredictNetworkUncached.
-func (m *KWModel) PredictNetwork(n *dnn.Network, batch int) (float64, error) {
+func (m *KWModel) PredictNetwork(n *dnn.Network, batch int) (units.Seconds, error) {
 	if batch <= 0 {
 		// Route through the uncached path for its validation error.
 		return m.PredictNetworkUncached(n, batch)
@@ -327,14 +328,14 @@ func (m *KWModel) PredictNetwork(n *dnn.Network, batch int) (float64, error) {
 // network at the batch size (mutating n) and sum per-kernel predictions. It
 // is the behavior PredictNetwork had before plan compilation and remains the
 // ground truth plans are tested against.
-func (m *KWModel) PredictNetworkUncached(n *dnn.Network, batch int) (float64, error) {
+func (m *KWModel) PredictNetworkUncached(n *dnn.Network, batch int) (units.Seconds, error) {
 	if err := n.Infer(batch); err != nil {
 		return 0, err
 	}
-	var total float64
+	var total units.Seconds
 	for _, l := range n.Layers {
 		for _, k := range m.kernelsForLayer(l) {
-			total += m.PredictKernel(k.Name, k.LayerFLOPs, k.LayerInputElems, k.LayerOutputElems)
+			total += m.PredictKernel(k.Name, units.FLOPs(k.LayerFLOPs), k.LayerInputElems, k.LayerOutputElems)
 		}
 	}
 	return total, nil
@@ -391,7 +392,7 @@ func (m *KWModel) launchCount(n *dnn.Network) int {
 // Resolved (line, driver value) terms are cached per layer signature, so the
 // scheduling loops that call this per layer per configuration pay the kernel
 // resolution once.
-func (m *KWModel) PredictLayerTime(l *dnn.Layer) float64 {
+func (m *KWModel) PredictLayerTime(l *dnn.Layer) units.Seconds {
 	key := layerKeyFor(l, m.Training)
 	terms, err := m.layerPlans.GetOrCompute(key, func() ([]layerTerm, error) {
 		ks := m.kernelsForLayer(l)
@@ -420,8 +421,8 @@ func (m *KWModel) PredictLayerTime(l *dnn.Layer) float64 {
 // PredictRecords predicts the end-to-end time implied by a set of kernel
 // records (their structural fields only — durations are ignored). Useful
 // for evaluating the regression layer in isolation from the mapping table.
-func (m *KWModel) PredictRecords(recs []dataset.KernelRecord) float64 {
-	var total float64
+func (m *KWModel) PredictRecords(recs []dataset.KernelRecord) units.Seconds {
+	var total units.Seconds
 	for _, r := range recs {
 		total += m.PredictKernel(r.Kernel, r.LayerFLOPs, r.LayerInputElems, r.LayerOutputElems)
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/kernels"
 	"repro/internal/regression"
+	"repro/internal/units"
 )
 
 // LWModel is the Layer-Wise model of §5.3: an independent linear regression
@@ -35,9 +36,9 @@ func FitLW(ds *dataset.Dataset, gpuName string, trainBatch int) (*LWModel, error
 			continue
 		}
 		k := dnn.Kind(r.Kind)
-		byKind[k] = append(byKind[k], [2]float64{float64(r.FLOPs), r.Seconds})
+		byKind[k] = append(byKind[k], [2]float64{float64(r.FLOPs), float64(r.Seconds)})
 		allX = append(allX, float64(r.FLOPs))
-		allY = append(allY, r.Seconds)
+		allY = append(allY, float64(r.Seconds))
 	}
 	if len(allX) == 0 {
 		return nil, errNoRecords("LW", gpuName)
@@ -72,25 +73,25 @@ func (m *LWModel) Name() string { return "LW" }
 func (m *LWModel) GPUName() string { return m.GPU }
 
 // PredictLayer predicts one layer's execution time from its kind and FLOPs.
-func (m *LWModel) PredictLayer(kind dnn.Kind, flops int64) float64 {
+func (m *LWModel) PredictLayer(kind dnn.Kind, flops units.FLOPs) units.Seconds {
 	if line, ok := m.Lines[kind]; ok {
-		return clampTime(line.Predict(float64(flops)))
+		return clampTime(units.Seconds(line.Predict(float64(flops))))
 	}
-	return clampTime(m.Pooled.Predict(float64(flops)))
+	return clampTime(units.Seconds(m.Pooled.Predict(float64(flops))))
 }
 
 // PredictNetwork implements Predictor: the sum of per-layer predictions over
 // the network's layers that dispatch GPU work.
-func (m *LWModel) PredictNetwork(n *dnn.Network, batch int) (float64, error) {
+func (m *LWModel) PredictNetwork(n *dnn.Network, batch int) (units.Seconds, error) {
 	if err := n.Infer(batch); err != nil {
 		return 0, err
 	}
-	var total float64
+	var total units.Seconds
 	for _, l := range n.Layers {
 		if len(kernels.ForLayer(l)) == 0 {
 			continue // view-only layers dispatch no GPU work
 		}
-		total += m.PredictLayer(l.Kind, dnn.LayerFLOPs(l))
+		total += m.PredictLayer(l.Kind, units.FLOPs(dnn.LayerFLOPs(l)))
 	}
 	return total, nil
 }

@@ -23,12 +23,13 @@ import (
 	"sort"
 
 	"repro/internal/dnn"
+	"repro/internal/units"
 )
 
 // minPrediction floors every per-component time prediction: a fitted line
 // with a negative intercept can go below zero at small x, but a kernel or
 // layer can never take negative time.
-const minPrediction = 1e-7 // 0.1 µs
+const minPrediction units.Seconds = 1e-7 // 0.1 µs
 
 // Predictor is the common interface of the single-GPU models: predict the
 // end-to-end execution time (seconds) of a network structure at a batch
@@ -39,7 +40,7 @@ type Predictor interface {
 	// GPUName returns the GPU the model predicts for.
 	GPUName() string
 	// PredictNetwork predicts one batch's end-to-end time in seconds.
-	PredictNetwork(n *dnn.Network, batch int) (float64, error)
+	PredictNetwork(n *dnn.Network, batch int) (units.Seconds, error)
 }
 
 // Eval is one prediction/measurement pair of an evaluation run.
@@ -47,7 +48,7 @@ type Eval struct {
 	// Network is the evaluated network's name.
 	Network string
 	// Predicted and Measured are end-to-end seconds.
-	Predicted, Measured float64
+	Predicted, Measured units.Seconds
 }
 
 // Ratio returns Predicted/Measured, the quantity the paper's S-curve figures
@@ -56,7 +57,7 @@ func (e Eval) Ratio() float64 {
 	if e.Measured == 0 {
 		return math.Inf(1)
 	}
-	return e.Predicted / e.Measured
+	return float64(e.Predicted / e.Measured)
 }
 
 // RelError returns |Predicted−Measured|/Measured.
@@ -64,7 +65,7 @@ func (e Eval) RelError() float64 {
 	if e.Measured == 0 {
 		return math.Inf(1)
 	}
-	return math.Abs(e.Predicted-e.Measured) / e.Measured
+	return math.Abs(float64(e.Predicted-e.Measured)) / float64(e.Measured)
 }
 
 // MeanRelError returns the average relative error over the evaluations — the
@@ -108,11 +109,38 @@ func FractionWithin(evals []Eval, tol float64) float64 {
 }
 
 // clampTime floors a component prediction at minPrediction.
-func clampTime(t float64) float64 {
-	if t < minPrediction || math.IsNaN(t) {
+func clampTime(t units.Seconds) units.Seconds {
+	if t < minPrediction || t.IsNaN() {
 		return minPrediction
 	}
 	return t
+}
+
+// DefaultEpsilon is the relative tolerance ApproxEqual applies when callers
+// have no domain-specific bound: ~1e4 ULPs, loose enough to absorb
+// re-association noise from refactored float pipelines, tight enough to
+// distinguish any two measurements the profiler can produce.
+const DefaultEpsilon = 1e-12
+
+// ApproxEqual reports whether two floats agree within eps, scaled by the
+// larger magnitude (absolute comparison near zero). It is the blessed
+// replacement for `==`/`!=` on floats in non-test code: exact float equality
+// silently turns into "never equal" under re-association or FMA contraction,
+// so the floateq analyzer (internal/analysis) flags raw comparisons and
+// points here.
+func ApproxEqual(a, b, eps float64) bool {
+	if a == b { // fast path; also handles ±Inf
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false // unequal infinities; Inf-scale would absorb any finite gap below
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale > 1 {
+		return diff <= eps*scale
+	}
+	return diff <= eps
 }
 
 // errNoRecords standardizes the "empty training data" failure.

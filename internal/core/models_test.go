@@ -7,6 +7,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dnn"
 	"repro/internal/gpu"
+	"repro/internal/units"
 	"repro/internal/zoo"
 )
 
@@ -20,8 +21,8 @@ func syntheticE2EDataset(gpuName string, slope, intercept float64) *dataset.Data
 			Network: "net" + string(rune('a'+i%26)) + string(rune('a'+i/26)),
 			Family:  "F", Task: string(dnn.TaskImageClassification),
 			GPU: gpuName, BatchSize: 512,
-			TotalFLOPs: flops,
-			E2ESeconds: slope*float64(flops) + intercept,
+			TotalFLOPs: units.FLOPs(flops),
+			E2ESeconds: units.Seconds(slope*float64(flops) + intercept),
 		})
 	}
 	return ds
@@ -37,7 +38,7 @@ func TestE2EModelRecoversLine(t *testing.T) {
 		t.Fatalf("slope = %v", m.Line.Slope)
 	}
 	want := 2e-12*50e9 + 5e-3
-	if got := m.PredictFLOPs(50e9); math.Abs(got-want)/want > 1e-9 {
+	if got := float64(m.PredictFLOPs(50e9)); math.Abs(got-want)/want > 1e-9 {
 		t.Fatalf("PredictFLOPs = %v, want %v", got, want)
 	}
 	if m.Name() != "E2E" || m.GPUName() != "A100" {
@@ -74,23 +75,23 @@ func TestLWModelPerKindLines(t *testing.T) {
 		ds.Layers = append(ds.Layers,
 			dataset.LayerRecord{
 				Network: "n", GPU: "A100", BatchSize: 512, LayerIndex: i,
-				Kind: "Conv2D", FLOPs: int64(i) * 1e6,
-				Seconds: 2e-9 * float64(i) * 1e6,
+				Kind: "Conv2D", FLOPs: units.FLOPs(i) * 1e6,
+				Seconds: units.Seconds(2e-9 * float64(i) * 1e6),
 			},
 			dataset.LayerRecord{
 				Network: "n", GPU: "A100", BatchSize: 512, LayerIndex: 100 + i,
-				Kind: "BatchNorm", FLOPs: int64(i) * 1e4,
-				Seconds: 10e-9 * float64(i) * 1e4,
+				Kind: "BatchNorm", FLOPs: units.FLOPs(i) * 1e4,
+				Seconds: units.Seconds(10e-9 * float64(i) * 1e4),
 			})
 	}
 	m, err := FitLW(ds, "A100", 512)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := m.PredictLayer(dnn.KindConv2D, 1e6); math.Abs(got-2e-3)/2e-3 > 1e-6 {
+	if got := float64(m.PredictLayer(dnn.KindConv2D, 1e6)); math.Abs(got-2e-3)/2e-3 > 1e-6 {
 		t.Fatalf("conv prediction = %v", got)
 	}
-	if got := m.PredictLayer(dnn.KindBatchNorm, 1e4); math.Abs(got-1e-4)/1e-4 > 1e-6 {
+	if got := float64(m.PredictLayer(dnn.KindBatchNorm, 1e4)); math.Abs(got-1e-4)/1e-4 > 1e-6 {
 		t.Fatalf("bn prediction = %v", got)
 	}
 	// Unknown kinds use the pooled fallback and stay positive.
@@ -130,8 +131,8 @@ func plantKernelDataset(g gpu.Spec, nets int) *dataset.Dataset {
 					LayerIndex: i, LayerKind: "Conv2D",
 					LayerSignature: "sig" + string(rune('0'+i%10)),
 					Kernel:         kernel,
-					LayerFLOPs:     flops, LayerInputElems: in, LayerOutputElems: out,
-					Seconds: x/(ratePerBW*bwScale) + 2e-6,
+					LayerFLOPs:     units.FLOPs(flops), LayerInputElems: in, LayerOutputElems: out,
+					Seconds: units.Seconds(x/(ratePerBW*bwScale) + 2e-6),
 				})
 			}
 			add("pre_transform", DriverInput, 0.05) // 0.05 elems/s per B/s of bandwidth
@@ -153,7 +154,7 @@ func TestKWModelOnPlantedData(t *testing.T) {
 	}
 	// Per-kernel prediction reproduces the planted law.
 	bw := gpu.A100.MemBWGBps * 1e9
-	got := m.PredictKernel("main_gemm_64x64", 1e8, 1, 1)
+	got := float64(m.PredictKernel("main_gemm_64x64", 1e8, 1, 1))
 	want := 1e8/(0.5*bw) + 2e-6
 	if math.Abs(got-want)/want > 0.02 {
 		t.Fatalf("kernel prediction = %v, want %v", got, want)
@@ -161,9 +162,9 @@ func TestKWModelOnPlantedData(t *testing.T) {
 	// PredictRecords sums the regressions over the record list.
 	var sum float64
 	for _, r := range ds.Kernels[:90] { // one network's records
-		sum += r.Seconds
+		sum += float64(r.Seconds)
 	}
-	pred := m.PredictRecords(ds.Kernels[:90])
+	pred := float64(m.PredictRecords(ds.Kernels[:90]))
 	if math.Abs(pred-sum)/sum > 0.02 {
 		t.Fatalf("PredictRecords = %v, want ≈ %v", pred, sum)
 	}
@@ -177,7 +178,7 @@ func TestKWModelFallbackHierarchy(t *testing.T) {
 	}
 	// Unseen tile variant of a known family → family fallback, close to the
 	// family's behaviour.
-	got := m.PredictKernel("main_gemm_128x128", 1e8, 1, 1)
+	got := float64(m.PredictKernel("main_gemm_128x128", 1e8, 1, 1))
 	bw := gpu.A100.MemBWGBps * 1e9
 	want := 1e8/(0.5*bw) + 2e-6
 	if math.Abs(got-want)/want > 0.05 {
@@ -211,9 +212,9 @@ func TestIGKWRecoversBandwidthScaling(t *testing.T) {
 	target := plantKernelDataset(gpu.TitanRTX, 1)
 	var want float64
 	for _, r := range target.Kernels {
-		want += r.Seconds
+		want += float64(r.Seconds)
 	}
-	got := m.PredictRecords(target.Kernels)
+	got := float64(m.PredictRecords(target.Kernels))
 	if math.Abs(got-want)/want > 0.05 {
 		t.Fatalf("IGKW prediction = %v, want ≈ %v", got, want)
 	}
@@ -263,14 +264,14 @@ func TestEvalMetrics(t *testing.T) {
 		{Network: "b", Predicted: 8, Measured: 10},  // −20 %
 		{Network: "c", Predicted: 10, Measured: 10}, // 0 %
 	}
-	if got := MeanRelError(evals); math.Abs(got-0.1) > 1e-12 {
+	if got := MeanRelError(evals); !ApproxEqual(got, 0.1, 1e-12) {
 		t.Fatalf("MeanRelError = %v", got)
 	}
 	ratios := SortedRatios(evals)
 	if ratios[0] != 0.8 || ratios[1] != 1.0 || ratios[2] != 1.1 {
 		t.Fatalf("SortedRatios = %v", ratios)
 	}
-	if got := FractionWithin(evals, 0.10); math.Abs(got-2.0/3) > 1e-12 {
+	if got := FractionWithin(evals, 0.10); !ApproxEqual(got, 2.0/3, 1e-12) {
 		t.Fatalf("FractionWithin = %v", got)
 	}
 	if MeanRelError(nil) != 0 || FractionWithin(nil, 1) != 0 {
@@ -367,7 +368,7 @@ func TestKWPredictLayerTime(t *testing.T) {
 	if err := net.Infer(512); err != nil {
 		t.Fatal(err)
 	}
-	var sum float64
+	var sum units.Seconds
 	for _, l := range net.Layers {
 		lt := kw.PredictLayerTime(l)
 		if lt < 0 {
@@ -379,7 +380,7 @@ func TestKWPredictLayerTime(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(sum-whole)/whole > 1e-9 {
+	if math.Abs(float64(sum-whole))/float64(whole) > 1e-9 {
 		t.Fatalf("Σ layer predictions %v != network prediction %v", sum, whole)
 	}
 }

@@ -36,9 +36,24 @@ func (st *onlineState) accumulate(recs []dataset.KernelRecord) {
 			st.kernelAcc[r.Kernel] = acc
 		}
 		for i, d := range Drivers() {
-			acc[i].Add(driverX(r, d), r.Seconds)
+			acc[i].Add(driverX(r, d), float64(r.Seconds))
 		}
 	}
+}
+
+// sortedStringKeys returns the map's keys in sorted order. Every loop in this
+// package that folds floats or appends to an output slice while walking a
+// string-keyed map iterates via this helper: Go randomizes map iteration
+// order, and float accumulation is not associative, so ranging the map
+// directly would make refitted coefficients differ bit-for-bit between runs
+// (the detrange invariant in internal/analysis).
+func sortedStringKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // initOnline seeds the accumulators (and the mapping table) from the
@@ -91,9 +106,9 @@ func (m *KWModel) rebuildFromAccumulators() {
 
 	// Frozen state: previously fitted kernels without online statistics.
 	frozen := map[string]Group{}
-	for name, gi := range m.GroupOf {
+	for _, name := range sortedStringKeys(m.GroupOf) {
 		if _, ok := st.kernelAcc[name]; !ok {
-			g := m.Groups[gi]
+			g := m.Groups[m.GroupOf[name]]
 			frozen[name] = Group{Driver: g.Driver, Kernels: []string{name},
 				Line: g.Line, RMSE: g.RMSE}
 		}
@@ -102,29 +117,35 @@ func (m *KWModel) rebuildFromAccumulators() {
 	if m.Classif == nil {
 		m.Classif = map[string]Classification{}
 	}
-	for name, acc := range st.kernelAcc {
-		m.Classif[name] = classifyFromAccumulators(name, acc)
+	for _, name := range sortedStringKeys(st.kernelAcc) {
+		m.Classif[name] = classifyFromAccumulators(name, st.kernelAcc[name])
 	}
 
 	// Regroup accumulator-backed kernels by (driver, slope proximity)
-	// exactly as GroupKernels does, then re-attach the frozen singletons.
+	// exactly as GroupKernels does, then re-attach the frozen singletons in
+	// sorted order (ranging the map would append them — and therefore assign
+	// group indices — in a different order every run).
 	m.Groups, m.GroupOf = groupFromAccumulators(m.Classif, st.kernelAcc)
-	for name, g := range frozen {
+	for _, name := range sortedStringKeys(frozen) {
 		m.GroupOf[name] = len(m.Groups)
-		m.Groups = append(m.Groups, g)
+		m.Groups = append(m.Groups, frozen[name])
 	}
 
 	// Per-driver class fallbacks from merged accumulators (only when the
 	// statistics exist; a deserialized model keeps its fitted fallbacks).
+	// Accumulator merges fold floating-point sums, so every merge loop walks
+	// the kernels in sorted order to keep the pooled statistics bit-identical
+	// across runs.
 	if len(st.kernelAcc) > 0 {
+		kernelNames := sortedStringKeys(st.kernelAcc)
 		if m.ClassFallback == nil {
 			m.ClassFallback = map[Driver]regression.Line{}
 		}
 		for i, d := range Drivers() {
 			var pooled regression.Accumulator
-			for name, acc := range st.kernelAcc {
+			for _, name := range kernelNames {
 				if m.Classif[name].Driver == d {
-					pooled.Merge(acc[i])
+					pooled.Merge(st.kernelAcc[name][i])
 				}
 			}
 			if line, err := pooled.Line(); err == nil {
@@ -138,7 +159,8 @@ func (m *KWModel) rebuildFromAccumulators() {
 			m.Families = map[string]Classification{}
 		}
 		famAcc := map[string]*[3]regression.Accumulator{}
-		for name, acc := range st.kernelAcc {
+		for _, name := range kernelNames {
+			acc := st.kernelAcc[name]
 			fam := FamilyOf(name)
 			fa, ok := famAcc[fam]
 			if !ok {
@@ -149,8 +171,8 @@ func (m *KWModel) rebuildFromAccumulators() {
 				fa[i].Merge(acc[i])
 			}
 		}
-		for fam, fa := range famAcc {
-			m.Families[fam] = classifyFromAccumulators(fam, fa)
+		for _, fam := range sortedStringKeys(famAcc) {
+			m.Families[fam] = classifyFromAccumulators(fam, famAcc[fam])
 		}
 	}
 
@@ -158,9 +180,9 @@ func (m *KWModel) rebuildFromAccumulators() {
 	if m.Mapping == nil {
 		m.Mapping = map[string][]string{}
 	}
-	for sig, ks := range st.mapping {
+	for _, sig := range sortedStringKeys(st.mapping) {
 		if _, ok := m.Mapping[sig]; !ok {
-			m.Mapping[sig] = ks
+			m.Mapping[sig] = st.mapping[sig]
 		}
 	}
 }
@@ -178,7 +200,8 @@ func groupFromAccumulators(classif map[string]Classification,
 	groupOf := map[string]int{}
 	for _, d := range Drivers() {
 		var members []kernelSlope
-		for name, c := range classif {
+		for _, name := range sortedStringKeys(classif) {
+			c := classif[name]
 			if _, backed := kernelAcc[name]; !backed {
 				continue // frozen fit-time kernel with no online statistics
 			}
@@ -223,11 +246,16 @@ type kernelSlope struct {
 	slope float64
 }
 
-// sortMembers orders by (slope, name) for deterministic grouping.
+// sortMembers orders by (slope, name) for deterministic grouping. The
+// comparator orders on < and > only — an equality test on the float slopes
+// would trip the floateq invariant for no gain.
 func sortMembers(members []kernelSlope) {
 	sort.Slice(members, func(i, j int) bool {
-		if members[i].slope != members[j].slope {
-			return members[i].slope < members[j].slope
+		if members[i].slope < members[j].slope {
+			return true
+		}
+		if members[i].slope > members[j].slope {
+			return false
 		}
 		return members[i].name < members[j].name
 	})
@@ -245,7 +273,7 @@ func (m *KWModel) ObserveRecords(recs []dataset.KernelRecord) (groups, newKernel
 	st := m.online
 
 	before := map[string]bool{}
-	for name := range m.GroupOf {
+	for _, name := range sortedStringKeys(m.GroupOf) {
 		before[name] = true
 	}
 
@@ -262,7 +290,7 @@ func (m *KWModel) ObserveRecords(recs []dataset.KernelRecord) (groups, newKernel
 	m.plans.Clear()
 	m.layerPlans.Clear()
 
-	for name := range m.GroupOf {
+	for _, name := range sortedStringKeys(m.GroupOf) {
 		if !before[name] {
 			newKernels++
 		}
@@ -277,9 +305,11 @@ func (m *KWModel) PendingKernels() map[string]int {
 	if m.online == nil {
 		return out
 	}
-	for name, acc := range m.online.kernelAcc {
-		if _, ok := m.GroupOf[name]; !ok && acc[0].N() < MinKernelObservations {
-			out[name] = acc[0].N()
+	for _, name := range sortedStringKeys(m.online.kernelAcc) {
+		if acc := m.online.kernelAcc[name]; acc[0].N() < MinKernelObservations {
+			if _, ok := m.GroupOf[name]; !ok {
+				out[name] = acc[0].N()
+			}
 		}
 	}
 	return out

@@ -90,7 +90,7 @@ func TestObserveRecordsPromotesNewKernels(t *testing.T) {
 		t.Fatalf("promoted driver = %s", m.Groups[gi].Driver)
 	}
 	// Its predictions now follow the planted law.
-	got := m.PredictKernel("brand_new_kernel", 1e6, 1, 1)
+	got := float64(m.PredictKernel("brand_new_kernel", 1e6, 1, 1))
 	want := 4e-9*1e6 + 1e-6
 	if math.Abs(got-want)/want > 0.05 {
 		t.Fatalf("promoted prediction %v, want ≈ %v", got, want)

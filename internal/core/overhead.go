@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dnn"
 	"repro/internal/regression"
+	"repro/internal/units"
 )
 
 // Small-batch correction — the paper's stated limitation and plan (§7):
@@ -58,13 +59,19 @@ func FitSmallBatch(kw *KWModel, ds *dataset.Dataset, resolve NetworkResolver) (*
 		}
 		count := float64(kw.launchCount(net))
 		byBatch[r.BatchSize] = append(byBatch[r.BatchSize],
-			pt{x: []float64{pred, count}, y: r.E2ESeconds})
+			pt{x: []float64{float64(pred), count}, y: float64(r.E2ESeconds)})
 	}
 	if len(byBatch) == 0 {
 		return nil, errNoRecords("small-batch", kw.GPU)
 	}
 	m := &SmallBatchModel{KW: kw, Corrections: map[int]regression.MultiModel{}}
-	for bs, pts := range byBatch {
+	batches := make([]int, 0, len(byBatch))
+	for bs := range byBatch {
+		batches = append(batches, bs)
+	}
+	sort.Ints(batches)
+	for _, bs := range batches {
+		pts := byBatch[bs]
 		xs := make([][]float64, len(pts))
 		ys := make([]float64, len(pts))
 		for i, p := range pts {
@@ -87,7 +94,7 @@ func (m *SmallBatchModel) GPUName() string { return m.KW.GPU }
 
 // PredictNetwork implements Predictor: the KW prediction plus the residual
 // correction of the nearest fitted batch size (log-scale distance).
-func (m *SmallBatchModel) PredictNetwork(n *dnn.Network, batch int) (float64, error) {
+func (m *SmallBatchModel) PredictNetwork(n *dnn.Network, batch int) (units.Seconds, error) {
 	pred, err := m.KW.PredictNetwork(n, batch)
 	if err != nil {
 		return 0, err
@@ -96,12 +103,13 @@ func (m *SmallBatchModel) PredictNetwork(n *dnn.Network, batch int) (float64, er
 	if !ok {
 		return pred, nil
 	}
-	corrected := cal.Predict([]float64{pred, float64(m.KW.launchCount(n))})
-	return clampTime(corrected), nil
+	corrected := cal.Predict([]float64{float64(pred), float64(m.KW.launchCount(n))})
+	return clampTime(units.Seconds(corrected)), nil
 }
 
 // correctionFor picks the calibration of the nearest fitted batch size
-// (log-scale distance).
+// (log-scale distance). Candidates are scanned in sorted batch order so a
+// distance tie resolves to the smaller batch size on every run.
 func (m *SmallBatchModel) correctionFor(batch int) (regression.MultiModel, bool) {
 	if cal, ok := m.Corrections[batch]; ok {
 		return cal, true
@@ -109,10 +117,10 @@ func (m *SmallBatchModel) correctionFor(batch int) (regression.MultiModel, bool)
 	bestDist := math.Inf(1)
 	var best regression.MultiModel
 	found := false
-	for bs, cal := range m.Corrections {
+	for _, bs := range m.FittedBatchSizes() {
 		d := math.Abs(math.Log(float64(bs)) - math.Log(float64(batch)))
 		if d < bestDist {
-			bestDist, best, found = d, cal, true
+			bestDist, best, found = d, m.Corrections[bs], true
 		}
 	}
 	return best, found

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dnn"
 	"repro/internal/gpu"
+	"repro/internal/units"
 	"repro/internal/zoo"
 )
 
@@ -39,7 +40,7 @@ func samePrediction(t *testing.T, a, b Predictor) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(pa-pb) > 1e-15*math.Abs(pa) {
+	if math.Abs(float64(pa-pb)) > 1e-15*math.Abs(float64(pa)) {
 		t.Fatalf("predictions diverge after round trip: %v vs %v", pa, pb)
 	}
 }
@@ -144,7 +145,7 @@ type unsupportedPredictor struct{}
 
 func (unsupportedPredictor) Name() string    { return "x" }
 func (unsupportedPredictor) GPUName() string { return "x" }
-func (unsupportedPredictor) PredictNetwork(*dnn.Network, int) (float64, error) {
+func (unsupportedPredictor) PredictNetwork(*dnn.Network, int) (units.Seconds, error) {
 	return 0, nil
 }
 

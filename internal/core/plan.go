@@ -8,6 +8,7 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/kernels"
 	"repro/internal/regression"
+	"repro/internal/units"
 )
 
 // Compiled prediction plans. A Plan is the result of running shape inference
@@ -71,8 +72,8 @@ func (p *Plan) SegmentCount() int { return len(p.segs) }
 // size must be positive (callers route non-positive batches through the
 // uncached path for its validation errors). It performs no allocation and is
 // safe to call concurrently.
-func (p *Plan) Predict(batch int) float64 {
-	var total float64
+func (p *Plan) Predict(batch int) units.Seconds {
+	var total units.Seconds
 	start := 0
 	for _, e := range p.entryEnd {
 		end := int(e)
@@ -84,7 +85,7 @@ func (p *Plan) Predict(batch int) float64 {
 			}
 		}
 		x := float64(seg.xPer*int64(batch) + seg.xConst)
-		total += clampTime(seg.line.Predict(x))
+		total += clampTime(units.Seconds(seg.line.Predict(x)))
 		start = end
 	}
 	return total
@@ -288,10 +289,10 @@ type layerTerm struct {
 }
 
 // predictTerms sums a cached layer's kernel predictions.
-func predictTerms(terms []layerTerm) float64 {
-	var total float64
+func predictTerms(terms []layerTerm) units.Seconds {
+	var total units.Seconds
 	for _, t := range terms {
-		total += clampTime(t.line.Predict(t.x))
+		total += clampTime(units.Seconds(t.line.Predict(t.x)))
 	}
 	return total
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dnn"
 	"repro/internal/gpu"
+	"repro/internal/units"
 	"repro/internal/zoo"
 )
 
@@ -42,8 +43,8 @@ func buildSampleDataset(t testing.TB, training bool) *dataset.Dataset {
 // assertPlanIdentity checks that the plan-backed prediction path returns the
 // exact same float64 (==, not within-epsilon) as the reference uncached path
 // for every network in the sample at every fixture batch size.
-func assertPlanIdentity(t *testing.T, predict func(*dnn.Network, int) (float64, error),
-	uncached func(*dnn.Network, int) (float64, error)) {
+func assertPlanIdentity(t *testing.T, predict func(*dnn.Network, int) (units.Seconds, error),
+	uncached func(*dnn.Network, int) (units.Seconds, error)) {
 	t.Helper()
 	for _, n := range zooSample() {
 		for _, batch := range planFixtureBatches {
@@ -114,7 +115,7 @@ func TestKWPlanConcurrent(t *testing.T) {
 	nets := zooSample()[:8]
 
 	// Serial reference, computed first on private clones.
-	want := map[string]float64{}
+	want := map[string]units.Seconds{}
 	for _, n := range nets {
 		for _, batch := range planFixtureBatches {
 			v, err := kw.PredictNetworkUncached(n.Clone(), batch)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/gpu"
 	"repro/internal/profiler"
 	"repro/internal/sim"
+	"repro/internal/units"
 )
 
 // BuildOptions configures dataset collection.
@@ -165,7 +166,7 @@ func collectNetwork(src *dnn.Network, devices []*sim.Device, opt BuildOptions) (
 				res.ds.Networks = append(res.ds.Networks, NetworkRecord{
 					Network: tr.Network, Family: tr.Family, Task: string(tr.Task),
 					GPU: tr.GPU, BatchSize: tr.BatchSize,
-					TotalFLOPs: tr.TotalFLOPs, E2ESeconds: tr.E2ETime,
+					TotalFLOPs: units.FLOPs(tr.TotalFLOPs), E2ESeconds: units.Seconds(tr.E2ETime),
 				})
 			}
 		}

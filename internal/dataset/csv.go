@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+
+	"repro/internal/units"
 )
 
 // CSV persistence: the dataset is stored as three files —
@@ -32,8 +34,8 @@ func (d *Dataset) WriteDir(dir string) error {
 	if err := writeCSV(filepath.Join(dir, NetworksCSV), networkHeader, len(d.Networks), func(i int) []string {
 		r := d.Networks[i]
 		return []string{r.Network, r.Family, r.Task, r.GPU,
-			strconv.Itoa(r.BatchSize), strconv.FormatInt(r.TotalFLOPs, 10),
-			formatSeconds(r.E2ESeconds)}
+			strconv.Itoa(r.BatchSize), strconv.FormatInt(int64(r.TotalFLOPs), 10),
+			formatSeconds(float64(r.E2ESeconds))}
 	}); err != nil {
 		return err
 	}
@@ -41,8 +43,8 @@ func (d *Dataset) WriteDir(dir string) error {
 		r := d.Layers[i]
 		return []string{r.Network, r.GPU, strconv.Itoa(r.BatchSize),
 			strconv.Itoa(r.LayerIndex), r.Kind, r.Signature,
-			strconv.FormatInt(r.FLOPs, 10), strconv.FormatInt(r.InputElems, 10),
-			strconv.FormatInt(r.OutputElems, 10), formatSeconds(r.Seconds)}
+			strconv.FormatInt(int64(r.FLOPs), 10), strconv.FormatInt(r.InputElems, 10),
+			strconv.FormatInt(r.OutputElems, 10), formatSeconds(float64(r.Seconds))}
 	}); err != nil {
 		return err
 	}
@@ -50,8 +52,8 @@ func (d *Dataset) WriteDir(dir string) error {
 		r := d.Kernels[i]
 		return []string{r.Network, r.GPU, strconv.Itoa(r.BatchSize),
 			strconv.Itoa(r.LayerIndex), r.LayerKind, r.LayerSignature, r.Kernel,
-			strconv.FormatInt(r.LayerFLOPs, 10), strconv.FormatInt(r.LayerInputElems, 10),
-			strconv.FormatInt(r.LayerOutputElems, 10), formatSeconds(r.Seconds)}
+			strconv.FormatInt(int64(r.LayerFLOPs), 10), strconv.FormatInt(r.LayerInputElems, 10),
+			strconv.FormatInt(r.LayerOutputElems, 10), formatSeconds(float64(r.Seconds))}
 	})
 }
 
@@ -73,7 +75,7 @@ func ReadDir(dir string) (*Dataset, error) {
 		}
 		d.Networks = append(d.Networks, NetworkRecord{
 			Network: rec[0], Family: rec[1], Task: rec[2], GPU: rec[3],
-			BatchSize: bs, TotalFLOPs: fl, E2ESeconds: sec,
+			BatchSize: bs, TotalFLOPs: units.FLOPs(fl), E2ESeconds: units.Seconds(sec),
 		})
 		return nil
 	})
@@ -107,8 +109,8 @@ func ReadDir(dir string) (*Dataset, error) {
 		}
 		d.Layers = append(d.Layers, LayerRecord{
 			Network: rec[0], GPU: rec[1], BatchSize: bs, LayerIndex: li,
-			Kind: rec[4], Signature: rec[5], FLOPs: fl,
-			InputElems: ie, OutputElems: oe, Seconds: sec,
+			Kind: rec[4], Signature: rec[5], FLOPs: units.FLOPs(fl),
+			InputElems: ie, OutputElems: oe, Seconds: units.Seconds(sec),
 		})
 		return nil
 	})
@@ -143,8 +145,8 @@ func ReadDir(dir string) (*Dataset, error) {
 		d.Kernels = append(d.Kernels, KernelRecord{
 			Network: rec[0], GPU: rec[1], BatchSize: bs, LayerIndex: li,
 			LayerKind: rec[4], LayerSignature: rec[5], Kernel: rec[6],
-			LayerFLOPs: fl, LayerInputElems: ie, LayerOutputElems: oe,
-			Seconds: sec,
+			LayerFLOPs: units.FLOPs(fl), LayerInputElems: ie, LayerOutputElems: oe,
+			Seconds: units.Seconds(sec),
 		})
 		return nil
 	})

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/profiler"
+	"repro/internal/units"
 )
 
 // NetworkRecord is one end-to-end measurement of a network.
@@ -21,9 +22,9 @@ type NetworkRecord struct {
 	GPU       string
 	BatchSize int
 	// TotalFLOPs is the theoretical forward-pass FLOPs at this batch size.
-	TotalFLOPs int64
+	TotalFLOPs units.FLOPs
 	// E2ESeconds is the measured end-to-end time of one batch.
-	E2ESeconds float64
+	E2ESeconds units.Seconds
 }
 
 // LayerRecord is one layer-level measurement.
@@ -36,11 +37,11 @@ type LayerRecord struct {
 	Kind       string
 	Signature  string
 	// FLOPs, InputElems, OutputElems are the layer's structural metrics.
-	FLOPs       int64
+	FLOPs       units.FLOPs
 	InputElems  int64
 	OutputElems int64
 	// Seconds is the measured layer execution time.
-	Seconds float64
+	Seconds units.Seconds
 }
 
 // KernelRecord is one kernel-level measurement, carrying the three
@@ -58,11 +59,11 @@ type KernelRecord struct {
 	Kernel string
 	// LayerFLOPs, LayerInputElems, LayerOutputElems are the candidate driver
 	// variables the kernel-wise classifier regresses against.
-	LayerFLOPs       int64
+	LayerFLOPs       units.FLOPs
 	LayerInputElems  int64
 	LayerOutputElems int64
 	// Seconds is the measured kernel duration.
-	Seconds float64
+	Seconds units.Seconds
 }
 
 // Dataset is the in-memory measurement database.
@@ -82,8 +83,8 @@ func (d *Dataset) AddTrace(t *profiler.Trace) {
 		GPU:       t.GPU,
 		BatchSize: t.BatchSize,
 
-		TotalFLOPs: t.TotalFLOPs,
-		E2ESeconds: t.E2ETime,
+		TotalFLOPs: units.FLOPs(t.TotalFLOPs),
+		E2ESeconds: units.Seconds(t.E2ETime),
 	})
 	for _, l := range t.Layers {
 		if len(l.Kernels) == 0 {
@@ -96,10 +97,10 @@ func (d *Dataset) AddTrace(t *profiler.Trace) {
 			LayerIndex:  l.Index,
 			Kind:        string(l.Kind),
 			Signature:   l.Signature,
-			FLOPs:       l.FLOPs,
+			FLOPs:       units.FLOPs(l.FLOPs),
 			InputElems:  l.InputElems,
 			OutputElems: l.OutputElems,
-			Seconds:     l.Duration,
+			Seconds:     units.Seconds(l.Duration),
 		})
 		for _, ev := range l.Kernels {
 			d.Kernels = append(d.Kernels, KernelRecord{
@@ -110,10 +111,10 @@ func (d *Dataset) AddTrace(t *profiler.Trace) {
 				LayerKind:        string(l.Kind),
 				LayerSignature:   l.Signature,
 				Kernel:           ev.Name,
-				LayerFLOPs:       ev.Kernel.LayerFLOPs,
+				LayerFLOPs:       units.FLOPs(ev.Kernel.LayerFLOPs),
 				LayerInputElems:  ev.Kernel.LayerInputElems,
 				LayerOutputElems: ev.Kernel.LayerOutputElems,
-				Seconds:          ev.Duration,
+				Seconds:          units.Seconds(ev.Duration),
 			})
 		}
 	}

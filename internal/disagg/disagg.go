@@ -11,6 +11,8 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+
+	"repro/internal/units"
 )
 
 // Config describes the disaggregated system.
@@ -22,7 +24,7 @@ type Config struct {
 	LinkLatencyUS float64
 	// LocalMemBytes bounds the weights resident locally: prefetched-but-
 	// unconsumed parameters may not exceed it. Zero means unbounded.
-	LocalMemBytes int64
+	LocalMemBytes units.Bytes
 }
 
 // LayerJob is one layer's work: its compute time (obtained from a
@@ -35,22 +37,22 @@ type LayerJob struct {
 	// Name labels the layer for traces.
 	Name string
 	// ComputeSeconds is the layer's GPU execution time.
-	ComputeSeconds float64
+	ComputeSeconds units.Seconds
 	// RemoteBytes is the traffic the prefetcher moves over the link for
 	// this layer.
-	RemoteBytes int64
+	RemoteBytes units.Bytes
 }
 
 // Result summarizes one simulation.
 type Result struct {
 	// TotalSeconds is the end-to-end completion time of one batch.
-	TotalSeconds float64
+	TotalSeconds units.Seconds
 	// ComputeSeconds is the total GPU busy time (sum of compute).
-	ComputeSeconds float64
+	ComputeSeconds units.Seconds
 	// FetchSeconds is the total link busy time.
-	FetchSeconds float64
+	FetchSeconds units.Seconds
 	// StallSeconds is GPU idle time spent waiting for parameters.
-	StallSeconds float64
+	StallSeconds units.Seconds
 }
 
 // ComputeUtilization is the fraction of total time the GPU computed.
@@ -58,7 +60,7 @@ func (r Result) ComputeUtilization() float64 {
 	if r.TotalSeconds == 0 {
 		return 0
 	}
-	return r.ComputeSeconds / r.TotalSeconds
+	return float64(r.ComputeSeconds / r.TotalSeconds)
 }
 
 // event kinds of the discrete-event engine.
@@ -82,8 +84,11 @@ type eventQueue []event
 
 func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+	if q[i].at < q[j].at {
+		return true
+	}
+	if q[i].at > q[j].at {
+		return false
 	}
 	return q[i].seq < q[j].seq
 }
@@ -130,7 +135,7 @@ func Simulate(jobs []LayerJob, cfg Config) (Result, error) {
 		fetched        = make([]bool, len(jobs))
 		computing      = -1
 		linkBusy       bool
-		residentB      int64 // prefetched-but-unconsumed bytes
+		residentB      units.Bytes // prefetched-but-unconsumed bytes
 		res            Result
 		lastComputeEnd float64
 	)
@@ -150,7 +155,7 @@ func Simulate(jobs []LayerJob, cfg Config) (Result, error) {
 			}
 			dur := latency + float64(j.RemoteBytes)/linkBytesPerSec
 			residentB += j.RemoteBytes
-			res.FetchSeconds += dur
+			res.FetchSeconds += units.Seconds(dur)
 			linkBusy = true
 			push(now+dur, evFetchDone, nextFetch)
 			nextFetch++
@@ -164,10 +169,10 @@ func Simulate(jobs []LayerJob, cfg Config) (Result, error) {
 			return
 		}
 		j := jobs[nextCompute]
-		res.StallSeconds += now - lastComputeEnd
+		res.StallSeconds += units.Seconds(now - lastComputeEnd)
 		res.ComputeSeconds += j.ComputeSeconds
 		computing = nextCompute
-		push(now+j.ComputeSeconds, evComputeDone, nextCompute)
+		push(now+float64(j.ComputeSeconds), evComputeDone, nextCompute)
 	}
 
 	tryStartFetch()
@@ -197,7 +202,7 @@ func Simulate(jobs []LayerJob, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("disagg: deadlock — computed %d of %d layers (local memory too small for the prefetch window?)",
 			nextCompute, len(jobs))
 	}
-	res.TotalSeconds = now
+	res.TotalSeconds = units.Seconds(now)
 	return res, nil
 }
 
@@ -230,7 +235,7 @@ func Speedups(results []Result) []float64 {
 			out[i] = math.Inf(1)
 			continue
 		}
-		out[i] = base / r.TotalSeconds
+		out[i] = float64(base / r.TotalSeconds)
 	}
 	return out
 }

@@ -6,10 +6,13 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/units"
 )
 
-func almostEqual(a, b float64) bool {
-	return math.Abs(a-b) <= 1e-12*math.Max(math.Abs(a), math.Abs(b))+1e-15
+func almostEqual[A, B ~float64](a A, b B) bool {
+	x, y := float64(a), float64(b)
+	return math.Abs(x-y) <= 1e-12*math.Max(math.Abs(x), math.Abs(y))+1e-15
 }
 
 func TestComputeBoundPipeline(t *testing.T) {
@@ -32,7 +35,7 @@ func TestComputeBoundPipeline(t *testing.T) {
 	if !almostEqual(res.ComputeSeconds, 30e-3) {
 		t.Fatalf("compute = %v", res.ComputeSeconds)
 	}
-	if res.StallSeconds > firstFetch+1e-12 {
+	if float64(res.StallSeconds) > firstFetch+1e-12 {
 		t.Fatalf("stall = %v, want ≈ first fetch only", res.StallSeconds)
 	}
 }
@@ -47,10 +50,10 @@ func TestFetchBoundPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almostEqual(res.TotalSeconds, 2) {
+	if !almostEqual(res.TotalSeconds, 2.0) {
 		t.Fatalf("total = %v, want 2", res.TotalSeconds)
 	}
-	if !almostEqual(res.FetchSeconds, 2) {
+	if !almostEqual(res.FetchSeconds, 2.0) {
 		t.Fatalf("fetch = %v", res.FetchSeconds)
 	}
 }
@@ -67,10 +70,10 @@ func TestHandComputedOverlap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almostEqual(res.TotalSeconds, 4) {
+	if !almostEqual(res.TotalSeconds, 4.0) {
 		t.Fatalf("total = %v, want 4", res.TotalSeconds)
 	}
-	if !almostEqual(res.StallSeconds, 1) { // only the initial fill
+	if !almostEqual(res.StallSeconds, 1.0) { // only the initial fill
 		t.Fatalf("stall = %v, want 1", res.StallSeconds)
 	}
 }
@@ -86,7 +89,7 @@ func TestLocalMemoryWindowSerializes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !almostEqual(res.TotalSeconds, 4) {
+	if !almostEqual(res.TotalSeconds, 4.0) {
 		t.Fatalf("total = %v, want 4 (fully serialized)", res.TotalSeconds)
 	}
 
@@ -173,10 +176,10 @@ func TestTotalBounds(t *testing.T) {
 		const bw = 10.0 // GB/s
 		for i := range jobs {
 			jobs[i] = LayerJob{
-				ComputeSeconds: rnd.Float64() * 1e-3,
-				RemoteBytes:    int64(rnd.Intn(1e7)),
+				ComputeSeconds: units.Seconds(rnd.Float64() * 1e-3),
+				RemoteBytes:    units.Bytes(rnd.Intn(1e7)),
 			}
-			sumC += jobs[i].ComputeSeconds
+			sumC += float64(jobs[i].ComputeSeconds)
 			sumF += float64(jobs[i].RemoteBytes) / (bw * 1e9)
 		}
 		res, err := Simulate(jobs, Config{LinkGBps: bw})
@@ -185,7 +188,7 @@ func TestTotalBounds(t *testing.T) {
 		}
 		lower := math.Max(sumC, sumF)
 		upper := sumC + sumF
-		return res.TotalSeconds >= lower-1e-12 && res.TotalSeconds <= upper+1e-12
+		return float64(res.TotalSeconds) >= lower-1e-12 && float64(res.TotalSeconds) <= upper+1e-12
 	}
 	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(17))}
 	if err := quick.Check(f, cfg); err != nil {

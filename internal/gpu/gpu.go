@@ -7,6 +7,7 @@ package gpu
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -59,7 +60,9 @@ func (s Spec) String() string {
 func (s Spec) WithBandwidth(gbps float64) Spec {
 	out := s
 	out.MemBWGBps = gbps
-	if gbps != s.MemBWGBps {
+	// Bit-level identity, not numeric closeness: any requested bandwidth
+	// other than the spec's own exact value names a hypothetical variant.
+	if math.Float64bits(gbps) != math.Float64bits(s.MemBWGBps) {
 		out.Name = fmt.Sprintf("%s@%.0fGBps", s.Name, gbps)
 	}
 	return out

@@ -199,7 +199,9 @@ func Curve(title, xLab, yLab string, xs, ys []float64, markX float64, w, h int) 
 	}
 	xMin, xMax := minMax(xs)
 	yMin, yMax := minMax(ys)
-	if yMin == yMax {
+	// minMax guarantees yMin <= yMax; a non-strict ordering means the range
+	// is degenerate (equal extremes or NaN) and needs widening.
+	if !(yMin < yMax) {
 		yMax = yMin + 1
 	}
 	c := NewCanvas(title, w, h)
@@ -266,7 +268,7 @@ func positiveRange(xs []float64) (lo, hi float64) {
 	if math.IsInf(lo, 1) {
 		return 0.1, 1
 	}
-	if lo == hi {
+	if !(lo < hi) {
 		hi = lo * 2
 	}
 	return lo, hi

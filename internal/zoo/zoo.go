@@ -237,7 +237,7 @@ func Full() []*dnn.Network {
 	// MobileNetV2: width × resolution sweep plus expansion-factor variants.
 	for _, w := range []float64{0.35, 0.5, 0.75, 1.0, 1.25, 1.4} {
 		for _, res := range []int{96, 128, 160, 192, 224, 256} {
-			if w == 1.0 && res == 224 {
+			if int(w*100+0.5) == 100 && res == 224 {
 				continue
 			}
 			add(MobileNetV2(mobileNetVariantName(w, res), MobileNetV2Config{
@@ -259,7 +259,7 @@ func Full() []*dnn.Network {
 	// ShuffleNet v1: group × scale sweep plus resolution variants.
 	for _, g := range []int{1, 2, 3, 4, 8} {
 		for _, s := range []float64{0.5, 1.0, 1.5, 2.0} {
-			if g == 3 && s == 1.0 {
+			if g == 3 && int(s*100) == 100 {
 				continue
 			}
 			name := fmt.Sprintf("shufflenet_v1_g%d_s%03d", g, int(s*100))

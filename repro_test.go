@@ -4,6 +4,8 @@ import (
 	"math"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/units"
 )
 
 // collectSmall builds a compact dataset through the public facade.
@@ -64,7 +66,7 @@ func TestFacadeWorkflow(t *testing.T) {
 		}
 		// Even the coarse models stay within a small factor on a
 		// well-represented network.
-		if ratio := pred / tr.E2ETime; ratio < 0.2 || ratio > 5 {
+		if ratio := float64(pred) / tr.E2ETime; ratio < 0.2 || ratio > 5 {
 			t.Fatalf("%s ratio = %v", m.Name(), ratio)
 		}
 	}
@@ -81,7 +83,7 @@ func TestFacadeIGKWAndDSE(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var prev float64
+	var prev units.Seconds
 	for _, bw := range []float64{400, 800, 1200} {
 		m, err := base.Resolve(TitanRTX.WithBandwidth(bw))
 		if err != nil {

@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# ci.sh — the pre-merge gate, invoked by `make verify` and CI.
+#
+# Three commands, in dependency order:
+#   1. go vet         — toolchain-level static checks
+#   2. dnnlint        — the repo's own invariants (internal/analysis):
+#                       detrange, unitsafe, floateq, locksafe, staleplan
+#   3. go test -race  — the full suite under the race detector
+#
+# Followed by the lint self-test: seed a known violation into a scratch copy
+# of the module and require dnnlint to fail on it, so a silently broken
+# analyzer cannot green-light the gate.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== dnnlint"
+go run ./cmd/dnnlint ./...
+
+echo "== go test -race"
+go test -race ./...
+
+echo "== dnnlint self-test"
+./scripts/lint_selftest.sh
+
+echo "ci: all gates passed"

@@ -1,0 +1,45 @@
+#!/usr/bin/env sh
+# lint_selftest.sh — proves the lint gate actually gates.
+#
+# Copies the module into a scratch directory, seeds a detrange violation
+# (float accumulation over an unsorted map range) into internal/core, and
+# requires dnnlint to exit non-zero there. If the analyzers ever regress to
+# finding nothing, this script fails `make verify` instead of letting the
+# gate silently pass everything.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT INT TERM
+
+# Copy the module without VCS metadata.
+tar --exclude .git -cf - . | (cd "$tmp" && tar -xf -)
+
+cat > "$tmp/internal/core/seeded_violation.go" <<'EOF'
+package core
+
+// seededLintViolation exists only while scripts/lint_selftest.sh runs: it
+// folds floats in map-iteration order, which dnnlint must report.
+func seededLintViolation(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+EOF
+
+if (cd "$tmp" && go run ./cmd/dnnlint ./internal/core) >"$tmp/lint.out" 2>&1; then
+	echo "lint_selftest: FAIL — dnnlint passed a seeded detrange violation" >&2
+	cat "$tmp/lint.out" >&2
+	exit 1
+fi
+
+if ! grep -q 'detrange' "$tmp/lint.out"; then
+	echo "lint_selftest: FAIL — dnnlint failed without a detrange finding:" >&2
+	cat "$tmp/lint.out" >&2
+	exit 1
+fi
+
+echo "lint_selftest: ok (seeded violation caught)"
