@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint verify bench-smoke bench-baseline
+.PHONY: build test lint verify bench-smoke bench-baseline bench-compare serve-smoke
 
 build:
 	$(GO) build ./...
@@ -18,8 +18,9 @@ lint:
 
 # verify is the pre-merge gate: vet, dnnlint, the full test suite under the
 # race detector (the concurrency tests in internal/bench, internal/cache and
-# internal/core only bite with -race on), and the lint self-test proving the
-# gate fails on a seeded violation. scripts/ci.sh runs all four.
+# internal/core only bite with -race on), the `dnnperf serve` smoke test, the
+# cached-predict benchmark regression gate, and the lint self-test proving
+# the gate fails on a seeded violation. scripts/ci.sh runs all of them.
 verify:
 	./scripts/ci.sh
 
@@ -32,3 +33,13 @@ bench-smoke:
 # benchmarks (see scripts/bench_baseline.sh).
 bench-baseline:
 	./scripts/bench_baseline.sh
+
+# bench-compare reruns the cached-predict benchmarks and fails if any is
+# more than 25% slower than its BENCH_baseline.json entry.
+bench-compare:
+	./scripts/bench_compare.sh
+
+# serve-smoke boots `dnnperf serve` and checks /healthz, /metrics and
+# /metrics.json answer.
+serve-smoke:
+	./scripts/serve_smoke.sh

@@ -8,10 +8,13 @@
 // Commands:
 //
 //	zoo       summarize the 646-network zoo
-//	trace     print a profiler trace (the Figure 2 layer↔kernel view)
+//	trace     print a profiler trace (the Figure 2 layer↔kernel view);
+//	          with -o, also write it as Chrome trace-event JSON
 //	collect   collect a dataset and write it as CSV files
 //	train     fit the E2E/LW/KW models on one GPU and print summaries
 //	predict   predict one network's time with the KW model
+//	serve     run the HTTP prediction service (/predict, /metrics,
+//	          /metrics.json, /healthz, expvar, pprof)
 //	table1, fig3…fig9, fig11…fig19, table2
 //	          regenerate one table/figure of the paper
 //	all       regenerate every table and figure
@@ -23,6 +26,9 @@
 //	-network N  network name for trace/predict (default resnet50)
 //	-batch N    batch size for trace/predict (default 512)
 //	-out DIR    output directory for collect (default ./dataset)
+//	-addr ADDR  listen address for serve (default localhost:8080)
+//	-timing     report per-phase wall time from the observability spans
+//	-o FILE     write a Chrome trace-event JSON of the run (Perfetto-loadable)
 package main
 
 import (
@@ -30,13 +36,13 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/dnn"
 	"repro/internal/gpu"
+	"repro/internal/obs"
 	"repro/internal/plot"
 	"repro/internal/profiler"
 	"repro/internal/sim"
@@ -56,6 +62,9 @@ func main() {
 	batch := flag.Int("batch", 512, "batch size for trace/predict")
 	out := flag.String("out", "dataset", "output directory for collect/export")
 	modelPath := flag.String("model", "", "model file: written by train, read by predict")
+	addr := flag.String("addr", "localhost:8080", "listen address for serve")
+	timing := flag.Bool("timing", false, "report per-phase wall time (observability spans)")
+	traceOut := flag.String("o", "", "write a Chrome trace-event JSON of the run to this file")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -64,6 +73,13 @@ func main() {
 		os.Exit(2)
 	}
 	cmd := flag.Arg(0)
+
+	// -timing and -o both enable observation: spans feed the per-phase
+	// report and the Chrome trace export.
+	if *timing || *traceOut != "" {
+		obs.SetEnabled(true)
+		obs.SetTracer(obs.NewTracer())
+	}
 
 	g, err := gpu.ByName(*gpuName)
 	if err != nil {
@@ -85,30 +101,89 @@ func main() {
 		runTrain(lab(), g, *modelPath)
 	case "predict":
 		runPredict(lab(), g, *network, *batch, *modelPath)
+	case "serve":
+		if err := runServe(lab(), g, *addr); err != nil {
+			fatal(err)
+		}
 	case "all":
 		runAll(lab())
 	case "plots":
 		runPlots(lab())
 	case "export":
-		if err := bench.Export(lab(), *out); err != nil {
+		sp := obs.StartPhase("export")
+		err := bench.Export(lab(), *out)
+		sp.End()
+		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("figure data written to %s/\n", *out)
 	default:
 		if fn, ok := experiments()[cmd]; ok {
-			start := time.Now()
+			sp := obs.StartPhase(cmd)
 			text, err := fn(lab())
+			sp.End()
 			if err != nil {
 				fatal(err)
 			}
 			fmt.Print(text)
-			fmt.Printf("\n(%s regenerated in %v)\n", cmd, time.Since(start).Round(time.Millisecond))
-			return
+		} else {
+			fmt.Fprintf(os.Stderr, "dnnperf: unknown command %q\n\n", cmd)
+			usage()
+			os.Exit(2)
 		}
-		fmt.Fprintf(os.Stderr, "dnnperf: unknown command %q\n\n", cmd)
-		usage()
-		os.Exit(2)
 	}
+
+	if *timing {
+		printTiming()
+	}
+	if *traceOut != "" {
+		if err := writeChromeTrace(*traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chrome trace written to %s (load it at https://ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+	}
+}
+
+// printTiming renders the per-phase wall-time report the three ad-hoc
+// time.Now blocks used to approximate, now sourced from the span tracer so
+// every subcommand reports consistently.
+func printTiming() {
+	tr := obs.CurrentTracer()
+	if tr == nil {
+		return
+	}
+	evs := tr.Events()
+	var total, phases int
+	fmt.Println("\ntiming (phases):")
+	for _, ev := range evs {
+		if ev.Cat != obs.PhaseCat {
+			continue
+		}
+		phases++
+		fmt.Printf("  %-28s %12v\n", ev.Name, ev.Dur.Round(10e3))
+	}
+	if phases == 0 {
+		fmt.Println("  (no phases recorded)")
+	}
+	total = len(evs)
+	fmt.Printf("  %d spans recorded in total\n", total)
+}
+
+// writeChromeTrace dumps the tracer's spans as Chrome trace-event JSON.
+func writeChromeTrace(path string) error {
+	tr := obs.CurrentTracer()
+	if tr == nil {
+		return fmt.Errorf("dnnperf: no tracer active for -o")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // experiment is a runnable table/figure generator.
@@ -162,21 +237,25 @@ var experimentOrder = []string{
 
 func runAll(l *bench.Lab) {
 	exps := experiments()
-	start := time.Now()
+	all := obs.StartPhase("all")
 	for _, name := range experimentOrder {
-		t0 := time.Now()
+		sp := obs.StartPhase(name)
 		text, err := exps[name](l)
+		sp.End()
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 		fmt.Print(text)
-		fmt.Printf("(regenerated in %v)\n\n", time.Since(t0).Round(time.Millisecond))
+		fmt.Println()
 	}
-	fmt.Printf("all %d experiments regenerated in %v\n", len(experimentOrder), time.Since(start).Round(time.Millisecond))
+	all.End()
+	fmt.Printf("all %d experiments regenerated\n", len(experimentOrder))
 }
 
 // runPlots renders the data-rich figures as terminal charts.
 func runPlots(l *bench.Lab) {
+	sp := obs.StartPhase("plots")
+	defer sp.End()
 	f3, err := bench.Figure3(l, gpu.A100)
 	if err != nil {
 		fatal(err)
@@ -240,11 +319,13 @@ func runZoo() {
 }
 
 func runTrace(network string, batch int, g gpu.Spec) {
+	sp := obs.StartPhase("profile " + network)
 	net, err := zoo.ByName(network)
 	if err != nil {
 		fatal(err)
 	}
 	tr, err := profileTrace(net, batch, g)
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}
@@ -261,9 +342,13 @@ func runTrace(network string, batch int, g gpu.Spec) {
 				l.Index, layerCol, l.Kind, ev.Name, ev.Duration*1e6)
 		}
 	}
+	// With -o active, replay the layer↔kernel timeline onto the tracer so
+	// the exported Chrome trace shows the Figure 2 view on two tracks.
+	addProfilerTimeline(tr)
 }
 
 func runCollect(l *bench.Lab, g gpu.Spec, out string) {
+	sp := obs.StartPhase("collect " + g.Name)
 	ds, err := l.Dataset(g)
 	if err != nil {
 		fatal(err)
@@ -271,37 +356,47 @@ func runCollect(l *bench.Lab, g gpu.Spec, out string) {
 	if err := ds.WriteDir(out); err != nil {
 		fatal(err)
 	}
+	sp.End()
 	fmt.Printf("collected %s\nwritten to %s/{%s,%s,%s}\n", ds.Summary(), out,
 		dataset.NetworksCSV, dataset.LayersCSV, dataset.KernelsCSV)
 }
 
 func runTrain(l *bench.Lab, g gpu.Spec, modelPath string) {
+	sp := obs.StartPhase("dataset " + g.Name)
 	ds, err := l.Dataset(g)
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}
 	train, test := l.Split(ds)
 	fmt.Printf("dataset: %s\n", ds.Summary())
 
+	sp = obs.StartPhase("fit E2E")
 	e2e, err := core.FitE2E(train, g.Name, bench.TrainBatch)
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("E2E model: %s\n", e2e.Line)
 
+	sp = obs.StartPhase("fit LW")
 	lw, err := core.FitLW(train, g.Name, bench.TrainBatch)
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("LW model: %d layer-type regressions\n", len(lw.Lines))
 
+	sp = obs.StartPhase("fit KW")
 	kw, err := core.FitKW(train, g.Name, bench.TrainBatch)
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("KW model: %d kernels → %d regression models, %d mapping-table entries\n",
 		kw.KernelCount(), kw.ModelCount(), len(kw.Mapping))
 
+	sp = obs.StartPhase("evaluate held-out")
 	for _, m := range []core.Predictor{e2e, lw, kw} {
 		var evals []core.Eval
 		for _, r := range test.Networks {
@@ -321,6 +416,7 @@ func runTrain(l *bench.Lab, g gpu.Spec, modelPath string) {
 		fmt.Printf("%-4s test error: %.3f over %d held-out networks\n",
 			m.Name(), core.MeanRelError(evals), len(evals))
 	}
+	sp.End()
 
 	if modelPath != "" {
 		if err := core.SaveFile(modelPath, kw); err != nil {
@@ -334,18 +430,24 @@ func runPredict(l *bench.Lab, g gpu.Spec, network string, batch int, modelPath s
 	var model core.Predictor
 	if modelPath != "" {
 		// Prediction from a distributed model file: no measurements needed.
+		sp := obs.StartPhase("load model")
 		m, err := core.LoadFile(modelPath)
+		sp.End()
 		if err != nil {
 			fatal(err)
 		}
 		model = m
 	} else {
+		sp := obs.StartPhase("dataset " + g.Name)
 		ds, err := l.Dataset(g)
+		sp.End()
 		if err != nil {
 			fatal(err)
 		}
 		train, _ := l.Split(ds)
+		sp = obs.StartPhase("fit KW")
 		kw, err := core.FitKW(train, g.Name, bench.TrainBatch)
+		sp.End()
 		if err != nil {
 			fatal(err)
 		}
@@ -355,12 +457,14 @@ func runPredict(l *bench.Lab, g gpu.Spec, network string, batch int, modelPath s
 	if err != nil {
 		fatal(err)
 	}
+	sp := obs.StartPhase("predict " + network)
 	p, err := model.PredictNetwork(net, batch)
+	sp.End()
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("%s-predicted time of %s (batch %d) on %s: %.3f ms\n",
-		model.Name(), network, batch, model.GPUName(), p*1e3)
+		model.Name(), network, batch, model.GPUName(), p.Float64()*1e3)
 }
 
 func usage() {
@@ -369,7 +473,7 @@ func usage() {
 usage: dnnperf [flags] <command>
 
 commands:
-  zoo | trace | collect | train | predict | all | export | plots
+  zoo | trace | collect | train | predict | serve | all | export | plots
   table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9
   fig11 fig12 fig13 table2 fig14 fig15 fig16 fig17 fig18 fig19 ablation training mig smallbatch uncertainty robustness online
 

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/obs"
+)
+
+// The serve subcommand turns dnnperf into a small prediction service with a
+// first-class telemetry surface:
+//
+//	GET /healthz       liveness + model readiness, JSON
+//	GET /metrics       obs registry, Prometheus text exposition format
+//	GET /metrics.json  obs registry, JSON snapshot
+//	GET /predict       KW prediction: ?network=resnet50&batch=64
+//	GET /debug/vars    expvar (includes the obs snapshot under "obs")
+//	GET /debug/pprof/  runtime profiling endpoints
+//
+// The KW model is fitted in the background at startup so /healthz responds
+// immediately; /predict returns 503 until the model is ready.
+
+// Serve-layer metrics.
+var (
+	metricServeRequests = obs.Default().Counter("serve_requests_total",
+		"HTTP requests handled by dnnperf serve.")
+	metricServeErrors = obs.Default().Counter("serve_request_errors_total",
+		"HTTP requests answered with a 4xx/5xx status.")
+	metricServeLatency = obs.Default().Histogram("serve_request_seconds",
+		"HTTP request handling latency.", nil)
+	metricServePredictions = obs.Default().Counter("serve_predictions_total",
+		"Successful /predict responses.")
+)
+
+// server holds the serving state: the lab (for networks), the device, and
+// the asynchronously fitted model.
+type server struct {
+	lab   *bench.Lab
+	gpu   gpu.Spec
+	start time.Time
+
+	model    atomic.Pointer[core.KWModel]
+	modelErr atomic.Pointer[error]
+}
+
+// runServe fits the model in the background and serves until the process is
+// killed.
+func runServe(l *bench.Lab, g gpu.Spec, addr string) error {
+	obs.SetEnabled(true)
+	s := &server{lab: l, gpu: g, start: time.Now()}
+
+	go func() {
+		sp := obs.StartSpan("serve model warm-up " + g.Name)
+		defer sp.End()
+		ds, err := l.Dataset(g)
+		if err != nil {
+			s.modelErr.Store(&err)
+			return
+		}
+		train, _ := l.Split(ds)
+		kw, err := core.FitKW(train, g.Name, bench.TrainBatch)
+		if err != nil {
+			s.modelErr.Store(&err)
+			return
+		}
+		s.model.Store(kw)
+	}()
+
+	// The obs snapshot doubles as an expvar so the standard /debug/vars
+	// surface carries it alongside memstats and cmdline.
+	expvar.Publish("obs", expvar.Func(func() any { return obs.Default().SnapshotJSON() }))
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.instrument(s.handleHealthz))
+	mux.HandleFunc("/metrics", s.instrument(s.handleMetrics))
+	mux.HandleFunc("/metrics.json", s.instrument(s.handleMetricsJSON))
+	mux.HandleFunc("/predict", s.instrument(s.handlePredict))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	fmt.Printf("dnnperf: serving on http://%s (endpoints: /healthz /metrics /metrics.json /predict /debug/vars /debug/pprof/)\n", addr)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return srv.ListenAndServe()
+}
+
+// statusRecorder captures the handler's status code for error counting.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the serve-layer metrics.
+func (s *server) instrument(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		tm := obs.StartTimer(metricServeLatency)
+		metricServeRequests.Inc()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, req)
+		if rec.status >= 400 {
+			metricServeErrors.Inc()
+		}
+		tm.Stop()
+	}
+}
+
+// handleHealthz reports liveness plus model readiness. It always answers
+// 200 while the process lives; readiness is in the body so orchestration
+// can distinguish "up" from "warm".
+func (s *server) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	type health struct {
+		Status        string  `json:"status"`
+		ModelReady    bool    `json:"model_ready"`
+		ModelError    string  `json:"model_error,omitempty"`
+		GPU           string  `json:"gpu"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+	}
+	h := health{Status: "ok", GPU: s.gpu.Name, UptimeSeconds: time.Since(s.start).Seconds()}
+	h.ModelReady = s.model.Load() != nil
+	if errp := s.modelErr.Load(); errp != nil {
+		h.Status = "degraded"
+		h.ModelError = (*errp).Error()
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := obs.Default().WritePrometheus(w); err != nil {
+		// Headers are gone; nothing to do but note it.
+		metricServeErrors.Inc()
+	}
+}
+
+// handleMetricsJSON serves the registry snapshot as JSON.
+func (s *server) handleMetricsJSON(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.Default().WriteJSON(w); err != nil {
+		metricServeErrors.Inc()
+	}
+}
+
+// handlePredict serves one KW prediction:
+// /predict?network=resnet50&batch=64.
+func (s *server) handlePredict(w http.ResponseWriter, req *http.Request) {
+	m := s.model.Load()
+	if m == nil {
+		msg := "model warming up"
+		if errp := s.modelErr.Load(); errp != nil {
+			msg = "model fit failed: " + (*errp).Error()
+		}
+		writeJSONError(w, http.StatusServiceUnavailable, msg)
+		return
+	}
+	name := req.URL.Query().Get("network")
+	if name == "" {
+		writeJSONError(w, http.StatusBadRequest, "missing ?network=")
+		return
+	}
+	batch := 512
+	if b := req.URL.Query().Get("batch"); b != "" {
+		v, err := strconv.Atoi(b)
+		if err != nil || v <= 0 {
+			writeJSONError(w, http.StatusBadRequest, "batch must be a positive integer")
+			return
+		}
+		batch = v
+	}
+	net, err := s.lab.Network(name)
+	if err != nil {
+		writeJSONError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	pred, err := m.PredictNetwork(net, batch)
+	if err != nil {
+		writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	metricServePredictions.Inc()
+	type prediction struct {
+		Model       string  `json:"model"`
+		GPU         string  `json:"gpu"`
+		Network     string  `json:"network"`
+		Batch       int     `json:"batch"`
+		PredictedMs float64 `json:"predicted_ms"`
+	}
+	writeJSON(w, http.StatusOK, prediction{
+		Model:       m.Name(),
+		GPU:         m.GPUName(),
+		Network:     name,
+		Batch:       batch,
+		PredictedMs: pred.Float64() * 1e3,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	type errBody struct {
+		Error string `json:"error"`
+	}
+	writeJSON(w, status, errBody{Error: msg})
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/profiler"
+)
+
+// addProfilerTimeline replays a profiler trace onto the active tracer so the
+// Chrome trace export shows the paper's Figure 2 view: a "layers" track with
+// one slice per layer and a "kernels" track with the kernels it dispatched,
+// aligned on the batch timeline. A no-op when -o is not in effect.
+func addProfilerTimeline(tr *profiler.Trace) {
+	t := obs.CurrentTracer()
+	if t == nil {
+		return
+	}
+	layerTrack := t.ReserveTrack()
+	kernelTrack := t.ReserveTrack()
+	for _, l := range tr.Layers {
+		if len(l.Kernels) == 0 {
+			continue
+		}
+		layerStart := l.Kernels[0].Start
+		t.Complete(obs.TraceEvent{
+			Name:  fmt.Sprintf("L%d %s", l.Index, l.Name),
+			Cat:   "layer",
+			Track: layerTrack,
+			Start: seconds(layerStart),
+			Dur:   seconds(l.Duration),
+			Args: []obs.Arg{
+				{Key: "kind", Val: string(l.Kind)},
+				{Key: "kernels", Val: fmt.Sprint(len(l.Kernels))},
+			},
+		})
+		for _, k := range l.Kernels {
+			t.Complete(obs.TraceEvent{
+				Name:  k.Name,
+				Cat:   "kernel",
+				Track: kernelTrack,
+				Start: seconds(k.Start),
+				Dur:   seconds(k.Duration),
+				Args:  []obs.Arg{{Key: "layer", Val: fmt.Sprint(k.LayerIndex)}},
+			})
+		}
+	}
+}
+
+// seconds converts the profiler's float seconds to a duration offset.
+func seconds(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

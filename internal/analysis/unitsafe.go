@@ -39,6 +39,7 @@ func DefaultUnitScope() []string {
 		"repro/internal/core",
 		"repro/internal/dataset",
 		"repro/internal/disagg",
+		"repro/internal/obs",
 		"repro/internal/units",
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"strconv"
 
 	"repro/internal/gpu"
+	"repro/internal/obs"
 )
 
 // Export writes the data series behind the data-rich figures as CSV files,
@@ -27,7 +28,9 @@ func Export(l *Lab, dir string) error {
 		return fmt.Errorf("bench: export: %w", err)
 	}
 
+	sp := obs.StartSpan("export fig3")
 	f3, err := Figure3(l, gpu.A100)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -73,7 +76,9 @@ func Export(l *Lab, dir string) error {
 		}},
 	}
 	for _, c := range curves {
+		sp := obs.StartSpan("export " + c.file)
 		curve, err := c.get()
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -94,7 +99,9 @@ func Export(l *Lab, dir string) error {
 		{"fig15_curve.csv", Figure15},
 		{"fig16_curve.csv", Figure16},
 	} {
+		sp := obs.StartSpan("export " + dse.file)
 		r, err := dse.get(l)
+		sp.End()
 		if err != nil {
 			return err
 		}
@@ -107,7 +114,9 @@ func Export(l *Lab, dir string) error {
 		}
 	}
 
+	sp = obs.StartSpan("export fig17_speedups.csv")
 	f17, err := Figure17(l)
+	sp.End()
 	if err != nil {
 		return err
 	}

@@ -19,7 +19,16 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dnn"
 	"repro/internal/gpu"
+	"repro/internal/obs"
 	"repro/internal/zoo"
+)
+
+// Observability handles for the experiment harness.
+var (
+	metricDatasetBuild = obs.Default().Histogram("bench_dataset_build_seconds",
+		"Latency of one per-GPU dataset collection pass.", nil)
+	metricDatasetBuilds = obs.Default().Counter("bench_dataset_builds_total",
+		"Per-GPU dataset collection passes completed.")
 )
 
 // TrainBatch is the fully-utilizing batch size every model trains at (§5.2).
@@ -152,6 +161,11 @@ func (l *Lab) gpuDataset(g gpu.Spec) (*dataset.Dataset, error) {
 	l.mu.Unlock()
 
 	b.once.Do(func() {
+		tm := obs.StartTimer(metricDatasetBuild)
+		defer tm.Stop()
+		sp := obs.StartSpan("dataset-build " + g.Name)
+		sp.SetArg("networks", fmt.Sprint(len(l.nets)))
+		defer sp.End()
 		opt := dataset.DefaultBuildOptions()
 		opt.Batches = l.batches
 		opt.Warmup = l.warmup
@@ -163,6 +177,7 @@ func (l *Lab) gpuDataset(g gpu.Spec) (*dataset.Dataset, error) {
 		built.Clean()
 		b.ds = built
 		l.builds.Add(1)
+		metricDatasetBuilds.Inc()
 	})
 	return b.ds, b.err
 }

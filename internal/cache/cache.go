@@ -13,6 +13,23 @@ package cache
 import (
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// Aggregate observability counters across every cache instance in the
+// process, registered once against the global registry. Per-instance detail
+// stays available through Stats(); these give the serving surface one
+// process-wide view of cache behaviour at pure-atomic cost.
+var (
+	obsHits = obs.Default().Counter("cache_hits_total",
+		"Cache lookups served from a present entry, across all caches.")
+	obsMisses = obs.Default().Counter("cache_misses_total",
+		"Cache lookups that started a new computation, across all caches.")
+	obsEvictions = obs.Default().Counter("cache_evictions_total",
+		"Entries evicted by the per-shard LRU policy, across all caches.")
+	obsShared = obs.Default().Counter("cache_singleflight_shared_total",
+		"Lookups that joined an in-flight computation instead of starting one.")
 )
 
 // Hasher is implemented by key types so shard selection needs no reflection:
@@ -39,6 +56,8 @@ type Sharded[K interface {
 	Capacity int
 
 	hits, misses atomic.Int64
+	evictions    atomic.Int64
+	shared       atomic.Int64
 	shards       [numShards]shard[K, V]
 }
 
@@ -74,8 +93,14 @@ func (c *Sharded[K, V]) GetOrCompute(key K, fn func() (V, error)) (V, error) {
 	}
 	if e, ok := s.entries[key]; ok {
 		s.moveToFront(e)
+		joined := e.inflight
 		s.mu.Unlock()
 		c.hits.Add(1)
+		obsHits.Inc()
+		if joined {
+			c.shared.Add(1)
+			obsShared.Inc()
+		}
 		e.wg.Wait()
 		return e.val, e.err
 	}
@@ -83,9 +108,13 @@ func (c *Sharded[K, V]) GetOrCompute(key K, fn func() (V, error)) (V, error) {
 	e.wg.Add(1)
 	s.entries[key] = e
 	s.pushFront(e)
-	s.evict(c.perShardCapacity())
+	if n := s.evict(c.perShardCapacity()); n > 0 {
+		c.evictions.Add(int64(n))
+		obsEvictions.Add(int64(n))
+	}
 	s.mu.Unlock()
 	c.misses.Add(1)
+	obsMisses.Inc()
 
 	completed := false
 	defer func() {
@@ -163,6 +192,68 @@ func (c *Sharded[K, V]) Clear() {
 func (c *Sharded[K, V]) Hits() int64   { return c.hits.Load() }
 func (c *Sharded[K, V]) Misses() int64 { return c.misses.Load() }
 
+// Stats is a point-in-time snapshot of one cache instance.
+type Stats struct {
+	// Hits counts lookups that found an entry (including joins of an
+	// in-flight computation); Misses counts lookups that started one.
+	Hits, Misses int64
+	// Evictions counts entries dropped by the per-shard LRU policy.
+	Evictions int64
+	// SingleflightShared counts lookups that joined an in-flight
+	// computation instead of starting a duplicate (a subset of Hits).
+	SingleflightShared int64
+	// Entries is the current total entry count; Pinned is how many of them
+	// are still being computed (in-flight entries are exempt from eviction).
+	Entries, Pinned int
+	// PerShard is the current entry count of each shard.
+	PerShard [numShards]int
+}
+
+// Stats captures the cache's cumulative counters and current occupancy.
+// Counters are read atomically; occupancy is read shard by shard, so under
+// concurrent writes the totals are per-shard-consistent, not globally
+// frozen — fine for the telemetry this feeds.
+func (c *Sharded[K, V]) Stats() Stats {
+	st := Stats{
+		Hits:               c.hits.Load(),
+		Misses:             c.misses.Load(),
+		Evictions:          c.evictions.Load(),
+		SingleflightShared: c.shared.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.PerShard[i] = len(s.entries)
+		st.Entries += len(s.entries)
+		for _, e := range s.entries {
+			if e.inflight {
+				st.Pinned++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// RegisterMetrics exposes this instance's occupancy and counters through
+// the global obs registry under the given metric name prefix (e.g.
+// "core_kw_plan_cache" yields core_kw_plan_cache_entries and friends).
+// Registering the same prefix again rebinds the metrics to the newest
+// instance — the behaviour a serving process wants when a model is refit.
+func (c *Sharded[K, V]) RegisterMetrics(prefix string) {
+	r := obs.Default()
+	r.GaugeFunc(prefix+"_entries", "Current entry count of the "+prefix+" cache.",
+		func() int64 { return int64(c.Len()) })
+	r.GaugeFunc(prefix+"_pinned", "In-flight (eviction-exempt) entries of the "+prefix+" cache.",
+		func() int64 { return int64(c.Stats().Pinned) })
+	r.GaugeFunc(prefix+"_hits", "Cumulative hits of the "+prefix+" cache.",
+		func() int64 { return c.hits.Load() })
+	r.GaugeFunc(prefix+"_misses", "Cumulative misses of the "+prefix+" cache.",
+		func() int64 { return c.misses.Load() })
+	r.GaugeFunc(prefix+"_evictions", "Cumulative LRU evictions of the "+prefix+" cache.",
+		func() int64 { return c.evictions.Load() })
+}
+
 func (c *Sharded[K, V]) perShardCapacity() int {
 	total := c.Capacity
 	if total <= 0 {
@@ -194,19 +285,22 @@ func (s *shard[K, V]) removeLocked(e *entry[K, V]) {
 }
 
 // evict trims the shard to the capacity, oldest first, skipping entries that
-// are still being computed.
-func (s *shard[K, V]) evict(capacity int) {
+// are still being computed. It returns the number of entries dropped.
+func (s *shard[K, V]) evict(capacity int) int {
+	n := 0
 	for len(s.entries) > capacity {
 		victim := s.back
 		for victim != nil && victim.inflight {
 			victim = victim.prev
 		}
 		if victim == nil {
-			return // everything in flight; over-capacity is transient
+			break // everything in flight; over-capacity is transient
 		}
 		delete(s.entries, victim.key)
 		s.unlink(victim)
+		n++
 	}
+	return n
 }
 
 // moveToFront marks an entry most-recently-used.

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/dnn"
+	"repro/internal/obs"
 	"repro/internal/regression"
 	"repro/internal/units"
 )
@@ -59,6 +60,8 @@ func (m *E2EModel) PredictFLOPs(totalFLOPs units.FLOPs) units.Seconds {
 // requested batch size, computes the theoretical FLOPs, and evaluates the
 // regression.
 func (m *E2EModel) PredictNetwork(n *dnn.Network, batch int) (units.Seconds, error) {
+	tm := obs.StartTimer(metricE2EPredict)
+	defer tm.Stop()
 	flops, err := n.FLOPsAt(batch)
 	if err != nil {
 		return 0, err

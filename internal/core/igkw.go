@@ -9,6 +9,7 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/gpu"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/regression"
 	"repro/internal/units"
 )
@@ -207,6 +208,7 @@ func (b *IGKWBase) Resolve(target gpu.Spec) (*IGKWModel, error) {
 	if len(m.Lines) == 0 {
 		return nil, fmt.Errorf("core: IGKW model: no kernel observed with a usable slope on any training GPU")
 	}
+	m.plans.RegisterMetrics("core_igkw_plan_cache")
 	return m, nil
 }
 
@@ -360,6 +362,8 @@ func (m *IGKWModel) PredictKernel(name string, layerFLOPs units.FLOPs, layerInEl
 // predictions run allocation-free, never mutate n, and are safe to issue
 // concurrently, with results bit-identical to PredictNetworkUncached.
 func (m *IGKWModel) PredictNetwork(n *dnn.Network, batch int) (units.Seconds, error) {
+	tm := obs.StartTimer(metricIGKWPredict)
+	defer tm.Stop()
 	if batch <= 0 {
 		return m.PredictNetworkUncached(n, batch)
 	}

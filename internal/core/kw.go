@@ -8,6 +8,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dnn"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/regression"
 	"repro/internal/units"
 )
@@ -130,6 +131,8 @@ func FitKWOptions(ds *dataset.Dataset, gpuName string, trainBatch int, opt KWOpt
 	}
 	m.Training = opt.Training
 	m.initOnline(recs)
+	m.plans.RegisterMetrics("core_kw_plan_cache")
+	m.layerPlans.RegisterMetrics("core_kw_layer_cache")
 	return m, nil
 }
 
@@ -311,6 +314,8 @@ func (m *KWModel) kernelsForLayer(l *dnn.Layer) []kernels.Kernel {
 // issue from many goroutines. Results are bit-identical to
 // PredictNetworkUncached.
 func (m *KWModel) PredictNetwork(n *dnn.Network, batch int) (units.Seconds, error) {
+	tm := obs.StartTimer(metricKWPredict)
+	defer tm.Stop()
 	if batch <= 0 {
 		// Route through the uncached path for its validation error.
 		return m.PredictNetworkUncached(n, batch)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/dnn"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/regression"
 	"repro/internal/units"
 )
@@ -83,6 +84,8 @@ func (m *LWModel) PredictLayer(kind dnn.Kind, flops units.FLOPs) units.Seconds {
 // PredictNetwork implements Predictor: the sum of per-layer predictions over
 // the network's layers that dispatch GPU work.
 func (m *LWModel) PredictNetwork(n *dnn.Network, batch int) (units.Seconds, error) {
+	tm := obs.StartTimer(metricLWPredict)
+	defer tm.Stop()
 	if err := n.Infer(batch); err != nil {
 		return 0, err
 	}

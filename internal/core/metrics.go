@@ -1,0 +1,21 @@
+package core
+
+import "repro/internal/obs"
+
+// Observability handles for the model layer, registered once at package
+// init. Recording is gated by obs.Enabled() through obs.StartTimer, so the
+// default (disabled) cost on the prediction hot path is one atomic load.
+var (
+	metricPlanCompile = obs.Default().Histogram("core_plan_compile_seconds",
+		"Latency of compiling a prediction plan for one (network, model) pair.", nil)
+	metricKWPredict = obs.Default().Histogram("core_kw_predict_seconds",
+		"Latency of KWModel.PredictNetwork (cached or uncached path).", nil)
+	metricIGKWPredict = obs.Default().Histogram("core_igkw_predict_seconds",
+		"Latency of IGKWModel.PredictNetwork (cached or uncached path).", nil)
+	metricLWPredict = obs.Default().Histogram("core_lw_predict_seconds",
+		"Latency of LWModel.PredictNetwork.", nil)
+	metricE2EPredict = obs.Default().Histogram("core_e2e_predict_seconds",
+		"Latency of E2EModel.PredictNetwork.", nil)
+	metricPlanCompiles = obs.Default().Counter("core_plan_compiles_total",
+		"Prediction plans compiled (cache misses of the plan caches).")
+)

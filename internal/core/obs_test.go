@@ -1,0 +1,66 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// Telemetry must be a pure side channel: the golden artifacts (serialized
+// model + exact plan dump) are byte-identical whether observation and
+// tracing are enabled or not.
+func TestGoldenDeterminismWithObsEnabled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline build")
+	}
+	prevEnabled := obs.Enabled()
+	prevTracer := obs.CurrentTracer()
+	defer func() {
+		obs.SetEnabled(prevEnabled)
+		obs.SetTracer(prevTracer)
+	}()
+
+	obs.SetEnabled(false)
+	obs.SetTracer(nil)
+	modelOff, planOff := goldenArtifacts(t, runtime.NumCPU())
+
+	obs.SetEnabled(true)
+	obs.SetTracer(obs.NewTracer())
+	modelOn, planOn := goldenArtifacts(t, runtime.NumCPU())
+
+	if !bytes.Equal(modelOff, modelOn) {
+		t.Errorf("serialized model differs with observation enabled (%d vs %d bytes)",
+			len(modelOff), len(modelOn))
+	}
+	if !bytes.Equal(planOff, planOn) {
+		t.Errorf("compiled plan differs with observation enabled:\n%s\nvs\n%s", planOff, planOn)
+	}
+	// And the run must actually have recorded telemetry — otherwise this
+	// test proves nothing.
+	if obs.CurrentTracer() == nil || len(obs.CurrentTracer().Events()) == 0 {
+		t.Error("no spans recorded with tracing enabled; instrumentation is dead")
+	}
+}
+
+// BenchmarkKWPredictPlanObsEnabled is BenchmarkKWPredictPlan with latency
+// timing on — the pair quantifies the instrumentation overhead on the
+// cached hot path (the acceptance bound is <5%).
+func BenchmarkKWPredictPlanObsEnabled(b *testing.B) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(prev)
+
+	kw, net := benchKW(b)
+	if _, err := kw.PredictNetwork(net, 512); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kw.PredictNetwork(net, 64+(i%4)*64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

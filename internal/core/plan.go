@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dnn"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/regression"
 	"repro/internal/units"
 )
@@ -121,6 +122,13 @@ func (a driverAffine) pick(d Driver) (per, cnst int64) {
 // same network cannot race).
 func compilePlan(n *dnn.Network, gpuName string, training bool,
 	mapping map[string][]string, resolve kernelResolve) (*Plan, error) {
+
+	tm := obs.StartTimer(metricPlanCompile)
+	defer tm.Stop()
+	sp := obs.StartSpan("plan-compile " + n.Name)
+	sp.SetArg("gpu", gpuName)
+	defer sp.End()
+	metricPlanCompiles.Inc()
 
 	clone := n.Clone()
 	dispatch := kernels.ForLayer

@@ -12,7 +12,25 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/obs"
 	"repro/internal/units"
+)
+
+// Observability handles for the event-driven network model. The counters
+// accumulate across simulations; the gauges describe the most recent one
+// (bandwidth sweeps overwrite them per point, which is the intended live
+// view of a running sweep).
+var (
+	metricSims = obs.Default().Counter("disagg_simulations_total",
+		"Event-driven disaggregated-memory simulations completed.")
+	metricEvents = obs.Default().Counter("disagg_events_total",
+		"Discrete events processed across all simulations.")
+	metricTransferred = obs.Default().BytesCounter("disagg_transferred_bytes_total",
+		"Bytes moved over the disaggregation link across all simulations.")
+	metricQueueDepthPeak = obs.Default().Gauge("disagg_event_queue_depth_peak",
+		"Peak event-queue depth of the most recent simulation.")
+	metricResidentPeak = obs.Default().Gauge("disagg_resident_bytes_peak",
+		"Peak prefetched-but-unconsumed bytes of the most recent simulation.")
 )
 
 // Config describes the disaggregated system.
@@ -138,11 +156,21 @@ func Simulate(jobs []LayerJob, cfg Config) (Result, error) {
 		residentB      units.Bytes // prefetched-but-unconsumed bytes
 		res            Result
 		lastComputeEnd float64
+
+		// Telemetry accumulators, folded into the obs metrics once at the
+		// end so the event loop stays free of atomic traffic.
+		movedB        units.Bytes
+		peakQueue     int
+		peakResidentB units.Bytes
+		eventCount    int64
 	)
 
 	push := func(at float64, k eventKind, idx int) {
 		heap.Push(&q, event{at: at, kind: k, idx: idx, seq: seq})
 		seq++
+		if len(q) > peakQueue {
+			peakQueue = len(q)
+		}
 	}
 
 	// tryStartFetch launches the next in-order fetch if the link is free and
@@ -155,6 +183,10 @@ func Simulate(jobs []LayerJob, cfg Config) (Result, error) {
 			}
 			dur := latency + float64(j.RemoteBytes)/linkBytesPerSec
 			residentB += j.RemoteBytes
+			movedB += j.RemoteBytes
+			if residentB > peakResidentB {
+				peakResidentB = residentB
+			}
 			res.FetchSeconds += units.Seconds(dur)
 			linkBusy = true
 			push(now+dur, evFetchDone, nextFetch)
@@ -183,6 +215,7 @@ func Simulate(jobs []LayerJob, cfg Config) (Result, error) {
 			return Result{}, fmt.Errorf("disagg: event time went backwards (%v < %v)", e.at, now)
 		}
 		now = e.at
+		eventCount++
 		switch e.kind {
 		case evFetchDone:
 			fetched[e.idx] = true
@@ -203,6 +236,12 @@ func Simulate(jobs []LayerJob, cfg Config) (Result, error) {
 			nextCompute, len(jobs))
 	}
 	res.TotalSeconds = units.Seconds(now)
+
+	metricSims.Inc()
+	metricEvents.Add(eventCount)
+	metricTransferred.Add(movedB)
+	metricQueueDepthPeak.Set(int64(peakQueue))
+	metricResidentPeak.Set(int64(peakResidentB))
 	return res, nil
 }
 

@@ -1,0 +1,164 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/units"
+)
+
+// DefaultLatencyBuckets spans the repository's latency range — sub-µs
+// cached predictions up to multi-second full-lab collection passes — in a
+// 1/2/5 progression. 22 finite buckets plus the implicit +Inf bucket.
+func DefaultLatencyBuckets() []units.Seconds {
+	return []units.Seconds{
+		1e-6, 2e-6, 5e-6,
+		1e-5, 2e-5, 5e-5,
+		1e-4, 2e-4, 5e-4,
+		1e-3, 2e-3, 5e-3,
+		1e-2, 2e-2, 5e-2,
+		1e-1, 2e-1, 5e-1,
+		1, 2, 5, 10,
+	}
+}
+
+// Histogram is a fixed-bucket latency histogram. Observation is lock-free:
+// one binary search over the (immutable) bounds plus two atomic adds. The
+// observation sum is kept in integer nanoseconds so concurrent recording
+// stays associative — snapshots are exact counts, never racy float folds.
+type Histogram struct {
+	bounds   []units.Seconds // ascending upper bounds; immutable after New
+	counts   []atomic.Uint64 // len(bounds)+1; last bucket is +Inf
+	sumNanos atomic.Int64
+	obsTotal atomic.Uint64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds
+// (nil selects DefaultLatencyBuckets). Bounds must be strictly increasing.
+func NewHistogram(bounds []units.Seconds) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets()
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds must be strictly increasing")
+		}
+	}
+	own := make([]units.Seconds, len(bounds))
+	copy(own, bounds)
+	return &Histogram{bounds: own, counts: make([]atomic.Uint64, len(own)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d units.Seconds) {
+	// Binary search for the first bound >= d; observations beyond every
+	// bound land in the +Inf bucket.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < d {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.sumNanos.Add(int64(float64(d) * 1e9))
+	h.obsTotal.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.obsTotal.Load() }
+
+// Sum returns the (nanosecond-truncated) sum of all observations.
+func (h *Histogram) Sum() units.Seconds {
+	return units.Seconds(float64(h.sumNanos.Load()) / 1e9)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// within the bucket holding the target rank; observations in the +Inf
+// bucket report the highest finite bound. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) units.Seconds {
+	total := h.obsTotal.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			if i >= len(h.bounds) { // +Inf bucket: no finite upper edge
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := units.Seconds(0)
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lower + units.Seconds(frac)*(upper-lower)
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// snapshot returns sum, count, and cumulative bucket counts, with a final
+// +Inf bucket. Concurrent observations may land between the bucket loads;
+// cumulative counts are each exact, and the final bucket equals the count
+// loaded in the same pass so exporters always see a coherent series.
+func (h *Histogram) snapshot() (units.Seconds, uint64, []BucketSnapshot) {
+	out := make([]BucketSnapshot, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		upper := units.Seconds(math.Inf(1))
+		if i < len(h.bounds) {
+			upper = h.bounds[i]
+		}
+		out[i] = BucketSnapshot{UpperSeconds: upper, Cumulative: cum}
+	}
+	return h.Sum(), cum, out
+}
+
+// Timer measures one region into a histogram. The zero Timer (returned by
+// StartTimer when observation is disabled) makes Stop a no-op.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer begins timing a region if observation is enabled; otherwise it
+// returns the zero Timer at the cost of a single atomic load.
+func StartTimer(h *Histogram) Timer {
+	if !enabled.Load() || h == nil {
+		return Timer{}
+	}
+	return Timer{h: h, start: time.Now()}
+}
+
+// Stop records the elapsed time. No-op on the zero Timer.
+func (t Timer) Stop() {
+	if t.h == nil {
+		return
+	}
+	t.h.Observe(units.Seconds(time.Since(t.start).Seconds()))
+}

@@ -1,0 +1,253 @@
+// Package obs is the repository's observability layer: a low-overhead
+// metrics registry (atomic counters, gauges and fixed-bucket latency
+// histograms with Prometheus-text and JSON exporters) and a span tracer
+// whose output loads in Perfetto / chrome://tracing. Everything is stdlib
+// only.
+//
+// Telemetry is strictly a side channel. Instrumented packages never read a
+// metric or span back into a computation, so model outputs, serialized
+// models and compiled-plan dumps are byte-identical whether observation is
+// enabled or not (internal/core's golden test asserts this). The design
+// keeps the disabled path nearly free:
+//
+//   - Counters and gauges are bare atomics; recording is one atomic add
+//     whether or not anything ever scrapes them.
+//   - Latency histograms are fed through StartTimer, which reads the clock
+//     only when Enabled() — disabled, a timed region costs one atomic load.
+//   - Spans come from the installed global tracer; with none installed,
+//     StartSpan is one atomic pointer load returning a nil (no-op) span.
+//
+// Metric handles are package-level vars in the instrumented packages,
+// registered once against Default() at init, so the hot paths never touch
+// the registry's lock.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/units"
+)
+
+// Kind classifies a registered metric for exporters.
+type Kind string
+
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be non-negative for the value to stay monotone).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// BytesCounter is a Counter whose unit is bytes; its API speaks
+// units.Bytes so byte volumes keep their type all the way to the exporter.
+type BytesCounter struct{ v atomic.Int64 }
+
+// Add accumulates a byte volume.
+func (c *BytesCounter) Add(b units.Bytes) { c.v.Add(int64(b)) }
+
+// Value returns the accumulated volume.
+func (c *BytesCounter) Value() units.Bytes { return units.Bytes(c.v.Load()) }
+
+// Gauge is an atomic instantaneous value (set-or-adjust semantics).
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Max raises the gauge to n if n exceeds the current value.
+func (g *Gauge) Max(n int64) {
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// metric is one registered instrument.
+type metric struct {
+	name string
+	help string
+	kind Kind
+	unit string // "", "seconds" or "bytes" — annotates exports
+
+	counter *Counter
+	bytes   *BytesCounter
+	gauge   *Gauge
+	gaugeFn func() int64
+	hist    *Histogram
+}
+
+// Registry holds named metrics. Registration takes a lock; recording on the
+// returned handles never does. The zero value is not usable — call
+// NewRegistry (or use Default()).
+type Registry struct {
+	mu      sync.Mutex
+	byName  map[string]*metric
+	metrics []*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*metric{}}
+}
+
+// defaultRegistry is the process-global registry every built-in
+// instrumentation site registers against.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-global registry.
+func Default() *Registry { return defaultRegistry }
+
+// enabled gates the clock reads behind latency observation (see StartTimer).
+// Counters and gauges are always live; they are plain atomics.
+var enabled atomic.Bool
+
+// Enabled reports whether latency timing (StartTimer) is active.
+func Enabled() bool { return enabled.Load() }
+
+// SetEnabled turns latency timing on or off process-wide.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// register installs a metric, enforcing name uniqueness per kind. Asking
+// twice for the same (name, kind) returns the original handle, so tests and
+// multiple instances can share an aggregate metric safely.
+func (r *Registry) register(name, help string, kind Kind, unit string) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.byName[name]; ok {
+		if m.kind != kind {
+			panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, kind, m.kind))
+		}
+		return m
+	}
+	m := &metric{name: name, help: help, kind: kind, unit: unit}
+	r.byName[name] = m
+	r.metrics = append(r.metrics, m)
+	return m
+}
+
+// Counter registers (or fetches) a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	m := r.register(name, help, KindCounter, "")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.counter == nil {
+		m.counter = &Counter{}
+	}
+	return m.counter
+}
+
+// BytesCounter registers (or fetches) a byte-volume counter.
+func (r *Registry) BytesCounter(name, help string) *BytesCounter {
+	m := r.register(name, help, KindCounter, "bytes")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.bytes == nil {
+		m.bytes = &BytesCounter{}
+	}
+	return m.bytes
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	m := r.register(name, help, KindGauge, "")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.gauge == nil {
+		m.gauge = &Gauge{}
+	}
+	return m.gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed at snapshot time —
+// the hook that lets stateful components (e.g. cache sizes) expose values
+// without a write on their hot path.
+func (r *Registry) GaugeFunc(name, help string, fn func() int64) {
+	m := r.register(name, help, KindGauge, "")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m.gaugeFn = fn
+}
+
+// Histogram registers (or fetches) a latency histogram. A nil bounds slice
+// selects DefaultLatencyBuckets.
+func (r *Registry) Histogram(name, help string, bounds []units.Seconds) *Histogram {
+	m := r.register(name, help, KindHistogram, "seconds")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.hist == nil {
+		m.hist = NewHistogram(bounds)
+	}
+	return m.hist
+}
+
+// MetricSnapshot is the exported state of one metric at one instant.
+type MetricSnapshot struct {
+	Name  string `json:"name"`
+	Help  string `json:"help,omitempty"`
+	Kind  Kind   `json:"kind"`
+	Unit  string `json:"unit,omitempty"`
+	Value int64  `json:"value"` // counter / gauge value
+
+	// Histogram-only fields.
+	Sum     units.Seconds    `json:"sum_seconds,omitempty"`
+	Count   uint64           `json:"count,omitempty"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket: the count of
+// observations at or below the upper bound.
+type BucketSnapshot struct {
+	UpperSeconds units.Seconds `json:"le_seconds"` // +Inf bucket has IsInf true
+	Cumulative   uint64        `json:"cumulative"`
+}
+
+// Snapshot captures every metric, sorted by name, so exports (and tests)
+// are deterministic regardless of registration order.
+func (r *Registry) Snapshot() []MetricSnapshot {
+	r.mu.Lock()
+	ms := make([]*metric, len(r.metrics))
+	copy(ms, r.metrics)
+	r.mu.Unlock()
+
+	sort.Slice(ms, func(i, j int) bool { return ms[i].name < ms[j].name })
+	out := make([]MetricSnapshot, 0, len(ms))
+	for _, m := range ms {
+		s := MetricSnapshot{Name: m.name, Help: m.help, Kind: m.kind, Unit: m.unit}
+		switch {
+		case m.counter != nil:
+			s.Value = m.counter.Value()
+		case m.bytes != nil:
+			s.Value = int64(m.bytes.Value())
+		case m.gaugeFn != nil:
+			s.Value = m.gaugeFn()
+		case m.gauge != nil:
+			s.Value = m.gauge.Value()
+		case m.hist != nil:
+			s.Sum, s.Count, s.Buckets = m.hist.snapshot()
+		}
+		out = append(out, s)
+	}
+	return out
+}

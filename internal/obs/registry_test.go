@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// The concurrency contract: recording is atomic, so under the race detector
+// N goroutines × M operations must land exactly N*M times — no lost updates,
+// no double counts.
+func TestConcurrentExactCounts(t *testing.T) {
+	const goroutines = 8
+	const perG = 10_000
+
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	b := r.BytesCounter("b_total", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h_seconds", "", []units.Seconds{1e-3, 1e-2, 1e-1})
+
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				c.Inc()
+				b.Add(units.Bytes(3))
+				g.Add(1)
+				g.Max(int64(j))
+				// A fixed observation: 2ms lands in the second bucket and
+				// contributes exactly 2e6 integer nanoseconds to the sum.
+				h.Observe(2e-3)
+			}
+		}()
+	}
+	wg.Wait()
+
+	const total = goroutines * perG
+	if got := c.Value(); got != total {
+		t.Errorf("counter = %d, want %d", got, total)
+	}
+	if got := b.Value(); got != units.Bytes(3*total) {
+		t.Errorf("bytes counter = %d, want %d", got, 3*total)
+	}
+	if got := g.Value(); got < perG-1 {
+		t.Errorf("gauge = %d, want >= %d (Max with the last j)", got, perG-1)
+	}
+	if got := h.Count(); got != total {
+		t.Errorf("histogram count = %d, want %d", got, total)
+	}
+	// Integer-nanosecond accumulation is associative: the sum is exact.
+	if got, want := h.Sum(), units.Seconds(total*2e-3); got != want {
+		t.Errorf("histogram sum = %v, want %v", got, want)
+	}
+	_, _, buckets := h.snapshot()
+	if got := buckets[1].Cumulative; got != total {
+		t.Errorf("bucket le=1e-2 cumulative = %d, want %d", got, total)
+	}
+	if got := buckets[0].Cumulative; got != 0 {
+		t.Errorf("bucket le=1e-3 cumulative = %d, want 0", got)
+	}
+}
+
+func TestConcurrentSpansExactCount(t *testing.T) {
+	const goroutines = 8
+	const perG = 500
+
+	tr := NewTracer()
+	SetTracer(tr)
+	defer SetTracer(nil)
+
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				sp := StartSpan("work")
+				sp.SetArg("k", "v")
+				sp.End()
+				sp.End() // idempotent: must not double-record
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got, want := len(tr.Events()), goroutines*perG; got != want {
+		t.Errorf("recorded %d spans, want %d", got, want)
+	}
+	if d := tr.Dropped(); d != 0 {
+		t.Errorf("dropped %d spans below the buffer cap", d)
+	}
+}
+
+func TestRegisterIdempotentAndKindMismatch(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x_total", "first help wins")
+	c2 := r.Counter("x_total", "ignored")
+	if c1 != c2 {
+		t.Error("re-registering the same counter returned a different handle")
+	}
+	c1.Inc()
+	if c2.Value() != 1 {
+		t.Error("shared handles diverged")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering x_total as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x_total", "")
+}
+
+func TestGaugeFuncLastWins(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("occupancy", "", func() int64 { return 1 })
+	r.GaugeFunc("occupancy", "", func() int64 { return 2 })
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].Value != 2 {
+		t.Errorf("snapshot = %+v, want one metric with value 2", snap)
+	}
+}
+
+func TestSnapshotSortedByName(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zebra_total", "")
+	r.Counter("alpha_total", "")
+	r.Gauge("mid", "")
+	snap := r.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name >= snap[i].Name {
+			t.Fatalf("snapshot not sorted: %q before %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+}
+
+func TestGaugeMax(t *testing.T) {
+	var g Gauge
+	g.Max(5)
+	g.Max(3)
+	g.Max(9)
+	if got := g.Value(); got != 9 {
+		t.Errorf("gauge after Max(5,3,9) = %d, want 9", got)
+	}
+}

@@ -19,7 +19,20 @@ import (
 
 	"repro/internal/dnn"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/sim"
+)
+
+// Observability handles for trace generation. Dataset collection calls
+// Profile thousands of times, so only aggregate metrics are recorded here;
+// span-level structure comes from the per-GPU build spans in internal/bench.
+var (
+	metricProfiles = obs.Default().Counter("profiler_profiles_total",
+		"Network executions profiled (one per (network, batch, GPU) run).")
+	metricProfileSeconds = obs.Default().Histogram("profiler_profile_seconds",
+		"Latency of one Profile call (warm-up plus measured batches).", nil)
+	metricProfileOOMs = obs.Default().Counter("profiler_oom_total",
+		"Profile runs rejected because the footprint exceeded device memory.")
 )
 
 // ErrOutOfMemory marks runs whose footprint exceeds device memory; the
@@ -138,6 +151,9 @@ func (p *Profiler) seedFor(net string, batch int) int64 {
 // trace. The network is (re-)shape-inferred at that batch size. Runs whose
 // memory footprint exceeds the device return ErrOutOfMemory.
 func (p *Profiler) Profile(n *dnn.Network, batch int) (*Trace, error) {
+	tm := obs.StartTimer(metricProfileSeconds)
+	defer tm.Stop()
+	metricProfiles.Inc()
 	if err := n.Infer(batch); err != nil {
 		return nil, err
 	}
@@ -146,6 +162,7 @@ func (p *Profiler) Profile(n *dnn.Network, batch int) (*Trace, error) {
 		fits = p.Device.FitsMemoryTraining
 	}
 	if !fits(n) {
+		metricProfileOOMs.Inc()
 		return nil, fmt.Errorf("%w: %s at batch %d on %s",
 			ErrOutOfMemory, n.Name, batch, p.Device.GPU.Name)
 	}

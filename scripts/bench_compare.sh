@@ -1,0 +1,71 @@
+#!/bin/sh
+# bench_compare.sh — guards the cached-predict hot path against performance
+# regressions. Runs the cached-predict benchmarks fresh and compares each
+# ns/op against the committed BENCH_baseline.json; any benchmark more than
+# BENCH_COMPARE_THRESHOLD percent (default 25) slower than its baseline
+# fails the gate.
+#
+# Only the cached-predict benchmarks are compared: they are allocation-free
+# and tens of microseconds, so they are stable enough to gate on. The
+# compile/collection benchmarks in the baseline file are order-of-magnitude
+# references, far too noisy for a percentage gate.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+baseline=BENCH_baseline.json
+threshold="${BENCH_COMPARE_THRESHOLD:-25}"
+
+if [ ! -f "$baseline" ]; then
+    echo "bench_compare: $baseline missing; run make bench-baseline first" >&2
+    exit 1
+fi
+
+raw="$(mktemp)"
+fresh="$(mktemp)"
+trap 'rm -f "$raw" "$fresh"' EXIT
+
+echo "bench_compare: running cached-predict benchmarks (best of 3)..."
+go test -run '^$' -bench 'BenchmarkKWPredictPlan$|BenchmarkKWPredictParallel$' \
+    -benchtime 1000x -count 3 ./internal/core/ >"$raw"
+go test -run '^$' -bench 'BenchmarkKWPredict$|BenchmarkKWPredictConcurrent$' \
+    -benchtime 1000x -count 3 . >>"$raw"
+
+# `BenchmarkName-P  N  T ns/op ...` -> `BenchmarkName T`, keeping the
+# fastest of the repeated runs: the minimum is the standard noise filter
+# for micro-benchmarks (slowdowns are noise, speedups are not).
+awk '/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    for (i = 2; i < NF; i++) if ($(i + 1) == "ns/op") {
+        if (!(name in best) || $i + 0 < best[name]) best[name] = $i + 0
+    }
+}
+END { for (name in best) print name, best[name] }' "$raw" | sort >"$fresh"
+
+if [ ! -s "$fresh" ]; then
+    echo "bench_compare: no benchmark results parsed" >&2
+    exit 1
+fi
+
+fail=0
+while read -r name ns; do
+    base="$(sed -n "s/.*\"$name\": {\"ns_per_op\": \([0-9][0-9]*\).*/\1/p" "$baseline")"
+    if [ -z "$base" ]; then
+        echo "  $name: no baseline entry, skipped"
+        continue
+    fi
+    if awk "BEGIN { exit !($ns > $base * (1 + $threshold / 100)) }"; then
+        pct="$(awk "BEGIN { printf \"%+.1f\", ($ns / $base - 1) * 100 }")"
+        echo "  $name: $ns ns/op vs baseline $base ns/op ($pct% — REGRESSION over ${threshold}%)"
+        fail=1
+    else
+        pct="$(awk "BEGIN { printf \"%+.1f\", ($ns / $base - 1) * 100 }")"
+        echo "  $name: $ns ns/op vs baseline $base ns/op ($pct%)"
+    fi
+done <"$fresh"
+
+if [ "$fail" -ne 0 ]; then
+    echo "bench_compare: cached-predict regression detected" >&2
+    exit 1
+fi
+echo "bench_compare: all cached-predict benchmarks within ${threshold}% of baseline"

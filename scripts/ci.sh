@@ -1,11 +1,14 @@
 #!/usr/bin/env sh
 # ci.sh — the pre-merge gate, invoked by `make verify` and CI.
 #
-# Three commands, in dependency order:
-#   1. go vet         — toolchain-level static checks
-#   2. dnnlint        — the repo's own invariants (internal/analysis):
-#                       detrange, unitsafe, floateq, locksafe, staleplan
-#   3. go test -race  — the full suite under the race detector
+# Commands, in dependency order:
+#   1. go vet           — toolchain-level static checks
+#   2. dnnlint          — the repo's own invariants (internal/analysis):
+#                         detrange, unitsafe, floateq, locksafe, staleplan
+#   3. go test -race    — the full suite under the race detector
+#   4. serve smoke test — boot `dnnperf serve`, hit /healthz and /metrics
+#   5. bench compare    — cached-predict benchmarks vs BENCH_baseline.json
+#                         (>25% ns/op regression fails)
 #
 # Followed by the lint self-test: seed a known violation into a scratch copy
 # of the module and require dnnlint to fail on it, so a silently broken
@@ -22,6 +25,12 @@ go run ./cmd/dnnlint ./...
 
 echo "== go test -race"
 go test -race ./...
+
+echo "== serve smoke test"
+./scripts/serve_smoke.sh
+
+echo "== bench compare"
+./scripts/bench_compare.sh
 
 echo "== dnnlint self-test"
 ./scripts/lint_selftest.sh

@@ -1,0 +1,81 @@
+#!/bin/sh
+# serve_smoke.sh — boots `dnnperf serve` and verifies the telemetry surface
+# answers: /healthz must return 200 promptly (liveness is independent of the
+# model warm-up) and /metrics must emit Prometheus text containing the obs
+# registry's serve counters. The server is killed afterwards regardless.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+addr="${SERVE_SMOKE_ADDR:-localhost:18097}"
+bin="$(mktemp -d)/dnnperf"
+log="$(mktemp)"
+pid=""
+
+cleanup() {
+    [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+    rm -f "$log"
+    rm -rf "$(dirname "$bin")"
+}
+trap cleanup EXIT
+
+fetch() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS --max-time 5 "$1"
+    else
+        wget -q -T 5 -O - "$1"
+    fi
+}
+
+echo "serve_smoke: building dnnperf..."
+go build -o "$bin" ./cmd/dnnperf
+
+"$bin" -quick -addr "$addr" serve >"$log" 2>&1 &
+pid=$!
+
+ok=0
+i=0
+while [ "$i" -lt 40 ]; do
+    if fetch "http://$addr/healthz" >/dev/null 2>&1; then
+        ok=1
+        break
+    fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve_smoke: server exited early:" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    sleep 0.25
+    i=$((i + 1))
+done
+if [ "$ok" -ne 1 ]; then
+    echo "serve_smoke: /healthz did not come up within 10s" >&2
+    cat "$log" >&2
+    exit 1
+fi
+
+health="$(fetch "http://$addr/healthz")"
+case "$health" in
+*'"status"'*) : ;;
+*)
+    echo "serve_smoke: unexpected /healthz body: $health" >&2
+    exit 1
+    ;;
+esac
+
+metrics="$(fetch "http://$addr/metrics")"
+case "$metrics" in
+*serve_requests_total*) : ;;
+*)
+    echo "serve_smoke: /metrics missing serve_requests_total:" >&2
+    printf '%s\n' "$metrics" | head -5 >&2
+    exit 1
+    ;;
+esac
+
+fetch "http://$addr/metrics.json" >/dev/null
+
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+echo "serve_smoke: /healthz, /metrics and /metrics.json all answered"
