@@ -87,7 +87,8 @@ func ChooseGPU(tm ScheduleTimes, nTasks int) ([]string, error) {
 }
 
 // ScheduleBruteForce enumerates every assignment (≤ 16 tasks, ≤ 4 GPUs) and
-// returns one with minimal makespan.
+// returns one with minimal makespan. Beyond those limits the error wraps
+// ErrScheduleSearchSpace; ScheduleAuto handles the fallback automatically.
 func ScheduleBruteForce(tm ScheduleTimes, nTasks int) (ScheduleAssignment, error) {
 	return sched.BruteForce(tm, nTasks)
 }
@@ -95,6 +96,17 @@ func ScheduleBruteForce(tm ScheduleTimes, nTasks int) (ScheduleAssignment, error
 // ScheduleGreedy is the scalable longest-processing-time heuristic.
 func ScheduleGreedy(tm ScheduleTimes, nTasks int) (ScheduleAssignment, error) {
 	return sched.Greedy(tm, nTasks)
+}
+
+// ErrScheduleSearchSpace marks a brute-force request whose search space is
+// too large to enumerate; detect it with errors.Is.
+var ErrScheduleSearchSpace = sched.ErrSearchSpace
+
+// ScheduleAuto brute-forces when the search space permits and falls back to
+// the greedy heuristic otherwise. The flag reports whether the returned
+// assignment is the exact optimum.
+func ScheduleAuto(tm ScheduleTimes, nTasks int) (ScheduleAssignment, bool, error) {
+	return sched.Auto(tm, nTasks)
 }
 
 // MakespanOf re-costs an assignment under a different time table (e.g. a

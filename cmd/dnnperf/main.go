@@ -13,8 +13,8 @@
 //	collect   collect a dataset and write it as CSV files
 //	train     fit the E2E/LW/KW models on one GPU and print summaries
 //	predict   predict one network's time with the KW model
-//	serve     run the HTTP prediction service (/predict, /metrics,
-//	          /metrics.json, /healthz, expvar, pprof)
+//	serve     run the HTTP prediction service (/predict, /predict/batch,
+//	          /metrics, /metrics.json, /healthz, expvar, pprof)
 //	table1, fig3…fig9, fig11…fig19, table2
 //	          regenerate one table/figure of the paper
 //	all       regenerate every table and figure

@@ -1,33 +1,60 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/pprof"
+	"net/url"
+	"os"
+	"os/signal"
 	"strconv"
+	"strings"
+	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
+	"unicode/utf8"
 
 	"repro/internal/bench"
+	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/dnn"
 	"repro/internal/gpu"
 	"repro/internal/obs"
+	"repro/internal/units"
 )
 
 // The serve subcommand turns dnnperf into a small prediction service with a
 // first-class telemetry surface:
 //
-//	GET /healthz       liveness + model readiness, JSON
-//	GET /metrics       obs registry, Prometheus text exposition format
-//	GET /metrics.json  obs registry, JSON snapshot
-//	GET /predict       KW prediction: ?network=resnet50&batch=64
-//	GET /debug/vars    expvar (includes the obs snapshot under "obs")
-//	GET /debug/pprof/  runtime profiling endpoints
+//	GET  /healthz        liveness + model readiness, JSON
+//	GET  /metrics        obs registry, Prometheus text exposition format
+//	GET  /metrics.json   obs registry, JSON snapshot
+//	GET  /predict        KW prediction: ?network=resnet50&batch=64
+//	GET  /predict/batch  sweep prediction: ?network=resnet50&batches=1,2,4
+//	POST /predict/batch  sweep prediction; JSON body names a zoo network or
+//	                     carries an inline layer-by-layer network spec
+//	GET  /debug/vars     expvar (includes the obs snapshot under "obs")
+//	GET  /debug/pprof/   runtime profiling endpoints
 //
 // The KW model is fitted in the background at startup so /healthz responds
-// immediately; /predict returns 503 until the model is ready.
+// immediately; the predict endpoints return 503 until the model is ready.
+// SIGINT/SIGTERM trigger a graceful drain: the listener closes, in-flight
+// requests get up to shutdownDrain to finish, then the process exits.
+//
+// The single-prediction path is allocation-free in steady state: query
+// parameters are read straight from the raw query string, the network is
+// resolved through a sharded cache, the prediction comes off the compiled
+// plan, and the response is rendered by hand into a pooled buffer.
+// /predict/batch additionally coalesces identical concurrent sweeps: requests
+// for the same (network fingerprint, batches) join the in-flight computation
+// instead of repeating it.
 
 // Serve-layer metrics.
 var (
@@ -38,8 +65,43 @@ var (
 	metricServeLatency = obs.Default().Histogram("serve_request_seconds",
 		"HTTP request handling latency.", nil)
 	metricServePredictions = obs.Default().Counter("serve_predictions_total",
-		"Successful /predict responses.")
+		"Successful predictions served (one per batch size on /predict/batch).")
+	metricServeBatchRequests = obs.Default().Counter("serve_batch_requests_total",
+		"Requests to /predict/batch.")
+	metricServeCoalesced = obs.Default().Counter("serve_coalesced_requests_total",
+		"Sweep requests that joined an identical in-flight computation instead of starting their own.")
 )
+
+// shutdownDrain bounds how long a graceful shutdown waits for in-flight
+// requests after SIGINT/SIGTERM.
+const shutdownDrain = 10 * time.Second
+
+// maxBatchBody bounds the /predict/batch POST body; larger bodies get 413.
+const maxBatchBody = 1 << 20
+
+// maxSweepPoints bounds the batches list of one sweep request.
+const maxSweepPoints = 4096
+
+// netKey keys the server-side network cache by name.
+type netKey string
+
+// Hash implements cache.Hasher (FNV-1a).
+func (k netKey) Hash() uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// sweepFlight is one in-flight batch sweep; joiners wait on done and share
+// the (read-only) result.
+type sweepFlight struct {
+	done chan struct{}
+	out  []units.Seconds
+	err  error
+}
 
 // server holds the serving state: the lab (for networks), the device, and
 // the asynchronously fitted model.
@@ -50,53 +112,113 @@ type server struct {
 
 	model    atomic.Pointer[core.KWModel]
 	modelErr atomic.Pointer[error]
+
+	// nets caches name → network so the hot path never rebuilds a standard
+	// model that fell outside the lab's sample.
+	nets cache.Sharded[netKey, *dnn.Network]
+
+	mu       sync.Mutex
+	inflight map[string]*sweepFlight
 }
 
-// runServe fits the model in the background and serves until the process is
-// killed.
+func newServer(l *bench.Lab, g gpu.Spec) *server {
+	return &server{lab: l, gpu: g, start: time.Now(), inflight: map[string]*sweepFlight{}}
+}
+
+// runServe fits the model in the background and serves until the process
+// receives SIGINT or SIGTERM, then drains gracefully.
 func runServe(l *bench.Lab, g gpu.Spec, addr string) error {
 	obs.SetEnabled(true)
-	s := &server{lab: l, gpu: g, start: time.Now()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return newServer(l, g).serveUntil(ctx, addr, nil)
+}
 
+// startWarmup kicks off the background model fit. It is a no-op when a
+// model is already installed (tests pre-fit servers).
+func (s *server) startWarmup() {
+	if s.model.Load() != nil {
+		return
+	}
 	go func() {
-		sp := obs.StartSpan("serve model warm-up " + g.Name)
+		sp := obs.StartSpan("serve model warm-up " + s.gpu.Name)
 		defer sp.End()
-		ds, err := l.Dataset(g)
+		ds, err := s.lab.Dataset(s.gpu)
 		if err != nil {
 			s.modelErr.Store(&err)
 			return
 		}
-		train, _ := l.Split(ds)
-		kw, err := core.FitKW(train, g.Name, bench.TrainBatch)
+		train, _ := s.lab.Split(ds)
+		kw, err := core.FitKW(train, s.gpu.Name, bench.TrainBatch)
 		if err != nil {
 			s.modelErr.Store(&err)
 			return
 		}
 		s.model.Store(kw)
 	}()
+}
 
+// publishObsOnce guards the process-global expvar registration so tests can
+// build several servers without a duplicate-name panic.
+var publishObsOnce sync.Once
+
+// handler assembles the route table.
+func (s *server) handler() http.Handler {
 	// The obs snapshot doubles as an expvar so the standard /debug/vars
 	// surface carries it alongside memstats and cmdline.
-	expvar.Publish("obs", expvar.Func(func() any { return obs.Default().SnapshotJSON() }))
-
+	publishObsOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any { return obs.Default().SnapshotJSON() }))
+	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.instrument(s.handleHealthz))
 	mux.HandleFunc("/metrics", s.instrument(s.handleMetrics))
 	mux.HandleFunc("/metrics.json", s.instrument(s.handleMetricsJSON))
 	mux.HandleFunc("/predict", s.instrument(s.handlePredict))
+	mux.HandleFunc("/predict/batch", s.instrument(s.handlePredictBatch))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
-	fmt.Printf("dnnperf: serving on http://%s (endpoints: /healthz /metrics /metrics.json /predict /debug/vars /debug/pprof/)\n", addr)
-	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
-	return srv.ListenAndServe()
+// serveUntil listens on addr and serves until ctx is cancelled, then shuts
+// down gracefully, draining in-flight requests for up to shutdownDrain. The
+// bound address is sent on ready (if non-nil) once the listener is up, which
+// lets tests use ":0".
+func (s *server) serveUntil(ctx context.Context, addr string, ready chan<- string) error {
+	s.startWarmup()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dnnperf: serving on http://%s (endpoints: /healthz /metrics /metrics.json /predict /predict/batch /debug/vars /debug/pprof/)\n", ln.Addr())
+	srv := &http.Server{Handler: s.handler(), ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownDrain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }
 
 // statusRecorder captures the handler's status code for error counting.
+// Instances are pooled; instrument resets them per request.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
@@ -107,16 +229,21 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
+var recorderPool = sync.Pool{New: func() any { return new(statusRecorder) }}
+
 // instrument wraps a handler with the serve-layer metrics.
 func (s *server) instrument(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
 		tm := obs.StartTimer(metricServeLatency)
 		metricServeRequests.Inc()
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		rec := recorderPool.Get().(*statusRecorder)
+		rec.ResponseWriter, rec.status = w, http.StatusOK
 		h(rec, req)
 		if rec.status >= 400 {
 			metricServeErrors.Inc()
 		}
+		rec.ResponseWriter = nil
+		recorderPool.Put(rec)
 		tm.Stop()
 	}
 }
@@ -158,9 +285,8 @@ func (s *server) handleMetricsJSON(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
-// handlePredict serves one KW prediction:
-// /predict?network=resnet50&batch=64.
-func (s *server) handlePredict(w http.ResponseWriter, req *http.Request) {
+// loadModel returns the fitted model or writes the 503 warm-up response.
+func (s *server) loadModel(w http.ResponseWriter) *core.KWModel {
 	m := s.model.Load()
 	if m == nil {
 		msg := "model warming up"
@@ -168,15 +294,37 @@ func (s *server) handlePredict(w http.ResponseWriter, req *http.Request) {
 			msg = "model fit failed: " + (*errp).Error()
 		}
 		writeJSONError(w, http.StatusServiceUnavailable, msg)
+	}
+	return m
+}
+
+// network resolves a network by name through the server-side cache. The Get
+// fast path keeps cache hits allocation-free (GetOrCompute's closure would
+// cost one).
+func (s *server) network(name string) (*dnn.Network, error) {
+	if n, ok := s.nets.Get(netKey(name)); ok {
+		return n, nil
+	}
+	return s.nets.GetOrCompute(netKey(name), func() (*dnn.Network, error) {
+		return s.lab.Network(name)
+	})
+}
+
+// handlePredict serves one KW prediction:
+// /predict?network=resnet50&batch=64. The steady-state path allocates
+// nothing.
+func (s *server) handlePredict(w http.ResponseWriter, req *http.Request) {
+	m := s.loadModel(w)
+	if m == nil {
 		return
 	}
-	name := req.URL.Query().Get("network")
+	name, _ := queryValue(req.URL.RawQuery, "network")
 	if name == "" {
 		writeJSONError(w, http.StatusBadRequest, "missing ?network=")
 		return
 	}
 	batch := 512
-	if b := req.URL.Query().Get("batch"); b != "" {
+	if b, ok := queryValue(req.URL.RawQuery, "batch"); ok {
 		v, err := strconv.Atoi(b)
 		if err != nil || v <= 0 {
 			writeJSONError(w, http.StatusBadRequest, "batch must be a positive integer")
@@ -184,7 +332,7 @@ func (s *server) handlePredict(w http.ResponseWriter, req *http.Request) {
 		}
 		batch = v
 	}
-	net, err := s.lab.Network(name)
+	net, err := s.network(name)
 	if err != nil {
 		writeJSONError(w, http.StatusNotFound, err.Error())
 		return
@@ -195,22 +343,368 @@ func (s *server) handlePredict(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	metricServePredictions.Inc()
-	type prediction struct {
-		Model       string  `json:"model"`
-		GPU         string  `json:"gpu"`
-		Network     string  `json:"network"`
-		Batch       int     `json:"batch"`
-		PredictedMs float64 `json:"predicted_ms"`
-	}
-	writeJSON(w, http.StatusOK, prediction{
-		Model:       m.Name(),
-		GPU:         m.GPUName(),
-		Network:     name,
-		Batch:       batch,
-		PredictedMs: pred.Float64() * 1e3,
-	})
+
+	var scratch [32]byte
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	buf.WriteString(`{"model":`)
+	writeJSONString(buf, m.Name())
+	buf.WriteString(`,"gpu":`)
+	writeJSONString(buf, m.GPUName())
+	buf.WriteString(`,"network":`)
+	writeJSONString(buf, name)
+	buf.WriteString(`,"batch":`)
+	buf.Write(strconv.AppendInt(scratch[:0], int64(batch), 10))
+	buf.WriteString(`,"predicted_ms":`)
+	buf.Write(strconv.AppendFloat(scratch[:0], pred.Float64()*1e3, 'g', -1, 64))
+	buf.WriteString("}\n")
+	setHeader(w.Header(), "Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
+	bufPool.Put(buf)
 }
 
+// batchSpecLayer is one layer of an inline network spec. Field names follow
+// the dnn.Layer fields; omitted inputs default to the previous layer (the
+// network input for the first).
+type batchSpecLayer struct {
+	Kind        string `json:"kind"`
+	Inputs      []int  `json:"inputs"`
+	Cin         int    `json:"cin"`
+	Cout        int    `json:"cout"`
+	KH          int    `json:"kh"`
+	KW          int    `json:"kw"`
+	Stride      int    `json:"stride"`
+	Pad         int    `json:"pad"`
+	Groups      int    `json:"groups"`
+	InFeatures  int    `json:"in_features"`
+	OutFeatures int    `json:"out_features"`
+	VocabSize   int    `json:"vocab_size"`
+	EmbedDim    int    `json:"embed_dim"`
+	Heads       int    `json:"heads"`
+	TransposeB  bool   `json:"transpose_b"`
+}
+
+// batchSpec is an inline network description for clients predicting
+// structures outside the zoo.
+type batchSpec struct {
+	Name       string           `json:"name"`
+	InputShape []int            `json:"input_shape"`
+	Layers     []batchSpecLayer `json:"layers"`
+}
+
+// batchRequest is the /predict/batch POST body. Exactly one of Network and
+// NetworkSpec must be set.
+type batchRequest struct {
+	Network     string     `json:"network"`
+	NetworkSpec *batchSpec `json:"network_spec"`
+	Batches     []int      `json:"batches"`
+}
+
+// validKinds is the layer-kind vocabulary accepted in inline specs.
+var validKinds = func() map[dnn.Kind]bool {
+	m := make(map[dnn.Kind]bool)
+	for _, k := range dnn.Kinds() {
+		m[k] = true
+	}
+	return m
+}()
+
+// networkFromSpec builds and shape-checks an inline network spec.
+func networkFromSpec(spec *batchSpec) (*dnn.Network, error) {
+	if len(spec.InputShape) == 0 {
+		return nil, fmt.Errorf("network_spec.input_shape must be non-empty")
+	}
+	if len(spec.Layers) == 0 {
+		return nil, fmt.Errorf("network_spec.layers must be non-empty")
+	}
+	name := spec.Name
+	if name == "" {
+		name = "custom"
+	}
+	n := dnn.New(name, "custom", dnn.TaskImageClassification, dnn.Shape(spec.InputShape))
+	for i, ls := range spec.Layers {
+		kind := dnn.Kind(ls.Kind)
+		if !validKinds[kind] {
+			return nil, fmt.Errorf("layer %d: unknown layer kind %q", i, ls.Kind)
+		}
+		inputs := ls.Inputs
+		if len(inputs) == 0 {
+			if i == 0 {
+				inputs = []int{dnn.NetworkInput}
+			} else {
+				inputs = []int{i - 1}
+			}
+		}
+		for _, in := range inputs {
+			if in != dnn.NetworkInput && (in < 0 || in >= i) {
+				return nil, fmt.Errorf("layer %d: input %d references a layer at or after itself", i, in)
+			}
+		}
+		groups := ls.Groups
+		if kind == dnn.KindConv2D && groups == 0 {
+			groups = 1 // dense convolution, matching the Network.Conv builder
+		}
+		n.Add(&dnn.Layer{
+			Kind: kind, Inputs: inputs,
+			Cin: ls.Cin, Cout: ls.Cout, KH: ls.KH, KW: ls.KW,
+			Stride: ls.Stride, Pad: ls.Pad, Groups: groups,
+			InFeatures: ls.InFeatures, OutFeatures: ls.OutFeatures,
+			VocabSize: ls.VocabSize, EmbedDim: ls.EmbedDim,
+			Heads: ls.Heads, TransposeB: ls.TransposeB,
+		})
+	}
+	if err := n.Infer(1); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// handlePredictBatch serves one batch-size sweep. GET names a zoo network
+// (?network=resnet50&batches=1,2,4); POST carries JSON naming a network or
+// an inline spec. Identical concurrent sweeps are coalesced.
+func (s *server) handlePredictBatch(w http.ResponseWriter, req *http.Request) {
+	metricServeBatchRequests.Inc()
+	m := s.loadModel(w)
+	if m == nil {
+		return
+	}
+	var (
+		name    string
+		net     *dnn.Network
+		batches []int
+	)
+	switch req.Method {
+	case http.MethodGet:
+		name, _ = queryValue(req.URL.RawQuery, "network")
+		if name == "" {
+			writeJSONError(w, http.StatusBadRequest, "missing ?network=")
+			return
+		}
+		csv, ok := queryValue(req.URL.RawQuery, "batches")
+		if !ok || csv == "" {
+			writeJSONError(w, http.StatusBadRequest, "missing ?batches= (comma-separated positive integers)")
+			return
+		}
+		var err error
+		batches, err = parseBatchesCSV(csv)
+		if err != nil {
+			writeJSONError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		net, err = s.network(name)
+		if err != nil {
+			writeJSONError(w, http.StatusNotFound, err.Error())
+			return
+		}
+	case http.MethodPost:
+		var breq batchRequest
+		if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBatchBody)).Decode(&breq); err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				writeJSONError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("body exceeds %d bytes", maxBatchBody))
+				return
+			}
+			writeJSONError(w, http.StatusBadRequest, "malformed JSON: "+err.Error())
+			return
+		}
+		if err := validateBatches(breq.Batches); err != nil {
+			writeJSONError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		batches = breq.Batches
+		switch {
+		case breq.NetworkSpec != nil:
+			n, err := networkFromSpec(breq.NetworkSpec)
+			if err != nil {
+				writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
+				return
+			}
+			net, name = n, n.Name
+		case breq.Network != "":
+			name = breq.Network
+			n, err := s.network(name)
+			if err != nil {
+				writeJSONError(w, http.StatusNotFound, err.Error())
+				return
+			}
+			net = n
+		default:
+			writeJSONError(w, http.StatusBadRequest, "request must set network or network_spec")
+			return
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeJSONError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+
+	out, err := s.sweep(m, net, batches)
+	if err != nil {
+		writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	metricServePredictions.Add(int64(len(batches)))
+
+	var scratch [32]byte
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	buf.WriteString(`{"model":`)
+	writeJSONString(buf, m.Name())
+	buf.WriteString(`,"gpu":`)
+	writeJSONString(buf, m.GPUName())
+	buf.WriteString(`,"network":`)
+	writeJSONString(buf, name)
+	buf.WriteString(`,"batches":[`)
+	for i, b := range batches {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(strconv.AppendInt(scratch[:0], int64(b), 10))
+	}
+	buf.WriteString(`],"predicted_ms":[`)
+	for i, sec := range out {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(strconv.AppendFloat(scratch[:0], sec.Float64()*1e3, 'g', -1, 64))
+	}
+	buf.WriteString("]}\n")
+	setHeader(w.Header(), "Content-Type", "application/json")
+	_, _ = w.Write(buf.Bytes())
+	bufPool.Put(buf)
+}
+
+// sweep runs one coalesced batch sweep: concurrent requests for the same
+// (network fingerprint, batches) share a single PredictSweep call. Results
+// are never cached across completions — a model observing new records would
+// otherwise serve stale sweeps — only genuinely concurrent work is shared.
+func (s *server) sweep(m *core.KWModel, n *dnn.Network, batches []int) ([]units.Seconds, error) {
+	kb := strconv.AppendUint(make([]byte, 0, 24+6*len(batches)), core.NetworkFingerprint(n, false), 16)
+	for _, b := range batches {
+		kb = append(kb, ',')
+		kb = strconv.AppendInt(kb, int64(b), 10)
+	}
+	key := string(kb)
+
+	s.mu.Lock()
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		metricServeCoalesced.Inc()
+		<-f.done
+		return f.out, f.err
+	}
+	f := &sweepFlight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	f.out, f.err = m.PredictSweep(n, batches)
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(f.done)
+	return f.out, f.err
+}
+
+// validateBatches checks a sweep's batch list.
+func validateBatches(batches []int) error {
+	if len(batches) == 0 {
+		return fmt.Errorf("batches must be a non-empty array of positive integers")
+	}
+	if len(batches) > maxSweepPoints {
+		return fmt.Errorf("batches lists %d points, limit is %d", len(batches), maxSweepPoints)
+	}
+	for _, b := range batches {
+		if b <= 0 {
+			return fmt.Errorf("batches must be positive integers, got %d", b)
+		}
+	}
+	return nil
+}
+
+// parseBatchesCSV parses "1,2,4" into a validated batch list.
+func parseBatchesCSV(csv string) ([]int, error) {
+	out := make([]int, 0, 8)
+	for csv != "" {
+		var tok string
+		if i := strings.IndexByte(csv, ','); i >= 0 {
+			tok, csv = csv[:i], csv[i+1:]
+		} else {
+			tok, csv = csv, ""
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return nil, fmt.Errorf("batches must be comma-separated positive integers, got %q", tok)
+		}
+		out = append(out, v)
+	}
+	if err := validateBatches(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// queryValue extracts one query parameter straight from the raw query
+// string, avoiding the url.Values map a req.URL.Query() call would allocate.
+// Escaped values take a rare slow path through url.QueryUnescape.
+func queryValue(rawQuery, key string) (string, bool) {
+	for len(rawQuery) > 0 {
+		var pair string
+		if i := strings.IndexByte(rawQuery, '&'); i >= 0 {
+			pair, rawQuery = rawQuery[:i], rawQuery[i+1:]
+		} else {
+			pair, rawQuery = rawQuery, ""
+		}
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			if pair == key {
+				return "", true
+			}
+			continue
+		}
+		if pair[:eq] != key {
+			continue
+		}
+		v := pair[eq+1:]
+		if strings.IndexByte(v, '%') >= 0 || strings.IndexByte(v, '+') >= 0 {
+			if u, err := url.QueryUnescape(v); err == nil {
+				return u, true
+			}
+		}
+		return v, true
+	}
+	return "", false
+}
+
+// bufPool recycles response-encoding buffers across requests.
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// setHeader sets a header only when it is not already present with the same
+// value, so a reused header map costs nothing after the first request.
+func setHeader(h http.Header, key, value string) {
+	if vs, ok := h[key]; ok && len(vs) == 1 && vs[0] == value {
+		return
+	}
+	h.Set(key, value)
+}
+
+// writeJSONString appends s as a JSON string literal. Plain ASCII (the
+// overwhelmingly common case for model and network names) is written
+// directly; anything needing escapes goes through strconv.
+func writeJSONString(buf *bytes.Buffer, s string) {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= utf8.RuneSelf {
+			buf.Write(strconv.AppendQuote(make([]byte, 0, len(s)+8), s))
+			return
+		}
+	}
+	buf.WriteByte('"')
+	buf.WriteString(s)
+	buf.WriteByte('"')
+}
+
+// writeJSON renders non-hot-path responses (health, errors) with the
+// standard encoder.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)

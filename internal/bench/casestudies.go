@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/disagg"
+	"repro/internal/dnn"
 	"repro/internal/gpu"
 	"repro/internal/sched"
 	"repro/internal/units"
@@ -58,17 +59,27 @@ func bandwidthDSE(l *Lab, figure, network string, batch int) (*BandwidthDSEResul
 
 	res := &BandwidthDSEResult{Figure: figure, Network: network, Batch: batch,
 		NativeGBps: gpu.TitanRTX.MemBWGBps}
-	var times []float64
+
+	// Resolve one model per candidate bandwidth, then evaluate the whole
+	// (model × network × batch) sweep through core.PredictGrid: each model
+	// compiles its plan once and every point comes from the same grid call.
+	var models []core.SweepPredictor
+	var bws []float64
 	for bw := 200.0; bw <= 1400.0; bw += 100 {
-		target := gpu.TitanRTX.WithBandwidth(bw)
-		m, err := base.Resolve(target)
+		m, err := base.Resolve(gpu.TitanRTX.WithBandwidth(bw))
 		if err != nil {
 			return nil, err
 		}
-		t, err := m.PredictNetwork(net, batch)
-		if err != nil {
-			return nil, err
-		}
+		models = append(models, m)
+		bws = append(bws, bw)
+	}
+	grid, err := core.PredictGrid(models, []*dnn.Network{net}, []int{batch})
+	if err != nil {
+		return nil, err
+	}
+	var times []float64
+	for i, bw := range bws {
+		t := grid.Seconds[i][0][0]
 		res.Points = append(res.Points, BandwidthPoint{BandwidthGBps: bw, PredictedMs: t.Micros() / 1e3})
 		times = append(times, float64(t))
 	}
@@ -274,40 +285,34 @@ func fitSchedModels(l *Lab) (map[string]*core.KWModel, error) {
 	return kws, nil
 }
 
-// schedPrediction is one (network, GPU) query result of a concurrent batch.
-type schedPrediction struct {
-	seconds units.Seconds
-	err     error
-}
-
 // predictSchedTimes issues every (network, GPU) prediction of the scheduling
-// case studies concurrently — the query pattern a scheduler serving many
-// placement decisions generates — and returns them indexed by network then
-// GPU, so assembly stays deterministic.
-func predictSchedTimes(l *Lab, kws map[string]*core.KWModel, names []string) ([][]schedPrediction, error) {
+// case studies through core.PredictGrid — the query pattern a scheduler
+// serving many placement decisions generates, evaluated one plan sweep per
+// (model, network) cell — and returns seconds indexed by network then GPU,
+// so assembly stays deterministic.
+func predictSchedTimes(l *Lab, kws map[string]*core.KWModel, names []string) ([][]units.Seconds, error) {
 	gpus := schedGPUs()
-	out := make([][]schedPrediction, len(names))
-	var wg sync.WaitGroup
+	models := make([]core.SweepPredictor, len(gpus))
+	for j, g := range gpus {
+		models[j] = kws[g.Name]
+	}
+	nets := make([]*dnn.Network, len(names))
 	for i, name := range names {
-		out[i] = make([]schedPrediction, len(gpus))
 		net, err := l.Network(name)
 		if err != nil {
 			return nil, err
 		}
-		for j, g := range gpus {
-			wg.Add(1)
-			go func(cell *schedPrediction, kw *core.KWModel) {
-				defer wg.Done()
-				cell.seconds, cell.err = kw.PredictNetwork(net, TrainBatch)
-			}(&out[i][j], kws[g.Name])
-		}
+		nets[i] = net
 	}
-	wg.Wait()
-	for i := range out {
-		for j := range out[i] {
-			if out[i][j].err != nil {
-				return nil, out[i][j].err
-			}
+	grid, err := core.PredictGrid(models, nets, []int{TrainBatch})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]units.Seconds, len(names))
+	for i := range names {
+		out[i] = make([]units.Seconds, len(gpus))
+		for j := range gpus {
+			out[i][j] = grid.Seconds[j][i][0]
 		}
 	}
 	return out, nil
@@ -350,7 +355,7 @@ func Figure18(l *Lab) (*Figure18Result, error) {
 		row := Figure18Row{Network: name,
 			MeasuredMs: map[string]float64{}, PredictedMs: map[string]float64{}}
 		for j, g := range schedGPUs() {
-			row.PredictedMs[g.Name] = float64(preds[i][j].seconds) * 1e3
+			row.PredictedMs[g.Name] = float64(preds[i][j]) * 1e3
 			for _, r := range meas.Networks {
 				if r.Network == name && r.GPU == g.Name && r.BatchSize == TrainBatch {
 					row.MeasuredMs[g.Name] = float64(r.E2ESeconds) * 1e3
@@ -453,7 +458,7 @@ func Figure19(l *Lab) (*Figure19Result, error) {
 	}
 	for i, name := range figure19Nets {
 		for j, g := range schedGPUs() {
-			pred[g.Name][i] = float64(preds[i][j].seconds)
+			pred[g.Name][i] = float64(preds[i][j])
 			for _, r := range meas.Networks {
 				if r.Network == name && r.GPU == g.Name && r.BatchSize == TrainBatch {
 					actual[g.Name][i] = float64(r.E2ESeconds)
@@ -462,7 +467,10 @@ func Figure19(l *Lab) (*Figure19Result, error) {
 		}
 	}
 
-	plan, err := sched.BruteForce(pred, len(figure19Nets))
+	// Auto takes the exhaustive search here (9 tasks × 2 GPUs is well within
+	// the brute-force limits) and would degrade to Greedy on a larger queue
+	// instead of failing.
+	plan, _, err := sched.Auto(pred, len(figure19Nets))
 	if err != nil {
 		return nil, err
 	}
@@ -470,7 +478,7 @@ func Figure19(l *Lab) (*Figure19Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	oracle, err := sched.BruteForce(actual, len(figure19Nets))
+	oracle, _, err := sched.Auto(actual, len(figure19Nets))
 	if err != nil {
 		return nil, err
 	}

@@ -129,9 +129,9 @@ func TestFigure18RenderInvariance(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			if preds[i][j].seconds != want {
+			if preds[i][j] != want {
 				t.Fatalf("%s on %s: concurrent %v != uncached %v",
-					name, g.Name, preds[i][j].seconds, want)
+					name, g.Name, preds[i][j], want)
 			}
 		}
 	}

@@ -377,6 +377,28 @@ func (m *IGKWModel) PredictNetwork(n *dnn.Network, batch int) (units.Seconds, er
 	return p.Predict(batch), nil
 }
 
+// PredictSweep predicts the network at every batch size in batches through
+// one pass over the compiled plan, bit-identical to per-batch
+// PredictNetwork calls. See KWModel.PredictSweep for the contract.
+func (m *IGKWModel) PredictSweep(n *dnn.Network, batches []int) ([]units.Seconds, error) {
+	tm := obs.StartTimer(metricSweepPredict)
+	defer tm.Stop()
+	for _, b := range batches {
+		if b <= 0 {
+			return nil, fmt.Errorf("core: IGKW sweep of %q: batch size %d must be positive", n.Name, b)
+		}
+	}
+	observeSweep(len(batches))
+	key := planKey{name: n.Name, fp: networkFingerprint(n, false)}
+	p, err := m.plans.GetOrCompute(key, func() (*Plan, error) {
+		return compilePlan(n, m.Target.Name, false, m.Mapping, m.resolveKernel)
+	})
+	if err != nil {
+		return sweepUncached(n, batches, m.PredictNetworkUncached)
+	}
+	return p.PredictSweep(batches), nil
+}
+
 // PredictNetworkUncached is the reference prediction path (shape inference
 // plus per-kernel lookups on every call); plans are tested against it.
 func (m *IGKWModel) PredictNetworkUncached(n *dnn.Network, batch int) (units.Seconds, error) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"strconv"
 
@@ -327,6 +328,29 @@ func (m *KWModel) PredictNetwork(n *dnn.Network, batch int) (units.Seconds, erro
 		return m.PredictNetworkUncached(n, batch)
 	}
 	return p.Predict(batch), nil
+}
+
+// PredictSweep predicts the network at every batch size in batches, in
+// input order, through one pass over the compiled plan. Results are
+// bit-identical to calling PredictNetwork per batch size; the win is that
+// the per-call overhead (fingerprint, cache lookup, timer) is paid once for
+// the whole sweep and the plan's segments stay hot across batch sizes. All
+// batch sizes must be positive. If plan compilation fails the sweep falls
+// back to the uncached path, mirroring PredictNetwork.
+func (m *KWModel) PredictSweep(n *dnn.Network, batches []int) ([]units.Seconds, error) {
+	tm := obs.StartTimer(metricSweepPredict)
+	defer tm.Stop()
+	for _, b := range batches {
+		if b <= 0 {
+			return nil, fmt.Errorf("core: KW sweep of %q: batch size %d must be positive", n.Name, b)
+		}
+	}
+	observeSweep(len(batches))
+	p, err := m.planFor(n)
+	if err != nil {
+		return sweepUncached(n, batches, m.PredictNetworkUncached)
+	}
+	return p.PredictSweep(batches), nil
 }
 
 // PredictNetworkUncached is the reference prediction path: shape-infer the

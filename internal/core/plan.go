@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/dnn"
@@ -92,6 +93,54 @@ func (p *Plan) Predict(batch int) units.Seconds {
 	return total
 }
 
+// PredictSweep predicts every batch size in batches in one pass, returning
+// one total per batch in input order. Results are bit-identical to calling
+// Predict per batch: per output slot the same terms accumulate in the same
+// entry order through the same expression. The win over the loop is
+// locality — each entry's segments are resolved once and applied to every
+// batch size while still hot, and most entries hit the single-segment fast
+// path where the segment lives in registers across the whole sweep.
+func (p *Plan) PredictSweep(batches []int) []units.Seconds {
+	out := make([]units.Seconds, len(batches))
+	p.PredictSweepInto(out, batches)
+	return out
+}
+
+// PredictSweepInto is PredictSweep writing into dst (which must have at
+// least len(batches) elements), for callers that reuse buffers. It performs
+// no allocation and is safe to call concurrently.
+func (p *Plan) PredictSweepInto(dst []units.Seconds, batches []int) {
+	dst = dst[:len(batches)]
+	for j := range dst {
+		dst[j] = 0
+	}
+	start := 0
+	for _, e := range p.entryEnd {
+		end := int(e)
+		if end == start+1 {
+			seg := p.segs[start]
+			for j, batch := range batches {
+				x := float64(seg.xPer*int64(batch) + seg.xConst)
+				dst[j] += clampTime(units.Seconds(seg.line.Predict(x)))
+			}
+			start = end
+			continue
+		}
+		for j, batch := range batches {
+			seg := &p.segs[start]
+			for i := end - 1; i > start; i-- {
+				if p.segs[i].minBatch <= batch {
+					seg = &p.segs[i]
+					break
+				}
+			}
+			x := float64(seg.xPer*int64(batch) + seg.xConst)
+			dst[j] += clampTime(units.Seconds(seg.line.Predict(x)))
+		}
+		start = end
+	}
+}
+
 // kernelResolve maps a kernel name (plus whether its layer carries zero
 // FLOPs, which steers the last-resort fallback) to the concrete regression
 // line and driver the model would use — the model-specific half of plan
@@ -117,9 +166,31 @@ func (a driverAffine) pick(d Driver) (per, cnst int64) {
 	}
 }
 
+// distLayer is the compiled form of one distinct layer shape: its kernels'
+// segments back to back (each kernel's ascending by minBatch) and the
+// per-kernel end offsets within segs — the same layout Plan uses globally.
+type distLayer struct {
+	segs []planSeg
+	end  []int32
+}
+
 // compilePlan builds a Plan for the network. It works on a private clone, so
 // the caller's network is never mutated (and concurrent compilations of the
 // same network cannot race).
+//
+// The compiler exploits two structural facts to stay cheap. First, networks
+// repeat layers: ResNet/DenseNet instantiate the same (kind, parameters,
+// shapes) block dozens of times, and two layers that agree on all of those
+// at batch 1 agree at every batch size (shapes differ across batches only in
+// dimension 0), so they resolve to identical segment lists. Each distinct
+// shape is compiled once and duplicates copy its segments. Second, a layer's
+// kernel resolution depends only on its own shapes, so instead of re-running
+// full-network shape inference at every batch breakpoint the compiler infers
+// once at batch 1 and then rewrites one layer's batch dimension at a time
+// (Layer.Rebatch, exact by construction). Segment scratch lives in a
+// preallocated arena reused across layers, and signature/memo keys are built
+// in reused byte buffers looked up with the map[string(buf)] idiom, so the
+// per-layer map+string churn of the naive compiler is gone.
 func compilePlan(n *dnn.Network, gpuName string, training bool,
 	mapping map[string][]string, resolve kernelResolve) (*Plan, error) {
 
@@ -136,37 +207,38 @@ func compilePlan(n *dnn.Network, gpuName string, training bool,
 		dispatch = kernels.ForLayerTraining
 	}
 
-	// Driver values at N=1 and N=2 determine each driver's affine map.
+	// The only full shape inference; every other batch size is reached by
+	// rewriting one layer's batch dimension in place.
 	if err := clone.Infer(1); err != nil {
 		return nil, err
 	}
-	var at1 []kernels.Kernel
-	for _, l := range clone.Layers {
-		at1 = append(at1, dispatch(l)...)
-	}
-	if err := clone.Infer(2); err != nil {
-		return nil, err
-	}
-	var at2 []kernels.Kernel
-	for _, l := range clone.Layers {
-		at2 = append(at2, dispatch(l)...)
-	}
-	if len(at1) != len(at2) {
-		return nil, fmt.Errorf("core: plan compile %q: kernel count changed with batch size (%d vs %d)",
-			n.Name, len(at1), len(at2))
-	}
-	affine := make([]driverAffine, len(at1))
-	for i := range at1 {
-		a := &affine[i]
-		a.inPer, a.inConst = affineFromTwo(at1[i].LayerInputElems, at2[i].LayerInputElems)
-		a.opPer, a.opConst = affineFromTwo(at1[i].LayerFLOPs, at2[i].LayerFLOPs)
-		a.outPer, a.outConst = affineFromTwo(at1[i].LayerOutputElems, at2[i].LayerOutputElems)
+
+	// Deduplicate layers by their exact batch-1 shape key. The key must be
+	// exact — a hash could collide two genuinely different layers and
+	// silently corrupt the plan — so it is the full parameter and shape
+	// rendering, and only the first occurrence pays the map-insert copy.
+	distinct := make(map[string]int, len(clone.Layers))
+	reps := make([]int, 0, len(clone.Layers))
+	repOf := make([]int, len(clone.Layers))
+	var keyBuf []byte
+	for i, l := range clone.Layers {
+		keyBuf = appendLayerShapeKey(keyBuf[:0], l)
+		d, ok := distinct[string(keyBuf)]
+		if !ok {
+			d = len(reps)
+			distinct[string(keyBuf)] = d
+			reps = append(reps, i)
+		}
+		repOf[i] = d
 	}
 
-	// The finite set of batch sizes where any kernel's resolution can change.
+	// The finite set of batch sizes where any kernel's resolution can
+	// change. BatchBreakpoints is batch-invariant and identical across
+	// duplicate layers, so the union over distinct layers equals the union
+	// over all layers.
 	bpSet := map[int]bool{1: true}
-	for _, l := range clone.Layers {
-		for _, bp := range kernels.BatchBreakpoints(l) {
+	for _, ri := range reps {
+		for _, bp := range kernels.BatchBreakpoints(clone.Layers[ri]) {
 			bpSet[bp] = true
 		}
 	}
@@ -181,53 +253,141 @@ func compilePlan(n *dnn.Network, gpuName string, training bool,
 		breakpoints = append(breakpoints, b)
 	}
 	sort.Ints(breakpoints)
+	nbp := len(breakpoints)
 
-	// Resolve the full kernel list at every breakpoint; emit a new segment
-	// only where the resolution differs from the previous breakpoint's.
-	perEntry := make([][]planSeg, len(at1))
-	for _, b := range breakpoints {
-		if err := clone.Infer(b); err != nil {
-			return nil, err
+	// Compile each distinct layer: resolve its kernels at every breakpoint,
+	// merging adjacent identical resolutions. Scratch segment storage is one
+	// arena sliced into non-overlapping per-kernel append regions, reused
+	// across layers.
+	dists := make([]distLayer, len(reps))
+	var arena []planSeg
+	var kernSegs [][]planSeg
+	var affine []driverAffine
+	var sigBuf []byte
+	for di, ri := range reps {
+		l := clone.Layers[ri]
+
+		// Kernel lists at N=1 and N=2 determine each driver's affine map.
+		l.Rebatch(1)
+		ks1 := dispatch(l)
+		nk := len(ks1)
+		if nk == 0 {
+			continue // shape-only layer (Flatten, Dropout, ...): no entries
 		}
-		idx := 0
-		for _, l := range clone.Layers {
+		l.Rebatch(2)
+		ks2 := dispatch(l)
+		if len(ks2) != nk {
+			return nil, fmt.Errorf("core: plan compile %q: kernel count changed with batch size (%d vs %d)",
+				n.Name, nk, len(ks2))
+		}
+		if cap(affine) < nk {
+			affine = make([]driverAffine, nk)
+		}
+		affine = affine[:nk]
+		for i := range ks1 {
+			a := &affine[i]
+			a.inPer, a.inConst = affineFromTwo(ks1[i].LayerInputElems, ks2[i].LayerInputElems)
+			a.opPer, a.opConst = affineFromTwo(ks1[i].LayerFLOPs, ks2[i].LayerFLOPs)
+			a.outPer, a.outConst = affineFromTwo(ks1[i].LayerOutputElems, ks2[i].LayerOutputElems)
+		}
+
+		if cap(arena) < nk*nbp {
+			arena = make([]planSeg, nk*nbp)
+		}
+		if cap(kernSegs) < nk {
+			kernSegs = make([][]planSeg, nk)
+		}
+		kernSegs = kernSegs[:nk]
+		for k := 0; k < nk; k++ {
+			kernSegs[k] = arena[k*nbp : k*nbp : (k+1)*nbp]
+		}
+
+		for _, b := range breakpoints {
+			l.Rebatch(b)
 			ks := dispatch(l)
-			if names, ok := mapping[l.Signature()]; ok && len(names) == len(ks) {
+			if len(ks) != nk {
+				return nil, fmt.Errorf("core: plan compile %q: kernel count changed at batch %d", n.Name, b)
+			}
+			sigBuf = l.AppendSignature(sigBuf[:0])
+			if names, ok := mapping[string(sigBuf)]; ok && len(names) == len(ks) {
 				for i := range ks {
 					ks[i].Name = names[i]
 				}
 			}
-			for _, k := range ks {
-				if idx >= len(at1) {
-					return nil, fmt.Errorf("core: plan compile %q: kernel count changed at batch %d", n.Name, b)
-				}
-				line, driver := resolve(k.Name, k.LayerFLOPs == 0)
-				per, cnst := affine[idx].pick(driver)
+			for k := range ks {
+				line, driver := resolve(ks[k].Name, ks[k].LayerFLOPs == 0)
+				per, cnst := affine[k].pick(driver)
 				seg := planSeg{minBatch: b, xPer: per, xConst: cnst, line: line}
-				if prev := perEntry[idx]; len(prev) > 0 && sameResolution(prev[len(prev)-1], seg) {
-					idx++
+				if prev := kernSegs[k]; len(prev) > 0 && sameResolution(prev[len(prev)-1], seg) {
 					continue
 				}
-				perEntry[idx] = append(perEntry[idx], seg)
-				idx++
+				kernSegs[k] = append(kernSegs[k], seg)
 			}
 		}
-		if idx != len(at1) {
-			return nil, fmt.Errorf("core: plan compile %q: kernel count changed at batch %d", n.Name, b)
+
+		total := 0
+		for k := range kernSegs {
+			total += len(kernSegs[k])
+		}
+		d := &dists[di]
+		d.segs = make([]planSeg, 0, total)
+		d.end = make([]int32, nk)
+		for k := range kernSegs {
+			d.segs = append(d.segs, kernSegs[k]...)
+			d.end[k] = int32(len(d.segs))
 		}
 	}
 
-	p := &Plan{Network: n.Name, GPU: gpuName, entryEnd: make([]int32, len(perEntry))}
-	total := 0
-	for _, segs := range perEntry {
-		total += len(segs)
+	// Assemble the plan by walking the layers in network order, copying each
+	// one's distinct compilation — the same segment values, in the same
+	// order, the per-breakpoint full-network compiler produced.
+	totalSegs, totalEntries := 0, 0
+	for _, d := range repOf {
+		totalSegs += len(dists[d].segs)
+		totalEntries += len(dists[d].end)
 	}
-	p.segs = make([]planSeg, 0, total)
-	for i, segs := range perEntry {
-		p.segs = append(p.segs, segs...)
-		p.entryEnd[i] = int32(len(p.segs))
+	p := &Plan{Network: n.Name, GPU: gpuName}
+	p.segs = make([]planSeg, 0, totalSegs)
+	p.entryEnd = make([]int32, 0, totalEntries)
+	for _, d := range repOf {
+		dl := &dists[d]
+		base := int32(len(p.segs))
+		p.segs = append(p.segs, dl.segs...)
+		for _, e := range dl.end {
+			p.entryEnd = append(p.entryEnd, base+e)
+		}
 	}
 	return p, nil
+}
+
+// appendLayerShapeKey appends an exact rendering of everything a layer's
+// kernel resolution can depend on — kind, every dispatch parameter, and
+// every inferred shape — to dst. Two layers with equal keys at batch 1
+// compile to identical plan segments at every batch size.
+func appendLayerShapeKey(dst []byte, l *dnn.Layer) []byte {
+	dst = append(dst, l.Kind...)
+	for _, v := range [...]int{l.Cin, l.Cout, l.KH, l.KW, l.Stride, l.Pad, l.Groups,
+		l.InFeatures, l.OutFeatures, l.VocabSize, l.EmbedDim, l.Heads} {
+		dst = append(dst, '|')
+		dst = strconv.AppendInt(dst, int64(v), 10)
+	}
+	dst = append(dst, '|')
+	dst = strconv.AppendBool(dst, l.TransposeB)
+	dst = append(dst, '#')
+	dst = strconv.AppendInt(dst, int64(len(l.InShapes)), 10)
+	for _, s := range l.InShapes {
+		dst = append(dst, '#')
+		for _, d := range s {
+			dst = append(dst, ',')
+			dst = strconv.AppendInt(dst, int64(d), 10)
+		}
+	}
+	dst = append(dst, '>')
+	for _, d := range l.OutShape {
+		dst = append(dst, ',')
+		dst = strconv.AppendInt(dst, int64(d), 10)
+	}
+	return dst
 }
 
 // affineFromTwo recovers v(N) = per·N + const from v(1) and v(2). Every
@@ -377,6 +537,15 @@ func networkFingerprint(n *dnn.Network, training bool) uint64 {
 		h.flag(l.TransposeB)
 	}
 	return uint64(h)
+}
+
+// NetworkFingerprint exposes the structural fingerprint the plan caches key
+// on. Callers that coalesce or deduplicate work per network — e.g. the serve
+// layer's in-flight request merging — should key on this rather than the
+// name alone, for the same reason the plan cache does: independently built
+// networks can share a name.
+func NetworkFingerprint(n *dnn.Network, training bool) uint64 {
+	return networkFingerprint(n, training)
 }
 
 // layerKeyFor builds the cache key of one inferred layer.

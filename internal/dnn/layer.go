@@ -2,7 +2,7 @@ package dnn
 
 import (
 	"fmt"
-	"strings"
+	"strconv"
 )
 
 // Kind identifies the operation a layer performs. The set covers the layer
@@ -137,23 +137,82 @@ func (l *Layer) WeightCount() int64 {
 // paper's "look-up table that maps from the layer type and input/output size
 // to the kernel list" (§5.4).
 func (l *Layer) Signature() string {
-	var b strings.Builder
-	b.WriteString(string(l.Kind))
+	return string(l.AppendSignature(make([]byte, 0, 96)))
+}
+
+// AppendSignature appends Signature's rendering to dst and returns the
+// extended slice. It exists for hot paths (plan compilation resolves a
+// signature per layer per batch breakpoint) that want to reuse one buffer
+// and look the result up with the map[string(buf)] idiom instead of
+// materializing a string: fmt-free, it allocates only when dst must grow.
+func (l *Layer) AppendSignature(dst []byte) []byte {
+	dst = append(dst, l.Kind...)
 	switch l.Kind {
 	case KindConv2D:
-		fmt.Fprintf(&b, "|cin=%d|cout=%d|k=%dx%d|s=%d|p=%d|g=%d",
-			l.Cin, l.Cout, l.KH, l.KW, l.Stride, l.Pad, l.Groups)
+		dst = append(dst, "|cin="...)
+		dst = strconv.AppendInt(dst, int64(l.Cin), 10)
+		dst = append(dst, "|cout="...)
+		dst = strconv.AppendInt(dst, int64(l.Cout), 10)
+		dst = append(dst, "|k="...)
+		dst = strconv.AppendInt(dst, int64(l.KH), 10)
+		dst = append(dst, 'x')
+		dst = strconv.AppendInt(dst, int64(l.KW), 10)
+		dst = append(dst, "|s="...)
+		dst = strconv.AppendInt(dst, int64(l.Stride), 10)
+		dst = append(dst, "|p="...)
+		dst = strconv.AppendInt(dst, int64(l.Pad), 10)
+		dst = append(dst, "|g="...)
+		dst = strconv.AppendInt(dst, int64(l.Groups), 10)
 	case KindLinear:
-		fmt.Fprintf(&b, "|in=%d|out=%d", l.InFeatures, l.OutFeatures)
+		dst = append(dst, "|in="...)
+		dst = strconv.AppendInt(dst, int64(l.InFeatures), 10)
+		dst = append(dst, "|out="...)
+		dst = strconv.AppendInt(dst, int64(l.OutFeatures), 10)
 	case KindMaxPool2D, KindAvgPool2D:
-		fmt.Fprintf(&b, "|k=%dx%d|s=%d|p=%d", l.KH, l.KW, l.Stride, l.Pad)
+		dst = append(dst, "|k="...)
+		dst = strconv.AppendInt(dst, int64(l.KH), 10)
+		dst = append(dst, 'x')
+		dst = strconv.AppendInt(dst, int64(l.KW), 10)
+		dst = append(dst, "|s="...)
+		dst = strconv.AppendInt(dst, int64(l.Stride), 10)
+		dst = append(dst, "|p="...)
+		dst = strconv.AppendInt(dst, int64(l.Pad), 10)
 	case KindEmbedding:
-		fmt.Fprintf(&b, "|vocab=%d|dim=%d", l.VocabSize, l.EmbedDim)
+		dst = append(dst, "|vocab="...)
+		dst = strconv.AppendInt(dst, int64(l.VocabSize), 10)
+		dst = append(dst, "|dim="...)
+		dst = strconv.AppendInt(dst, int64(l.EmbedDim), 10)
 	case KindMatMul:
-		fmt.Fprintf(&b, "|heads=%d|tb=%t", l.Heads, l.TransposeB)
+		dst = append(dst, "|heads="...)
+		dst = strconv.AppendInt(dst, int64(l.Heads), 10)
+		dst = append(dst, "|tb="...)
+		dst = strconv.AppendBool(dst, l.TransposeB)
 	}
-	fmt.Fprintf(&b, "|in=%s|out=%s", l.InShape, l.OutShape)
-	return b.String()
+	dst = append(dst, "|in="...)
+	dst = l.InShape.appendString(dst)
+	dst = append(dst, "|out="...)
+	return l.OutShape.appendString(dst)
+}
+
+// Rebatch rewrites the batch dimension of the layer's inferred shapes in
+// place. Valid only on layers whose shapes came from Network.Infer: every
+// layer kind produces an output shape whose leading dimension is the batch
+// size and whose remaining dimensions are batch-invariant, so overwriting
+// dimension 0 reproduces exactly what re-inference at the new batch size
+// would compute. InShape aliases InShapes[0] and producers' OutShape slices;
+// the writes are idempotent, so the aliasing is harmless.
+func (l *Layer) Rebatch(batch int) {
+	if len(l.InShape) > 0 {
+		l.InShape[0] = batch
+	}
+	for _, s := range l.InShapes {
+		if len(s) > 0 {
+			s[0] = batch
+		}
+	}
+	if len(l.OutShape) > 0 {
+		l.OutShape[0] = batch
+	}
 }
 
 // validate checks parameter consistency independent of shapes.

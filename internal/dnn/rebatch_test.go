@@ -1,0 +1,136 @@
+package dnn
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// buildTinyTransformer mirrors TestTransformerInference's network so the
+// rebatch/signature properties are exercised on the text-shaped layer kinds
+// (Embedding, MatMul, LayerNorm) as well as the CNN ones.
+func buildTinyTransformer() *Network {
+	n := New("tinytx", "Test", TaskTextClassification, Shape{16})
+	x := n.Embedding(NetworkInput, 100, 32)
+	q := n.Linear(x, 32, 32)
+	k := n.Linear(x, 32, 32)
+	v := n.Linear(x, 32, 32)
+	s := n.MatMul(q, k, 4, true)
+	s = n.Softmax(s)
+	c := n.MatMul(s, v, 4, false)
+	n.LN(c)
+	return n
+}
+
+// TestRebatchMatchesInfer proves Rebatch's exactness claim: rewriting the
+// batch dimension in place produces the same shapes, in every slot of every
+// layer, as a fresh shape inference at the target batch size.
+func TestRebatchMatchesInfer(t *testing.T) {
+	builders := map[string]func() *Network{
+		"cnn":         buildTinyCNN,
+		"transformer": buildTinyTransformer,
+	}
+	batches := []int{1, 2, 7, 64, 512}
+	for name, build := range builders {
+		re := build()
+		for _, b := range batches {
+			if err := re.Rebatch(b); err != nil {
+				t.Fatalf("%s: Rebatch(%d): %v", name, b, err)
+			}
+			ref := build()
+			if err := ref.Infer(b); err != nil {
+				t.Fatalf("%s: Infer(%d): %v", name, b, err)
+			}
+			if re.Batch() != ref.Batch() {
+				t.Fatalf("%s: Batch() = %d, want %d", name, re.Batch(), ref.Batch())
+			}
+			for i := range ref.Layers {
+				got, want := re.Layers[i], ref.Layers[i]
+				if !got.InShape.Equal(want.InShape) {
+					t.Fatalf("%s batch %d layer %d: InShape = %v, want %v", name, b, i, got.InShape, want.InShape)
+				}
+				if len(got.InShapes) != len(want.InShapes) {
+					t.Fatalf("%s batch %d layer %d: %d InShapes, want %d", name, b, i, len(got.InShapes), len(want.InShapes))
+				}
+				for j := range want.InShapes {
+					if !got.InShapes[j].Equal(want.InShapes[j]) {
+						t.Fatalf("%s batch %d layer %d: InShapes[%d] = %v, want %v", name, b, i, j, got.InShapes[j], want.InShapes[j])
+					}
+				}
+				if !got.OutShape.Equal(want.OutShape) {
+					t.Fatalf("%s batch %d layer %d: OutShape = %v, want %v", name, b, i, got.OutShape, want.OutShape)
+				}
+			}
+		}
+	}
+}
+
+// TestRebatchValidation checks the error and no-op paths.
+func TestRebatchValidation(t *testing.T) {
+	n := buildTinyCNN()
+	if err := n.Rebatch(0); err == nil {
+		t.Fatal("Rebatch(0) on an uninferred network should error")
+	}
+	if err := n.Rebatch(4); err != nil { // never inferred: falls through to Infer
+		t.Fatal(err)
+	}
+	if n.Batch() != 4 {
+		t.Fatalf("Batch() = %d, want 4", n.Batch())
+	}
+	if err := n.Rebatch(4); err != nil { // same batch: no-op
+		t.Fatal(err)
+	}
+	if err := n.Rebatch(-1); err == nil {
+		t.Fatal("Rebatch(-1) should error")
+	}
+}
+
+// fmtSignature is the fmt-based rendering Signature used before it switched
+// to AppendSignature, kept here as the reference the strconv path is pinned
+// against.
+func fmtSignature(l *Layer) string {
+	var b strings.Builder
+	b.WriteString(string(l.Kind))
+	switch l.Kind {
+	case KindConv2D:
+		fmt.Fprintf(&b, "|cin=%d|cout=%d|k=%dx%d|s=%d|p=%d|g=%d",
+			l.Cin, l.Cout, l.KH, l.KW, l.Stride, l.Pad, l.Groups)
+	case KindLinear:
+		fmt.Fprintf(&b, "|in=%d|out=%d", l.InFeatures, l.OutFeatures)
+	case KindMaxPool2D, KindAvgPool2D:
+		fmt.Fprintf(&b, "|k=%dx%d|s=%d|p=%d", l.KH, l.KW, l.Stride, l.Pad)
+	case KindEmbedding:
+		fmt.Fprintf(&b, "|vocab=%d|dim=%d", l.VocabSize, l.EmbedDim)
+	case KindMatMul:
+		fmt.Fprintf(&b, "|heads=%d|tb=%t", l.Heads, l.TransposeB)
+	}
+	fmt.Fprintf(&b, "|in=%s|out=%s", l.InShape, l.OutShape)
+	return b.String()
+}
+
+// TestAppendSignatureMatchesSignature pins Signature/AppendSignature to the
+// fmt-based rendering they replaced, across every layer kind the builders
+// produce, both before and after shape inference. The mapping tables learned
+// by the KW models are keyed by these strings, so the rendering is a
+// compatibility contract, not a formatting choice.
+func TestAppendSignatureMatchesSignature(t *testing.T) {
+	for _, build := range []func() *Network{buildTinyCNN, buildTinyTransformer} {
+		n := build()
+		check := func(stage string) {
+			for i, l := range n.Layers {
+				want := fmtSignature(l)
+				if got := l.Signature(); got != want {
+					t.Fatalf("%s %s layer %d: Signature = %q, want %q", n.Name, stage, i, got, want)
+				}
+				if got := string(l.AppendSignature(nil)); got != want {
+					t.Fatalf("%s %s layer %d: AppendSignature = %q, want %q", n.Name, stage, i, got, want)
+				}
+			}
+		}
+		check("uninferred")
+		if err := n.Infer(8); err != nil {
+			t.Fatal(err)
+		}
+		check("inferred")
+	}
+}

@@ -14,6 +14,7 @@ package dnn
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -119,4 +120,16 @@ func (s Shape) String() string {
 		parts[i] = fmt.Sprintf("%d", d)
 	}
 	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// appendString appends the String rendering to dst without allocating.
+func (s Shape) appendString(dst []byte) []byte {
+	dst = append(dst, '(')
+	for i, d := range s {
+		if i > 0 {
+			dst = append(dst, ", "...)
+		}
+		dst = strconv.AppendInt(dst, int64(d), 10)
+	}
+	return append(dst, ')')
 }

@@ -202,6 +202,25 @@ func (r *Registry) Histogram(name, help string, bounds []units.Seconds) *Histogr
 	return m.hist
 }
 
+// ValueHistogram registers (or fetches) a histogram over a dimensionless
+// count (e.g. sweep sizes or request batch widths) rather than a latency.
+// It reuses the Histogram machinery — bounds and observations travel in the
+// Seconds scalar type but carry no time meaning — and is exported with unit
+// "count" so consumers of the snapshot don't misread the sum as seconds.
+// Bounds must be provided: the latency defaults make no sense for counts.
+func (r *Registry) ValueHistogram(name, help string, bounds []units.Seconds) *Histogram {
+	if bounds == nil {
+		panic("obs: ValueHistogram requires explicit bounds")
+	}
+	m := r.register(name, help, KindHistogram, "count")
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m.hist == nil {
+		m.hist = NewHistogram(bounds)
+	}
+	return m.hist
+}
+
 // MetricSnapshot is the exported state of one metric at one instant.
 type MetricSnapshot struct {
 	Name  string `json:"name"`

@@ -6,6 +6,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -102,20 +103,27 @@ func finishAssignment(a *Assignment, tm Times) {
 // maxBruteForceTasks bounds the exhaustive search (g^n assignments).
 const maxBruteForceTasks = 16
 
+// ErrSearchSpace marks a scheduling request whose exhaustive search space is
+// too large to enumerate (g^n assignments blow up exponentially). Callers
+// detect it with errors.Is and fall back to Greedy — or call Auto, which
+// does exactly that.
+var ErrSearchSpace = errors.New("sched: search space too large for brute force")
+
 // BruteForce enumerates every assignment of tasks to GPUs and returns one
 // with minimal makespan ("thanks to the extremely fast execution, we can
 // easily run a brute force design space search", §6). It requires
-// len(tasks) ≤ 16 and at most 4 GPUs; use Greedy beyond that.
+// len(tasks) ≤ 16 and at most 4 GPUs; beyond either limit it returns an
+// error wrapping ErrSearchSpace. Use Greedy (or Auto) beyond the limits.
 func BruteForce(tm Times, nTasks int) (Assignment, error) {
 	if err := tm.Validate(nTasks); err != nil {
 		return Assignment{}, err
 	}
 	gpus := tm.gpuNames()
 	if nTasks > maxBruteForceTasks {
-		return Assignment{}, fmt.Errorf("sched: brute force limited to %d tasks, got %d", maxBruteForceTasks, nTasks)
+		return Assignment{}, fmt.Errorf("%w: limited to %d tasks, got %d", ErrSearchSpace, maxBruteForceTasks, nTasks)
 	}
 	if len(gpus) > 4 {
-		return Assignment{}, fmt.Errorf("sched: brute force limited to 4 GPUs, got %d", len(gpus))
+		return Assignment{}, fmt.Errorf("%w: limited to 4 GPUs, got %d", ErrSearchSpace, len(gpus))
 	}
 
 	g := len(gpus)
@@ -152,6 +160,22 @@ func BruteForce(tm Times, nTasks int) (Assignment, error) {
 	}
 	finishAssignment(&best, tm)
 	return best, nil
+}
+
+// Auto schedules with BruteForce when the search space permits and falls
+// back to Greedy when BruteForce reports ErrSearchSpace. The returned flag
+// is true when the assignment is the exact optimum (brute force ran);
+// validation errors are returned as-is, never masked by the fallback.
+func Auto(tm Times, nTasks int) (Assignment, bool, error) {
+	a, err := BruteForce(tm, nTasks)
+	if err == nil {
+		return a, true, nil
+	}
+	if !errors.Is(err, ErrSearchSpace) {
+		return Assignment{}, false, err
+	}
+	a, err = Greedy(tm, nTasks)
+	return a, false, err
 }
 
 // Greedy is the longest-processing-time heuristic: tasks sorted by their

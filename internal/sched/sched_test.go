@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -75,6 +76,74 @@ func TestBruteForceLimits(t *testing.T) {
 	}
 	if _, err := BruteForce(tm, 20); err == nil {
 		t.Fatal("20 tasks should exceed the brute-force limit")
+	}
+}
+
+func TestBruteForceSearchSpaceError(t *testing.T) {
+	// 20 tasks on 2 GPUs: over the task limit.
+	tm := Times{"a": make([]float64, 20), "b": make([]float64, 20)}
+	for i := range tm["a"] {
+		tm["a"][i], tm["b"][i] = 1, 2
+	}
+	_, err := BruteForce(tm, 20)
+	if !errors.Is(err, ErrSearchSpace) {
+		t.Fatalf("20-task error = %v, want ErrSearchSpace", err)
+	}
+
+	// 5 GPUs: over the GPU limit.
+	wide := Times{}
+	for _, g := range []string{"a", "b", "c", "d", "e"} {
+		wide[g] = []float64{1, 2}
+	}
+	_, err = BruteForce(wide, 2)
+	if !errors.Is(err, ErrSearchSpace) {
+		t.Fatalf("5-GPU error = %v, want ErrSearchSpace", err)
+	}
+
+	// A validation error must NOT be ErrSearchSpace.
+	_, err = BruteForce(Times{}, 3)
+	if err == nil || errors.Is(err, ErrSearchSpace) {
+		t.Fatalf("validation error = %v, want a non-search-space error", err)
+	}
+}
+
+func TestAutoFallsBackToGreedy(t *testing.T) {
+	// In-limit case: Auto must return the brute-force optimum and exact=true.
+	small := Times{"a": {1, 5}, "b": {5, 1}}
+	a, exact, err := Auto(small, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact {
+		t.Fatal("2 tasks on 2 GPUs should be solved exactly")
+	}
+	if a.Makespan != 1 {
+		t.Fatalf("optimal makespan = %v, want 1", a.Makespan)
+	}
+
+	// Over-limit case: Auto must fall back to Greedy and agree with it.
+	big := Times{"a": make([]float64, 24), "b": make([]float64, 24)}
+	for i := range big["a"] {
+		big["a"][i], big["b"][i] = float64(i+1), float64(24-i)
+	}
+	a, exact, err = Auto(big, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact {
+		t.Fatal("24 tasks should not be solved exactly")
+	}
+	g, err := Greedy(big, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != g.Makespan {
+		t.Fatalf("Auto fallback makespan = %v, Greedy = %v", a.Makespan, g.Makespan)
+	}
+
+	// Validation errors pass through instead of triggering the fallback.
+	if _, _, err := Auto(Times{}, 1); err == nil {
+		t.Fatal("empty Times should error")
 	}
 }
 

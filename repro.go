@@ -117,6 +117,22 @@ func LoadDataset(dir string) (*Dataset, error) { return dataset.ReadDir(dir) }
 // Predictor is the common interface of the single-GPU models.
 type Predictor = core.Predictor
 
+// SweepPredictor is a Predictor that evaluates many batch sizes in one pass
+// over its compiled plan (KWModel and IGKWModel implement it); see
+// (*KWModel).PredictSweep.
+type SweepPredictor = core.SweepPredictor
+
+// PredictionGrid holds a (model × network × batch) grid of predicted
+// seconds, indexed [model][network][batch].
+type PredictionGrid = core.Grid
+
+// PredictGrid evaluates every (model, network, batch) cell through the
+// models' sweep paths — the bulk-query entry point the scheduling and
+// design-space case studies are built on.
+func PredictGrid(models []SweepPredictor, nets []*Network, batches []int) (*PredictionGrid, error) {
+	return core.PredictGrid(models, nets, batches)
+}
+
 // The four models of the paper (§5).
 type (
 	E2EModel  = core.E2EModel

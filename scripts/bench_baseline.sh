@@ -11,12 +11,14 @@ out=BENCH_baseline.json
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
-# Plan-layer micro-benchmarks (internal/core) and the end-to-end prediction
-# benchmarks at the root package.
-go test -run '^$' -bench 'BenchmarkPlanCompile|BenchmarkKWPredictPlan|BenchmarkKWPredictUncached$|BenchmarkKWPredictParallel' \
+# Plan-layer micro-benchmarks (internal/core), the end-to-end prediction
+# benchmarks at the root package, and the serve handler path.
+go test -run '^$' -bench 'BenchmarkPlanCompile|BenchmarkKWPredictPlan|BenchmarkKWPredictUncached$|BenchmarkKWPredictParallel|BenchmarkPredictSweep' \
     -benchtime 1000x ./internal/core/ >"$tmp"
 go test -run '^$' -bench 'BenchmarkKWPredict$|BenchmarkKWPredictUncachedE2E|BenchmarkKWPredictConcurrent' \
     -benchtime 1000x . >>"$tmp"
+go test -run '^$' -bench 'BenchmarkServePredict' \
+    -benchtime 1000x ./cmd/dnnperf/ >>"$tmp"
 go test -run '^$' -bench 'BenchmarkLabDatasetBuild' -benchtime 3x . >>"$tmp"
 
 # Convert `BenchmarkName-P  N  T ns/op  B B/op  A allocs/op` lines to JSON.

@@ -1,14 +1,16 @@
 #!/bin/sh
-# bench_compare.sh — guards the cached-predict hot path against performance
-# regressions. Runs the cached-predict benchmarks fresh and compares each
-# ns/op against the committed BENCH_baseline.json; any benchmark more than
+# bench_compare.sh — guards the prediction hot paths against performance
+# regressions. Runs the gated benchmarks fresh and compares each ns/op
+# against the committed BENCH_baseline.json; any benchmark more than
 # BENCH_COMPARE_THRESHOLD percent (default 25) slower than its baseline
 # fails the gate.
 #
-# Only the cached-predict benchmarks are compared: they are allocation-free
-# and tens of microseconds, so they are stable enough to gate on. The
-# compile/collection benchmarks in the baseline file are order-of-magnitude
-# references, far too noisy for a percentage gate.
+# The gated set covers the cached single-prediction path (KWPredictPlan,
+# KWPredictParallel, KWPredict, KWPredictConcurrent), plan compilation
+# (PlanCompile), the batch-sweep path (PredictSweep) and the serve layer's
+# /predict handler (ServePredict). All are steady-state microsecond-scale
+# loops stable enough to gate on; the collection benchmarks in the baseline
+# file remain order-of-magnitude references only.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -25,11 +27,13 @@ raw="$(mktemp)"
 fresh="$(mktemp)"
 trap 'rm -f "$raw" "$fresh"' EXIT
 
-echo "bench_compare: running cached-predict benchmarks (best of 3)..."
-go test -run '^$' -bench 'BenchmarkKWPredictPlan$|BenchmarkKWPredictParallel$' \
+echo "bench_compare: running gated benchmarks (best of 3)..."
+go test -run '^$' -bench 'BenchmarkKWPredictPlan$|BenchmarkKWPredictParallel$|BenchmarkPlanCompile$|BenchmarkPredictSweep$' \
     -benchtime 1000x -count 3 ./internal/core/ >"$raw"
 go test -run '^$' -bench 'BenchmarkKWPredict$|BenchmarkKWPredictConcurrent$' \
     -benchtime 1000x -count 3 . >>"$raw"
+go test -run '^$' -bench 'BenchmarkServePredict$' \
+    -benchtime 1000x -count 3 ./cmd/dnnperf/ >>"$raw"
 
 # `BenchmarkName-P  N  T ns/op ...` -> `BenchmarkName T`, keeping the
 # fastest of the repeated runs: the minimum is the standard noise filter
@@ -65,7 +69,7 @@ while read -r name ns; do
 done <"$fresh"
 
 if [ "$fail" -ne 0 ]; then
-    echo "bench_compare: cached-predict regression detected" >&2
+    echo "bench_compare: prediction-path regression detected" >&2
     exit 1
 fi
-echo "bench_compare: all cached-predict benchmarks within ${threshold}% of baseline"
+echo "bench_compare: all gated benchmarks within ${threshold}% of baseline"

@@ -1,8 +1,10 @@
 #!/bin/sh
-# serve_smoke.sh — boots `dnnperf serve` and verifies the telemetry surface
-# answers: /healthz must return 200 promptly (liveness is independent of the
-# model warm-up) and /metrics must emit Prometheus text containing the obs
-# registry's serve counters. The server is killed afterwards regardless.
+# serve_smoke.sh — boots `dnnperf serve` and verifies the serving surface
+# end to end: /healthz must return 200 promptly (liveness is independent of
+# the model warm-up), /metrics must emit Prometheus text containing the obs
+# registry's serve counters, and once the model is warm both /predict and
+# /predict/batch (GET and POST) must answer with predictions. Finally the
+# server must exit 0 on SIGTERM — the graceful-shutdown contract.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,9 +23,17 @@ trap cleanup EXIT
 
 fetch() {
     if command -v curl >/dev/null 2>&1; then
-        curl -fsS --max-time 5 "$1"
+        curl -fsS --max-time 10 "$1"
     else
-        wget -q -T 5 -O - "$1"
+        wget -q -T 10 -O - "$1"
+    fi
+}
+
+post() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -fsS --max-time 10 -H 'Content-Type: application/json' -d "$2" "$1"
+    else
+        wget -q -T 10 -O - --header 'Content-Type: application/json' --post-data "$2" "$1"
     fi
 }
 
@@ -75,7 +85,66 @@ esac
 
 fetch "http://$addr/metrics.json" >/dev/null
 
+# Wait for the background model fit so the predict endpoints can answer.
+ok=0
+i=0
+while [ "$i" -lt 240 ]; do
+    health="$(fetch "http://$addr/healthz")"
+    case "$health" in
+    *'"model_ready": true'*)
+        ok=1
+        break
+        ;;
+    *'"status": "degraded"'*)
+        echo "serve_smoke: model fit failed: $health" >&2
+        exit 1
+        ;;
+    esac
+    sleep 0.5
+    i=$((i + 1))
+done
+if [ "$ok" -ne 1 ]; then
+    echo "serve_smoke: model not ready within 120s" >&2
+    cat "$log" >&2
+    exit 1
+fi
+
+pred="$(fetch "http://$addr/predict?network=resnet50&batch=64")"
+case "$pred" in
+*'"predicted_ms"'*) : ;;
+*)
+    echo "serve_smoke: unexpected /predict body: $pred" >&2
+    exit 1
+    ;;
+esac
+
+batch_get="$(fetch "http://$addr/predict/batch?network=resnet50&batches=1,2,4")"
+case "$batch_get" in
+*'"predicted_ms":['*) : ;;
+*)
+    echo "serve_smoke: unexpected GET /predict/batch body: $batch_get" >&2
+    exit 1
+    ;;
+esac
+
+batch_post="$(post "http://$addr/predict/batch" '{"network": "resnet18", "batches": [1, 8]}')"
+case "$batch_post" in
+*'"predicted_ms":['*) : ;;
+*)
+    echo "serve_smoke: unexpected POST /predict/batch body: $batch_post" >&2
+    exit 1
+    ;;
+esac
+
+# SIGTERM must drain and exit cleanly (status 0), not die on the signal.
 kill "$pid"
-wait "$pid" 2>/dev/null || true
+status=0
+wait "$pid" || status=$?
 pid=""
-echo "serve_smoke: /healthz, /metrics and /metrics.json all answered"
+if [ "$status" -ne 0 ]; then
+    echo "serve_smoke: server exited with status $status on SIGTERM; graceful shutdown broken" >&2
+    cat "$log" >&2
+    exit 1
+fi
+
+echo "serve_smoke: health, metrics, predict, batch predict and graceful shutdown all verified"
