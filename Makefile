@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint verify bench-smoke bench-baseline bench-compare serve-smoke
+.PHONY: build test lint verify bench bench-smoke bench-baseline bench-compare serve-smoke
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,19 @@ lint:
 # the gate fails on a seeded violation. scripts/ci.sh runs all of them.
 verify:
 	./scripts/ci.sh
+
+# bench profiles the collection fast path: the lab collection benchmark with
+# a CPU profile (inspect with `go tool pprof`), then one quick collection
+# pass exported as a Chrome/Perfetto trace of its per-phase spans (open
+# bench-artifacts/collect_trace.json in ui.perfetto.dev).
+bench:
+	mkdir -p bench-artifacts
+	$(GO) test -run '^$$' -bench 'BenchmarkLabDatasetBuild' -benchtime 6x \
+		-cpuprofile bench-artifacts/collect_cpu.pprof -o bench-artifacts/bench.test .
+	$(GO) run ./cmd/dnnperf -quick -timing -o bench-artifacts/collect_trace.json \
+		-out bench-artifacts/dataset collect
+	@echo "pprof:    go tool pprof bench-artifacts/bench.test bench-artifacts/collect_cpu.pprof"
+	@echo "perfetto: load bench-artifacts/collect_trace.json at https://ui.perfetto.dev"
 
 # bench-smoke compiles and runs every benchmark exactly once — a cheap check
 # that no benchmark has rotted, without producing timing numbers.

@@ -132,7 +132,7 @@ func TestLocksafeNegative(t *testing.T) {
 }
 
 func TestStaleplanPositive(t *testing.T) {
-	runFixture(t, NewStaleplan(), "staleplanpos", 2)
+	runFixture(t, NewStaleplan(), "staleplanpos", 3)
 }
 
 func TestStaleplanNegative(t *testing.T) {

@@ -47,7 +47,9 @@ var coefficientFields = map[string]map[string]bool{
 // entry points and the online-update rebuild chain.
 var blessedName = regexp.MustCompile(`^(Fit|fit)`)
 
-// blessedExact are additional allowed mutators by exact name.
+// blessedExact are additional allowed mutators by exact name: the online
+// observation fold and the rebuild chain it triggers (ObserveRecords →
+// rebuildFromAccumulators), plus the fit-time seeding of the online state.
 var blessedExact = map[string]bool{
 	"ObserveRecords":          true,
 	"initOnline":              true,

@@ -37,3 +37,9 @@ type OtherModel struct{ Classif int }
 func set(o *OtherModel) {
 	o.Classif = 1
 }
+
+// fitKWRecords is blessed by the fit prefix: the shared fitting core both
+// the record-scan and streaming paths funnel into.
+func fitKWRecords(m *KWModel) {
+	m.Classif = map[string]int{}
+}

@@ -24,3 +24,10 @@ func tamper(m *KWModel) {
 func (m *KWModel) SetGroups(gs []int) {
 	m.Groups = gs
 }
+
+// seedFromAccumulators mimics a streaming-fit fold that bypasses the blessed
+// chain (the fit-prefixed cores / rebuildFromAccumulators): still a
+// violation.
+func seedFromAccumulators(m *KWModel) {
+	m.Groups = append(m.Groups, 1)
+}

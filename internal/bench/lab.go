@@ -10,7 +10,6 @@ package bench
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -62,9 +61,9 @@ type Lab struct {
 
 // labBuild is one per-GPU collection flight. The entry is installed in the
 // cache before the build starts, so concurrent requesters share a single
-// collection pass via once instead of racing to build duplicates.
+// collection pass — they wait on done instead of racing to build duplicates.
 type labBuild struct {
-	once sync.Once
+	done chan struct{}
 	ds   *dataset.Dataset
 	err  error
 }
@@ -78,10 +77,13 @@ func NewLab() *Lab { return newLab(zoo.Full(), 30, 20) }
 // zoo and fewer measured batches. Error magnitudes shift slightly but every
 // qualitative result is preserved.
 func NewQuickLab() *Lab {
-	full := zoo.Full()
-	var sub []*dnn.Network
-	for i := 0; i < len(full); i += 6 {
-		sub = append(sub, full[i])
+	// Construct only the sampled networks: FullBuilders()[i]() builds exactly
+	// zoo.Full()[i], so the subset is unchanged while five sixths of the zoo
+	// is never materialized.
+	builders := zoo.FullBuilders()
+	sub := make([]*dnn.Network, 0, (len(builders)+5)/6)
+	for i := 0; i < len(builders); i += 6 {
+		sub = append(sub, builders[i]())
 	}
 	return newLab(sub, 8, 2)
 }
@@ -114,72 +116,89 @@ func (l *Lab) Network(name string) (*dnn.Network, error) {
 
 // Dataset returns (building and caching on first use) the detail dataset of
 // the given GPUs: end-to-end records at batch sizes {4, 64, 512} and
-// layer/kernel detail at the training batch size. Uncached GPUs are collected
-// in parallel with bounded workers; each GPU's collection runs at most once
-// across all concurrent callers. The merged result is ordered by the gpus
-// argument, so concurrent use is fully deterministic.
+// layer/kernel detail at the training batch size. All uncached GPUs are
+// collected in ONE dataset.Build pass — the batch-outer collection loop then
+// prepares each (network, batch size) once and replays it across every
+// device, and the worker budget is a single flat pool instead of per-GPU
+// goroutines each spawning GOMAXPROCS collection workers (formerly up to P²
+// goroutines). Each GPU's collection still runs at most once across all
+// concurrent callers. The merged result is ordered by the gpus argument, so
+// concurrent use is fully deterministic.
 func (l *Lab) Dataset(gpus ...gpu.Spec) (*dataset.Dataset, error) {
-	results := make([]*dataset.Dataset, len(gpus))
-	errs := make([]error, len(gpus))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(gpus) {
-		workers = len(gpus)
-	}
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
+	// Claim flights for uncached GPUs under the lock; build the claimed ones
+	// together, then wait for every flight (ours or another caller's).
+	l.mu.Lock()
+	flights := make([]*labBuild, len(gpus))
+	var ownFlights []*labBuild
+	var ownGPUs []gpu.Spec
 	for i, g := range gpus {
-		wg.Add(1)
-		go func(i int, g gpu.Spec) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i], errs[i] = l.gpuDataset(g)
-		}(i, g)
-	}
-	wg.Wait()
-
-	out := &dataset.Dataset{}
-	for i := range gpus {
-		if errs[i] != nil {
-			return nil, errs[i]
+		b, ok := l.cache[g.Name]
+		if !ok {
+			b = &labBuild{done: make(chan struct{})}
+			l.cache[g.Name] = b
+			ownFlights = append(ownFlights, b)
+			ownGPUs = append(ownGPUs, g)
 		}
-		out.Merge(results[i])
+		flights[i] = b
+	}
+	l.mu.Unlock()
+
+	if len(ownGPUs) > 0 {
+		l.buildGPUs(ownGPUs, ownFlights)
+	}
+
+	nNet, nLay, nKer := 0, 0, 0
+	for i := range flights {
+		<-flights[i].done
+		if flights[i].err != nil {
+			return nil, flights[i].err
+		}
+		nNet += len(flights[i].ds.Networks)
+		nLay += len(flights[i].ds.Layers)
+		nKer += len(flights[i].ds.Kernels)
+	}
+	out := &dataset.Dataset{}
+	out.Grow(nNet, nLay, nKer)
+	for i := range flights {
+		out.Merge(flights[i].ds)
 	}
 	return out, nil
 }
 
-// gpuDataset builds or fetches the cached per-GPU dataset. Concurrent callers
-// for the same GPU join one in-flight build rather than duplicating the
-// collection pass.
-func (l *Lab) gpuDataset(g gpu.Spec) (*dataset.Dataset, error) {
-	l.mu.Lock()
-	b, ok := l.cache[g.Name]
-	if !ok {
-		b = &labBuild{}
-		l.cache[g.Name] = b
+// buildGPUs runs one combined collection pass for the claimed GPUs and
+// resolves their flights. Per-GPU results are split out of the combined
+// dataset, so they are byte-identical to what a standalone per-GPU Build
+// would have produced (profiling is deterministic per (network, GPU, batch)).
+func (l *Lab) buildGPUs(gpus []gpu.Spec, flights []*labBuild) {
+	tm := obs.StartTimer(metricDatasetBuild)
+	defer tm.Stop()
+	names := make([]string, len(gpus))
+	for i, g := range gpus {
+		names[i] = g.Name
 	}
-	l.mu.Unlock()
+	sp := obs.StartSpan("dataset-build " + strings.Join(names, "+"))
+	sp.SetArg("networks", fmt.Sprint(len(l.nets)))
+	defer sp.End()
 
-	b.once.Do(func() {
-		tm := obs.StartTimer(metricDatasetBuild)
-		defer tm.Stop()
-		sp := obs.StartSpan("dataset-build " + g.Name)
-		sp.SetArg("networks", fmt.Sprint(len(l.nets)))
-		defer sp.End()
-		opt := dataset.DefaultBuildOptions()
-		opt.Batches = l.batches
-		opt.Warmup = l.warmup
-		built, _, err := dataset.Build(l.nets, []gpu.Spec{g}, opt)
+	opt := dataset.DefaultBuildOptions()
+	opt.Batches = l.batches
+	opt.Warmup = l.warmup
+	// Deduplicate inside the collection workers: byte-identical to a serial
+	// Clean of each per-GPU part (duplicates never span networks or GPUs),
+	// minus the whole-dataset rescan.
+	opt.Dedup = true
+	parts, _, err := dataset.BuildPerGPU(l.nets, gpus, opt)
+	for i, g := range gpus {
+		b := flights[i]
 		if err != nil {
 			b.err = fmt.Errorf("bench: collecting %s dataset: %w", g.Name, err)
-			return
+		} else {
+			b.ds = parts[i]
+			l.builds.Add(1)
+			metricDatasetBuilds.Inc()
 		}
-		built.Clean()
-		b.ds = built
-		l.builds.Add(1)
-		metricDatasetBuilds.Inc()
-	})
-	return b.ds, b.err
+		close(b.done)
+	}
 }
 
 // BuildCount reports how many per-GPU collection passes have completed — in

@@ -101,7 +101,15 @@ func FitKWOptions(ds *dataset.Dataset, gpuName string, trainBatch int, opt KWOpt
 	if len(recs) == 0 {
 		return nil, errNoRecords("KW", gpuName)
 	}
+	return fitKWRecords(recs, buildMapping(recs), gpuName, trainBatch, opt)
+}
 
+// fitKWRecords assembles the model from one cell's kernel records (already
+// filtered to gpuName/trainBatch, in dataset record order) and its
+// layer-signature mapping table. Both FitKWOptions and FitKWFromStatsOptions
+// (which replays a streamed cell's observation log) end here, so the two
+// paths share every bit of the fitting arithmetic.
+func fitKWRecords(recs []dataset.KernelRecord, mapping map[string][]string, gpuName string, trainBatch int, opt KWOptions) (*KWModel, error) {
 	classif := ClassifyKernels(recs)
 	if opt.ForceDriver != "" {
 		classif = forceDriver(classif, recs, opt.ForceDriver)
@@ -120,7 +128,7 @@ func FitKWOptions(ds *dataset.Dataset, gpuName string, trainBatch int, opt KWOpt
 		Classif:       classif,
 		Groups:        groups,
 		GroupOf:       groupOf,
-		Mapping:       buildMapping(recs),
+		Mapping:       mapping,
 		Families:      ClassifyFamilies(recs),
 		ClassFallback: classFallbacks(classif, recs),
 	}
@@ -172,6 +180,29 @@ func familyRecords(recs []dataset.KernelRecord) []dataset.KernelRecord {
 	return out
 }
 
+// classFallbacks pools all records of each driver class into one regression.
+func classFallbacks(classif map[string]Classification, recs []dataset.KernelRecord) map[Driver]regression.Line {
+	xs := map[Driver][]float64{}
+	ys := map[Driver][]float64{}
+	for _, r := range recs {
+		c, ok := classif[r.Kernel]
+		if !ok {
+			continue
+		}
+		xs[c.Driver] = append(xs[c.Driver], driverX(r, c.Driver))
+		ys[c.Driver] = append(ys[c.Driver], float64(r.Seconds))
+	}
+	out := map[Driver]regression.Line{}
+	for _, d := range Drivers() {
+		if line, err := regression.Fit(xs[d], ys[d]); err == nil {
+			out[d] = line
+		} else {
+			out[d] = regression.Line{Intercept: regression.Mean(ys[d])}
+		}
+	}
+	return out
+}
+
 // singletonGroups wraps every sufficiently-observed kernel in its own group.
 func singletonGroups(classif map[string]Classification) ([]Group, map[string]int) {
 	var groups []Group
@@ -216,29 +247,6 @@ func buildMapping(recs []dataset.KernelRecord) map[string][]string {
 		}
 	}
 	return mapping
-}
-
-// classFallbacks pools all records of each driver class into one regression.
-func classFallbacks(classif map[string]Classification, recs []dataset.KernelRecord) map[Driver]regression.Line {
-	xs := map[Driver][]float64{}
-	ys := map[Driver][]float64{}
-	for _, r := range recs {
-		c, ok := classif[r.Kernel]
-		if !ok {
-			continue
-		}
-		xs[c.Driver] = append(xs[c.Driver], driverX(r, c.Driver))
-		ys[c.Driver] = append(ys[c.Driver], float64(r.Seconds))
-	}
-	out := map[Driver]regression.Line{}
-	for _, d := range Drivers() {
-		if line, err := regression.Fit(xs[d], ys[d]); err == nil {
-			out[d] = line
-		} else {
-			out[d] = regression.Line{Intercept: regression.Mean(ys[d])}
-		}
-	}
-	return out
 }
 
 // Name implements Predictor.

@@ -132,23 +132,16 @@ func (m *KWModel) rebuildFromAccumulators() {
 	}
 
 	// Per-driver class fallbacks from merged accumulators (only when the
-	// statistics exist; a deserialized model keeps its fitted fallbacks).
-	// Accumulator merges fold floating-point sums, so every merge loop walks
-	// the kernels in sorted order to keep the pooled statistics bit-identical
-	// across runs.
+	// statistics exist and are non-degenerate; a deserialized model keeps its
+	// fitted fallbacks). classPools/familyAccumulators merge in sorted kernel
+	// order, keeping the pooled statistics bit-identical across runs.
 	if len(st.kernelAcc) > 0 {
-		kernelNames := sortedStringKeys(st.kernelAcc)
 		if m.ClassFallback == nil {
 			m.ClassFallback = map[Driver]regression.Line{}
 		}
+		pools := classPools(m.Classif, st.kernelAcc)
 		for i, d := range Drivers() {
-			var pooled regression.Accumulator
-			for _, name := range kernelNames {
-				if m.Classif[name].Driver == d {
-					pooled.Merge(st.kernelAcc[name][i])
-				}
-			}
-			if line, err := pooled.Line(); err == nil {
+			if line, err := pools[i].Line(); err == nil {
 				m.ClassFallback[d] = line
 			}
 		}
@@ -158,19 +151,7 @@ func (m *KWModel) rebuildFromAccumulators() {
 		if m.Families == nil {
 			m.Families = map[string]Classification{}
 		}
-		famAcc := map[string]*[3]regression.Accumulator{}
-		for _, name := range kernelNames {
-			acc := st.kernelAcc[name]
-			fam := FamilyOf(name)
-			fa, ok := famAcc[fam]
-			if !ok {
-				fa = &[3]regression.Accumulator{}
-				famAcc[fam] = fa
-			}
-			for i := range fa {
-				fa[i].Merge(acc[i])
-			}
-		}
+		famAcc := familyAccumulators(st.kernelAcc)
 		for _, fam := range sortedStringKeys(famAcc) {
 			m.Families[fam] = classifyFromAccumulators(fam, famAcc[fam])
 		}
@@ -190,11 +171,6 @@ func (m *KWModel) rebuildFromAccumulators() {
 // groupFromAccumulators mirrors GroupKernels over accumulator statistics.
 func groupFromAccumulators(classif map[string]Classification,
 	kernelAcc map[string]*[3]regression.Accumulator) ([]Group, map[string]int) {
-
-	driverIdx := map[Driver]int{}
-	for i, d := range Drivers() {
-		driverIdx[d] = i
-	}
 
 	var groups []Group
 	groupOf := map[string]int{}
@@ -225,7 +201,7 @@ func groupFromAccumulators(classif map[string]Classification,
 			for _, mem := range members[i:j] {
 				g.Kernels = append(g.Kernels, mem.name)
 				groupOf[mem.name] = len(groups)
-				pooled.Merge(kernelAcc[mem.name][driverIdx[d]])
+				pooled.Merge(kernelAcc[mem.name][driverIndex(d)])
 			}
 			if line, err := pooled.Line(); err == nil {
 				g.Line = line

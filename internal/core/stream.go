@@ -1,0 +1,127 @@
+package core
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/regression"
+)
+
+// Streaming fits. FitKW/FitLW/FitE2E rescan (and re-filter) the dataset's
+// full record slices on every call; the collection fast path instead reduces
+// the measurements to per-(GPU, batch) observation logs (dataset.Stats) —
+// either streamed during collection (dataset.BuildWithStats) or derived from
+// an existing dataset (dataset.StatsFromDataset) — and the Fit*FromStats
+// variants fit one cell's log directly. A cell's log is the ordered
+// projection of exactly the records the record-scan fit reads, and both
+// paths funnel into one shared fitting core (fitKWRecords / fitLWObs /
+// fitE2EObs), so the fitted coefficients are byte-for-byte identical no
+// matter which path — or how many collection workers — produced them (the
+// golden tests enforce this).
+
+// FitKWFromStats trains a Kernel-Wise model from streamed statistics on the
+// given GPU at the given batch size, with the paper's full design.
+func FitKWFromStats(st *dataset.Stats, gpuName string, trainBatch int) (*KWModel, error) {
+	return FitKWFromStatsOptions(st, gpuName, trainBatch, KWOptions{})
+}
+
+// FitKWFromStatsOptions is FitKWFromStats with explicit design-choice
+// options. The cell's kernel log is replayed through the same fitting core
+// as the record-scan FitKWOptions; the layer→kernel mapping table was
+// already committed during the fold (first-wins in record order, as
+// buildMapping does) and is copied so the model owns its map.
+func FitKWFromStatsOptions(st *dataset.Stats, gpuName string, trainBatch int, opt KWOptions) (*KWModel, error) {
+	cell := st.Cell(gpuName, trainBatch)
+	if cell == nil || len(cell.Kernels) == 0 {
+		return nil, errNoRecords("KW", gpuName)
+	}
+	recs := make([]dataset.KernelRecord, len(cell.Kernels))
+	for i, o := range cell.Kernels {
+		recs[i] = dataset.KernelRecord{
+			Kernel:           o.Kernel,
+			LayerFLOPs:       o.LayerFLOPs,
+			LayerInputElems:  o.LayerInputElems,
+			LayerOutputElems: o.LayerOutputElems,
+			Seconds:          o.Seconds,
+		}
+	}
+	return fitKWRecords(recs, cloneMapping(cell.Mapping), gpuName, trainBatch, opt)
+}
+
+// FitLWFromStats trains a Layer-Wise model from streamed statistics.
+func FitLWFromStats(st *dataset.Stats, gpuName string, trainBatch int) (*LWModel, error) {
+	cell := st.Cell(gpuName, trainBatch)
+	if cell == nil {
+		return nil, errNoRecords("LW", gpuName)
+	}
+	return fitLWObs(cell.Layers, gpuName, trainBatch)
+}
+
+// FitE2EFromStats trains an End-to-End model from streamed statistics.
+func FitE2EFromStats(st *dataset.Stats, gpuName string, trainBatch int) (*E2EModel, error) {
+	cell := st.Cell(gpuName, trainBatch)
+	if cell == nil {
+		return nil, errNoRecords("E2E", gpuName)
+	}
+	return fitE2EObs(cell.Network, gpuName, trainBatch)
+}
+
+// driverIndex maps a driver to its accumulator axis; unknown drivers take
+// the output axis, mirroring driverX's default.
+func driverIndex(d Driver) int {
+	switch d {
+	case DriverInput:
+		return 0
+	case DriverOperation:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// familyAccumulators pools all size variants of each kernel family into one
+// accumulator triple, merging in sorted kernel order (accumulator merges
+// fold floating-point sums; sorted order keeps them bit-identical per run).
+// Part of the online-rebuild chain (see rebuildFromAccumulators).
+func familyAccumulators(accs map[string]*[3]regression.Accumulator) map[string]*[3]regression.Accumulator {
+	famAcc := map[string]*[3]regression.Accumulator{}
+	for _, name := range sortedStringKeys(accs) {
+		acc := accs[name]
+		fam := FamilyOf(name)
+		fa, ok := famAcc[fam]
+		if !ok {
+			fa = &[3]regression.Accumulator{}
+			famAcc[fam] = fa
+		}
+		for i := range fa {
+			fa[i].Merge(acc[i])
+		}
+	}
+	return famAcc
+}
+
+// classPools merges each driver class's member accumulators (on the class's
+// own axis) into one pooled accumulator per driver, in sorted kernel order.
+// Part of the online-rebuild chain (see rebuildFromAccumulators).
+func classPools(classif map[string]Classification,
+	accs map[string]*[3]regression.Accumulator) [3]regression.Accumulator {
+
+	var pools [3]regression.Accumulator
+	kernelNames := sortedStringKeys(accs)
+	for i, d := range Drivers() {
+		for _, name := range kernelNames {
+			if classif[name].Driver == d {
+				pools[i].Merge(accs[name][i])
+			}
+		}
+	}
+	return pools
+}
+
+// cloneMapping shallow-copies the layer-signature table so the model owns
+// its map (the name slices are immutable by convention and shared).
+func cloneMapping(src map[string][]string) map[string][]string {
+	out := make(map[string][]string, len(src))
+	for sig, names := range src {
+		out[sig] = names
+	}
+	return out
+}

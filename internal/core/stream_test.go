@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/gpu"
+)
+
+// saveBytes serializes a fitted model for exact comparison.
+func saveBytes(t *testing.T, m Predictor) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStreamingFitGolden is the streaming-fit golden test: the KW, LW and
+// E2E models fitted from collection-time sufficient statistics serialize to
+// the exact bytes of the models fitted by rescanning the dataset records —
+// and both are identical across collection worker counts. Run under -race
+// by the verify gate, this pins the shard-and-merge fold order.
+func TestStreamingFitGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full pipeline build")
+	}
+	nets := zooSample()
+	opt := dataset.DefaultBuildOptions()
+	opt.Batches = 8
+	opt.Warmup = 2
+	gpus := []gpu.Spec{gpu.A100}
+
+	type artifacts struct{ kw, lw, e2e []byte }
+	run := func(workers int) (scan, stream artifacts) {
+		opt.Workers = workers
+		ds, st, _, err := dataset.BuildWithStats(nets, gpus, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		kwScan, err := FitKW(ds, "A100", 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lwScan, err := FitLW(ds, "A100", 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2eScan, err := FitE2E(ds, "A100", 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scan = artifacts{saveBytes(t, kwScan), saveBytes(t, lwScan), saveBytes(t, e2eScan)}
+
+		kwStream, err := FitKWFromStats(st, "A100", 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lwStream, err := FitLWFromStats(st, "A100", 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e2eStream, err := FitE2EFromStats(st, "A100", 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream = artifacts{saveBytes(t, kwStream), saveBytes(t, lwStream), saveBytes(t, e2eStream)}
+		return scan, stream
+	}
+
+	check := func(label string, a, b artifacts) {
+		t.Helper()
+		if !bytes.Equal(a.kw, b.kw) {
+			t.Errorf("%s: KW coefficients differ (%d vs %d bytes)", label, len(a.kw), len(b.kw))
+		}
+		if !bytes.Equal(a.lw, b.lw) {
+			t.Errorf("%s: LW coefficients differ", label)
+		}
+		if !bytes.Equal(a.e2e, b.e2e) {
+			t.Errorf("%s: E2E coefficients differ", label)
+		}
+	}
+
+	scan1, stream1 := run(1)
+	check("Workers=1 scan vs streaming", scan1, stream1)
+
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 2 {
+		procs = 4
+	}
+	scanN, streamN := run(procs)
+	check("parallel scan vs streaming", scanN, streamN)
+	check("scan across worker counts", scan1, scanN)
+	check("streaming across worker counts", stream1, streamN)
+
+	if len(scan1.kw) == 0 || len(scan1.lw) == 0 || len(scan1.e2e) == 0 {
+		t.Fatal("implausibly empty serialized model")
+	}
+}
+
+// BenchmarkFitKW gates the fitting side of the fast path (the bench_compare
+// gate for this package): one full KW fit from sufficient statistics. The
+// dataset and its stats are collected once outside the timer.
+func BenchmarkFitKW(b *testing.B) {
+	nets := zooSample()
+	opt := dataset.DefaultBuildOptions()
+	opt.Batches = 8
+	opt.Warmup = 2
+	_, st, _, err := dataset.BuildWithStats(nets, []gpu.Spec{gpu.A100}, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitKWFromStats(st, "A100", 512); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,9 +9,19 @@ import (
 
 	"repro/internal/dnn"
 	"repro/internal/gpu"
+	"repro/internal/obs"
 	"repro/internal/profiler"
 	"repro/internal/sim"
 	"repro/internal/units"
+)
+
+var (
+	metricBuildSeconds = obs.Default().Histogram("dataset_build_seconds",
+		"Wall-clock duration of one dataset.Build collection pass.", nil)
+	metricBuilds = obs.Default().Counter("dataset_builds_total",
+		"Dataset collection passes completed.")
+	metricBuildRecords = obs.Default().Counter("dataset_records_total",
+		"Records (network + layer + kernel) emitted by dataset collection.")
 )
 
 // BuildOptions configures dataset collection.
@@ -30,6 +40,12 @@ type BuildOptions struct {
 	// Training collects training-step measurements (forward + backward +
 	// optimizer kernels) instead of inference.
 	Training bool
+	// Dedup drops exact duplicate records at collection time. Every record
+	// carries its network name, so duplicates can only arise within one
+	// network's output — dropping them per network inside the parallel
+	// collection workers is byte-identical to calling Dataset.Clean on the
+	// built result, without the serial whole-dataset pass.
+	Dedup bool
 	// SimConfig overrides the device-model constants (zero = defaults).
 	SimConfig sim.Config
 	// Workers bounds collection parallelism (0 = GOMAXPROCS).
@@ -62,6 +78,57 @@ type BuildReport struct {
 // result is deterministic (per-run RNG seeds depend only on network, GPU and
 // batch size) and ordered by (network index, GPU index).
 func Build(nets []*dnn.Network, gpus []gpu.Spec, opt BuildOptions) (*Dataset, *BuildReport, error) {
+	results, report, err := collect(nets, gpus, opt, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds := mergeResults(results, -1)
+	metricBuildRecords.Add(int64(len(ds.Networks) + len(ds.Layers) + len(ds.Kernels)))
+	return ds, report, nil
+}
+
+// BuildPerGPU is Build split by device: result i holds exactly the records
+// of gpus[i], byte-identical to Build(...).FilterGPU(gpus[i].Name) but
+// assembled without materializing (and then rescanning) the combined
+// dataset. The experiment lab caches datasets per GPU, so this is its
+// collection entry point.
+func BuildPerGPU(nets []*dnn.Network, gpus []gpu.Spec, opt BuildOptions) ([]*Dataset, *BuildReport, error) {
+	results, report, err := collect(nets, gpus, opt, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	parts := make([]*Dataset, len(gpus))
+	total := 0
+	for di := range gpus {
+		parts[di] = mergeResults(results, di)
+		total += len(parts[di].Networks) + len(parts[di].Layers) + len(parts[di].Kernels)
+	}
+	metricBuildRecords.Add(int64(total))
+	return parts, report, nil
+}
+
+// BuildWithStats collects the dataset and, in the same pass, folds every
+// trace into streaming sufficient statistics (the collection half of the
+// paper's "trains in seconds" loop). The returned Stats are bit-identical to
+// StatsFromDataset applied to the returned dataset; the core Fit*FromStats
+// functions consume them without rescanning records.
+func BuildWithStats(nets []*dnn.Network, gpus []gpu.Spec, opt BuildOptions) (*Dataset, *Stats, *BuildReport, error) {
+	results, report, err := collect(nets, gpus, opt, true)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ds := mergeResults(results, -1)
+	stats := NewStats()
+	for i := range results {
+		stats.Merge(results[i].stats)
+	}
+	metricBuildRecords.Add(int64(len(ds.Networks) + len(ds.Layers) + len(ds.Kernels)))
+	return ds, stats, report, nil
+}
+
+// collect runs the parallel collection pass and returns the per-network
+// results (each holding one Dataset per device) plus the aggregate report.
+func collect(nets []*dnn.Network, gpus []gpu.Spec, opt BuildOptions, wantStats bool) ([]collectResult, *BuildReport, error) {
 	if len(nets) == 0 || len(gpus) == 0 {
 		return nil, nil, errors.New("dataset: Build needs at least one network and one GPU")
 	}
@@ -78,47 +145,87 @@ func Build(nets []*dnn.Network, gpus []gpu.Spec, opt BuildOptions) (*Dataset, *B
 	if workers > len(nets) {
 		workers = len(nets)
 	}
+	tm := obs.StartTimer(metricBuildSeconds)
+	defer tm.Stop()
 
 	devices := make([]*sim.Device, len(gpus))
 	for i, g := range gpus {
 		devices[i] = sim.New(g, opt.SimConfig)
 	}
 
+	// The channel is buffered to the full job count and filled before any
+	// worker starts, so no code path (panic included) can leave a worker
+	// blocked on a send that never comes.
 	results := make([]collectResult, len(nets))
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				results[i] = collectNetwork(nets[i], devices, opt)
-			}
-		}()
-	}
+	jobs := make(chan int, len(nets))
 	for i := range nets {
 		jobs <- i
 	}
 	close(jobs)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// One profiler (and one dedup scratch) per worker, so per-kernel
+			// scratch, the base-time memo and the dedup maps persist across
+			// every network this worker collects.
+			p := &profiler.Profiler{Warmup: opt.Warmup, Batches: opt.Batches, Training: opt.Training}
+			var cl cleaner
+			for i := range jobs {
+				results[i] = collectNetwork(p, &cl, nets[i], devices, opt, wantStats)
+			}
+		}()
+	}
 	wg.Wait()
 
-	ds := &Dataset{}
 	report := &BuildReport{}
 	for i := range results {
 		if results[i].err != nil {
 			return nil, nil, fmt.Errorf("dataset: network %q: %w", nets[i].Name, results[i].err)
 		}
-		ds.Merge(&results[i].ds)
 		report.OutOfMemory = append(report.OutOfMemory, results[i].oom...)
 		report.Profiled += results[i].profiled
 	}
 	sort.Strings(report.OutOfMemory)
-	return ds, report, nil
+	metricBuilds.Inc()
+	return results, report, nil
 }
 
-// collectResult is one network's collection output.
+// mergeResults concatenates the per-network collection outputs, presized
+// exactly. device selects one device's records; -1 merges all devices in the
+// legacy (network-outer, device-inner) Build order.
+func mergeResults(results []collectResult, device int) *Dataset {
+	nNet, nLay, nKer := 0, 0, 0
+	for i := range results {
+		for di := range results[i].ds {
+			if device >= 0 && di != device {
+				continue
+			}
+			d := &results[i].ds[di]
+			nNet += len(d.Networks)
+			nLay += len(d.Layers)
+			nKer += len(d.Kernels)
+		}
+	}
+	out := &Dataset{}
+	out.Grow(nNet, nLay, nKer)
+	for i := range results {
+		for di := range results[i].ds {
+			if device >= 0 && di != device {
+				continue
+			}
+			out.Merge(&results[i].ds[di])
+		}
+	}
+	return out
+}
+
+// collectResult is one network's collection output: one Dataset per device,
+// so per-GPU assembly never rescans a combined dataset.
 type collectResult struct {
-	ds Dataset
+	ds    []Dataset
+	stats *Stats
 	// profiled counts the successful (network, GPU, batch) executions — the
 	// quantity BuildReport.Profiled aggregates.
 	profiled int
@@ -127,8 +234,19 @@ type collectResult struct {
 }
 
 // collectNetwork profiles one network on every device. It works on a private
-// clone so parallel workers never share mutable shape state.
-func collectNetwork(src *dnn.Network, devices []*sim.Device, opt BuildOptions) (res collectResult) {
+// clone so parallel workers never share mutable shape state. The loop is
+// batch-outer/device-inner: shape inference and kernel enumeration run once
+// per batch size (Profiler.Prepare) and the prepared plan replays on each
+// device — the per-device work is just the timing simulation. Records are
+// emitted per device in batch order, which is exactly the legacy
+// (device-outer, batch-inner) order once the per-device slices are
+// concatenated.
+func collectNetwork(p *profiler.Profiler, cl *cleaner, src *dnn.Network, devices []*sim.Device, opt BuildOptions, wantStats bool) (res collectResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res.err = fmt.Errorf("dataset: collecting %s: panic: %v", src.Name, r)
+		}
+	}()
 	net := cloneNetwork(src)
 
 	batches := make([]int, 0, len(opt.E2EBatchSizes)+1)
@@ -143,13 +261,28 @@ func collectNetwork(src *dnn.Network, devices []*sim.Device, opt BuildOptions) (
 		batches = append(batches, opt.DetailBatchSize)
 	}
 
-	// One profiler for the whole network, re-pointed per device, so its
-	// per-kernel scratch buffers are reused across every profiled run.
-	p := &profiler.Profiler{Warmup: opt.Warmup, Batches: opt.Batches, Training: opt.Training}
-	for _, dev := range devices {
-		p.Device = dev
-		for _, bs := range batches {
-			tr, err := p.Profile(net, bs)
+	// Collect batch-outer into a (device, batch) grid of traces.
+	grid := make([][]*profiler.Trace, len(devices))
+	for di := range grid {
+		grid[di] = make([]*profiler.Trace, len(batches))
+	}
+	for bi, bs := range batches {
+		prep, err := p.Prepare(net, bs)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		for di, dev := range devices {
+			p.Device = dev
+			var tr *profiler.Trace
+			var err error
+			if bs == opt.DetailBatchSize {
+				tr, err = p.ProfilePrepared(prep)
+			} else {
+				// Only the end-to-end record survives for this batch size;
+				// skip assembling the per-kernel trace.
+				tr, err = p.ProfileE2EPrepared(prep)
+			}
 			if errors.Is(err, profiler.ErrOutOfMemory) {
 				res.oom = append(res.oom, fmt.Sprintf("%s@%d on %s", net.Name, bs, dev.GPU.Name))
 				continue
@@ -159,19 +292,127 @@ func collectNetwork(src *dnn.Network, devices []*sim.Device, opt BuildOptions) (
 				return res
 			}
 			res.profiled++
+			grid[di][bi] = tr
+		}
+	}
+
+	// Pre-size each device's slices from exact counts, then emit per device
+	// in batch order.
+	res.ds = make([]Dataset, len(devices))
+	if wantStats {
+		res.stats = NewStats()
+	}
+	for di := range grid {
+		nNet, nLay, nKer := 0, 0, 0
+		for bi, bs := range batches {
+			tr := grid[di][bi]
+			if tr == nil {
+				continue
+			}
+			nNet++
+			if bs != opt.DetailBatchSize {
+				continue
+			}
+			for li := range tr.Layers {
+				if k := len(tr.Layers[li].Kernels); k > 0 {
+					nLay++
+					nKer += k
+				}
+			}
+		}
+		d := &res.ds[di]
+		d.Grow(nNet, nLay, nKer)
+		for bi, bs := range batches {
+			tr := grid[di][bi]
+			if tr == nil {
+				continue
+			}
 			if bs == opt.DetailBatchSize {
-				res.ds.AddTrace(tr) // full detail
+				d.AddTrace(tr) // full detail
+				if wantStats {
+					res.stats.FoldTrace(tr)
+				}
+				continue
+			}
+			// End-to-end record only.
+			rec := NetworkRecord{
+				Network: tr.Network, Family: tr.Family, Task: string(tr.Task),
+				GPU: tr.GPU, BatchSize: tr.BatchSize,
+				TotalFLOPs: units.FLOPs(tr.TotalFLOPs), E2ESeconds: units.Seconds(tr.E2ETime),
+			}
+			d.Networks = append(d.Networks, rec)
+			if wantStats {
+				res.stats.FoldNetworkRecord(rec)
+			}
+		}
+	}
+	if opt.Dedup {
+		// Duplicates carry their network and GPU names, so they can only
+		// arise within one device's slice here. With distinct batch sizes the
+		// structure narrows further — network records differ by batch size
+		// and layer records by layer index, so only kernel records can repeat
+		// — and a tiny per-layer scan replaces hashing every record. Repeated
+		// batch sizes (degenerate options) fall back to the generic cleaner,
+		// whose worker-owned maps are cleared, not reallocated, per network.
+		uniqueBatches := true
+	batchCheck:
+		for i := 1; i < len(batches); i++ {
+			for j := 0; j < i; j++ {
+				if batches[j] == batches[i] {
+					uniqueBatches = false
+					break batchCheck
+				}
+			}
+		}
+		dropped := 0
+		for di := range res.ds {
+			if uniqueBatches {
+				n := len(res.ds[di].Kernels)
+				res.ds[di].Kernels = dedupKernelGroups(res.ds[di].Kernels)
+				dropped += n - len(res.ds[di].Kernels)
 			} else {
-				// End-to-end record only.
-				res.ds.Networks = append(res.ds.Networks, NetworkRecord{
-					Network: tr.Network, Family: tr.Family, Task: string(tr.Task),
-					GPU: tr.GPU, BatchSize: tr.BatchSize,
-					TotalFLOPs: units.FLOPs(tr.TotalFLOPs), E2ESeconds: units.Seconds(tr.E2ETime),
-				})
+				dropped += cl.clean(&res.ds[di])
+			}
+		}
+		if dropped > 0 && wantStats {
+			// Refold so the stats keep describing exactly the returned
+			// records. Dropping only happens when two kernels of one layer
+			// coincide in name and duration (certain only for noise-free
+			// devices), so the refold is almost never taken.
+			res.stats = NewStats()
+			for di := range res.ds {
+				res.stats.Merge(StatsFromDataset(&res.ds[di]))
 			}
 		}
 	}
 	return res
+}
+
+// dedupKernelGroups drops exact duplicate kernel records in place and
+// returns the compacted slice. The records come from a single detail trace:
+// one layer's launches are contiguous and share every field except the
+// kernel name and duration, so a duplicate can only repeat within its layer
+// group — and groups are a handful of launches, making a quadratic in-group
+// scan cheaper than hashing every record into a set.
+func dedupKernelGroups(recs []KernelRecord) []KernelRecord {
+	out := recs[:0]
+	groupStart := 0
+	for i := range recs {
+		if i > 0 && recs[i].LayerIndex != recs[i-1].LayerIndex {
+			groupStart = len(out)
+		}
+		dup := false
+		for j := groupStart; j < len(out); j++ {
+			if out[j] == recs[i] {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, recs[i])
+		}
+	}
+	return out
 }
 
 // cloneNetwork deep-copies the network structure so shape inference in one

@@ -8,6 +8,7 @@ package dataset
 import (
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"repro/internal/profiler"
@@ -127,6 +128,15 @@ func (d *Dataset) Merge(o *Dataset) {
 	d.Kernels = append(d.Kernels, o.Kernels...)
 }
 
+// Grow reserves capacity for at least the given number of additional
+// network, layer and kernel records, so bulk AddTrace/Merge sequences with
+// known totals avoid repeated append reallocation.
+func (d *Dataset) Grow(networks, layers, kernels int) {
+	d.Networks = slices.Grow(d.Networks, networks)
+	d.Layers = slices.Grow(d.Layers, layers)
+	d.Kernels = slices.Grow(d.Kernels, kernels)
+}
+
 // NetworkNames returns the distinct network names, sorted.
 func (d *Dataset) NetworkNames() []string {
 	set := map[string]bool{}
@@ -169,9 +179,31 @@ func (d *Dataset) KernelNames() []string {
 	return out
 }
 
-// FilterGPU returns the subset of records measured on the given GPU.
+// FilterGPU returns the subset of records measured on the given GPU. The
+// output slices are sized exactly (one counting pass per record type), so
+// splitting a large merged dataset never pays append-growth reallocation.
 func (d *Dataset) FilterGPU(gpuName string) *Dataset {
-	out := &Dataset{}
+	nNet, nLay, nKer := 0, 0, 0
+	for i := range d.Networks {
+		if d.Networks[i].GPU == gpuName {
+			nNet++
+		}
+	}
+	for i := range d.Layers {
+		if d.Layers[i].GPU == gpuName {
+			nLay++
+		}
+	}
+	for i := range d.Kernels {
+		if d.Kernels[i].GPU == gpuName {
+			nKer++
+		}
+	}
+	out := &Dataset{
+		Networks: make([]NetworkRecord, 0, nNet),
+		Layers:   make([]LayerRecord, 0, nLay),
+		Kernels:  make([]KernelRecord, 0, nKer),
+	}
 	for _, r := range d.Networks {
 		if r.GPU == gpuName {
 			out.Networks = append(out.Networks, r)
@@ -227,29 +259,52 @@ func (d *Dataset) FilterTask(task string) *Dataset {
 // cleaning ("removing the duplications", §3; fail-to-execute runs are already
 // excluded at collection time). It returns the number of records dropped.
 func (d *Dataset) Clean() int {
+	var c cleaner
+	return c.clean(d)
+}
+
+// cleaner is Clean with reusable state: the seen-maps are cleared, not
+// reallocated, between calls. The dataset builder dedups every network's
+// output inside its collection worker, so without reuse those small maps
+// would dominate the worker's allocations.
+type cleaner struct {
+	nets map[NetworkRecord]bool
+	lays map[LayerRecord]bool
+	kers map[KernelRecord]bool
+}
+
+func (c *cleaner) clean(d *Dataset) int {
 	dropped := 0
 	{
-		seen := map[NetworkRecord]bool{}
+		if c.nets == nil {
+			c.nets = make(map[NetworkRecord]bool, len(d.Networks))
+		} else {
+			clear(c.nets)
+		}
 		out := d.Networks[:0]
 		for _, r := range d.Networks {
-			if seen[r] {
+			if c.nets[r] {
 				dropped++
 				continue
 			}
-			seen[r] = true
+			c.nets[r] = true
 			out = append(out, r)
 		}
 		d.Networks = out
 	}
 	{
-		seen := map[LayerRecord]bool{}
+		if c.lays == nil {
+			c.lays = make(map[LayerRecord]bool, len(d.Layers))
+		} else {
+			clear(c.lays)
+		}
 		out := d.Layers[:0]
 		for _, r := range d.Layers {
-			if seen[r] {
+			if c.lays[r] {
 				dropped++
 				continue
 			}
-			seen[r] = true
+			c.lays[r] = true
 			out = append(out, r)
 		}
 		d.Layers = out
@@ -258,14 +313,18 @@ func (d *Dataset) Clean() int {
 		// Kernel records legitimately repeat (a layer can launch the same
 		// kernel name once per algorithm stage, and different layers share
 		// kernels); only drop *exact* duplicates including duration.
-		seen := map[KernelRecord]bool{}
+		if c.kers == nil {
+			c.kers = make(map[KernelRecord]bool, len(d.Kernels))
+		} else {
+			clear(c.kers)
+		}
 		out := d.Kernels[:0]
 		for _, r := range d.Kernels {
-			if seen[r] {
+			if c.kers[r] {
 				dropped++
 				continue
 			}
-			seen[r] = true
+			c.kers[r] = true
 			out = append(out, r)
 		}
 		d.Kernels = out

@@ -1,0 +1,271 @@
+// Streaming shard-and-merge statistics. The paper's speed claim (§5.4,
+// Table 5: the models train "in seconds") rests on collection+fit being one
+// cheap pass over the measurements. A Stats value reduces the dataset to
+// exactly what the core fits consume — per-(GPU, batch) observation logs
+// keyed by kernel name, layer kind and network — so fitting touches only its
+// own cell instead of rescanning (and re-filtering) every record, and
+// collection workers can fold traces into their partial as they profile.
+//
+// Determinism contract: the repo's golden standard is byte-identical fitted
+// coefficients regardless of which path produced the statistics — streamed
+// during collection at any worker count, or derived from an already-collected
+// dataset. Ordinary least squares folds floating-point sums, which are not
+// associative, so the fits are order-sensitive in their last bits. The cell
+// statistics therefore keep the *ordered* projection of the records each fit
+// reads (merging partials is concatenation in network order, which is exact),
+// and the core fits replay the record-scan arithmetic over the log verbatim.
+// Scalar moment accumulators would be smaller, but cannot reproduce the
+// two-pass OLS bit patterns; they remain the representation of the *online*
+// path (regression.Accumulator), where replaying history is explicitly not
+// the contract.
+package dataset
+
+import (
+	"sort"
+
+	"repro/internal/profiler"
+	"repro/internal/units"
+)
+
+// CellKey identifies one (GPU, batch size) slice of the dataset — the unit
+// the core models train on.
+type CellKey struct {
+	GPU   string
+	Batch int
+}
+
+// KernelObs is one kernel observation: the projection of a KernelRecord the
+// kernel-wise fit consumes (the three candidate driver variables of
+// observation O5 and the measured duration).
+type KernelObs struct {
+	Kernel           string
+	LayerFLOPs       units.FLOPs
+	LayerInputElems  int64
+	LayerOutputElems int64
+	Seconds          units.Seconds
+}
+
+// LayerObs is one layer observation: the projection of a LayerRecord the
+// layer-wise fit consumes.
+type LayerObs struct {
+	Kind    string
+	FLOPs   units.FLOPs
+	Seconds units.Seconds
+}
+
+// NetworkObs is one end-to-end observation: the projection of a
+// NetworkRecord the end-to-end fit consumes.
+type NetworkObs struct {
+	TotalFLOPs units.FLOPs
+	E2ESeconds units.Seconds
+}
+
+// CellStats holds the ordered observation logs of one (GPU, batch size)
+// cell. Within a cell, each log preserves dataset record order — the order
+// the record-scan fits read.
+type CellStats struct {
+	// Kernels logs (driver candidates, seconds) per kernel launch.
+	Kernels []KernelObs
+	// Layers logs (layer FLOPs, seconds) per kernel-bearing layer.
+	Layers []LayerObs
+	// Network logs (total FLOPs, end-to-end seconds) per network run.
+	Network []NetworkObs
+	// Mapping is the layer-signature → kernel-list table (first seen wins,
+	// as in the record-based buildMapping).
+	Mapping map[string][]string
+}
+
+// newCellStats returns an empty cell.
+func newCellStats() *CellStats {
+	return &CellStats{Mapping: map[string][]string{}}
+}
+
+// Stats is the streaming reduction of a dataset: one CellStats per
+// (GPU, batch size) observed.
+type Stats struct {
+	Cells map[CellKey]*CellStats
+}
+
+// NewStats returns an empty Stats ready to fold into.
+func NewStats() *Stats { return &Stats{Cells: map[CellKey]*CellStats{}} }
+
+// Cell returns the statistics of one (GPU, batch size), or nil when the
+// dataset holds no measurements for it.
+func (s *Stats) Cell(gpuName string, batch int) *CellStats {
+	return s.Cells[CellKey{GPU: gpuName, Batch: batch}]
+}
+
+// cell returns the cell for the key, creating it on first use.
+func (s *Stats) cell(k CellKey) *CellStats {
+	c, ok := s.Cells[k]
+	if !ok {
+		c = newCellStats()
+		s.Cells[k] = c
+	}
+	return c
+}
+
+// FoldTrace folds a full profiler trace into the trace's (GPU, batch) cell:
+// the network-level observation, one layer observation per kernel-bearing
+// layer, one kernel observation per event, and the layer→kernel mapping.
+// The folded values are exactly those AddTrace turns into records, in the
+// same order, so folding a trace here and scanning its records with
+// StatsFromDataset produce the same logs.
+func (s *Stats) FoldTrace(t *profiler.Trace) {
+	c := s.cell(CellKey{GPU: t.GPU, Batch: t.BatchSize})
+	c.Network = append(c.Network, NetworkObs{
+		TotalFLOPs: units.FLOPs(t.TotalFLOPs),
+		E2ESeconds: units.Seconds(t.E2ETime),
+	})
+	for li := range t.Layers {
+		l := &t.Layers[li]
+		if len(l.Kernels) == 0 {
+			continue
+		}
+		c.Layers = append(c.Layers, LayerObs{
+			Kind:    string(l.Kind),
+			FLOPs:   units.FLOPs(l.FLOPs),
+			Seconds: units.Seconds(l.Duration),
+		})
+		for _, ev := range l.Kernels {
+			c.Kernels = append(c.Kernels, KernelObs{
+				Kernel:           ev.Name,
+				LayerFLOPs:       units.FLOPs(ev.Kernel.LayerFLOPs),
+				LayerInputElems:  ev.Kernel.LayerInputElems,
+				LayerOutputElems: ev.Kernel.LayerOutputElems,
+				Seconds:          units.Seconds(ev.Duration),
+			})
+		}
+		if _, ok := c.Mapping[l.Signature]; !ok {
+			names := make([]string, len(l.Kernels))
+			for i, ev := range l.Kernels {
+				names[i] = ev.Name
+			}
+			c.Mapping[l.Signature] = names
+		}
+	}
+}
+
+// FoldNetworkRecord folds one end-to-end record.
+func (s *Stats) FoldNetworkRecord(r NetworkRecord) {
+	c := s.cell(CellKey{GPU: r.GPU, Batch: r.BatchSize})
+	c.Network = append(c.Network, NetworkObs{TotalFLOPs: r.TotalFLOPs, E2ESeconds: r.E2ESeconds})
+}
+
+// FoldLayerRecord folds one layer record.
+func (s *Stats) FoldLayerRecord(r LayerRecord) {
+	c := s.cell(CellKey{GPU: r.GPU, Batch: r.BatchSize})
+	c.Layers = append(c.Layers, LayerObs{Kind: r.Kind, FLOPs: r.FLOPs, Seconds: r.Seconds})
+}
+
+// FoldKernelRecord folds one kernel record's observation. It cannot see
+// layer-instance boundaries, so it leaves Mapping alone — use FoldTrace (or
+// StatsFromDataset, which reconstructs instances from record contiguity)
+// when the mapping is needed.
+func (s *Stats) FoldKernelRecord(r KernelRecord) {
+	c := s.cell(CellKey{GPU: r.GPU, Batch: r.BatchSize})
+	c.Kernels = append(c.Kernels, KernelObs{
+		Kernel:           r.Kernel,
+		LayerFLOPs:       r.LayerFLOPs,
+		LayerInputElems:  r.LayerInputElems,
+		LayerOutputElems: r.LayerOutputElems,
+		Seconds:          r.Seconds,
+	})
+}
+
+// sortedCellKeys returns the cell keys ordered by (GPU, batch): map
+// iteration order is randomized, and Merge's first-wins mapping commits (and
+// log concatenations) should happen in one deterministic cell order.
+func sortedCellKeys(m map[CellKey]*CellStats) []CellKey {
+	keys := make([]CellKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].GPU != keys[j].GPU {
+			return keys[i].GPU < keys[j].GPU
+		}
+		return keys[i].Batch < keys[j].Batch
+	})
+	return keys
+}
+
+// sortedKeys returns a string-keyed map's keys in sorted order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Merge folds another Stats into s by concatenating each cell's logs (and
+// committing its mapping entries first-wins). Concatenation is exact, so
+// merging per-network partials in network order reproduces the single-fold
+// logs bit-for-bit no matter how collection work was sharded.
+func (s *Stats) Merge(o *Stats) {
+	for _, key := range sortedCellKeys(o.Cells) {
+		src := o.Cells[key]
+		dst := s.cell(key)
+		dst.Kernels = append(dst.Kernels, src.Kernels...)
+		dst.Layers = append(dst.Layers, src.Layers...)
+		dst.Network = append(dst.Network, src.Network...)
+		for _, sig := range sortedKeys(src.Mapping) {
+			if _, ok := dst.Mapping[sig]; !ok {
+				dst.Mapping[sig] = src.Mapping[sig]
+			}
+		}
+	}
+}
+
+// StatsFromDataset reduces an already-collected dataset to its per-cell
+// observation logs. Records fold in slice order, so each cell's log is the
+// record order the record-scan fits read — and, because a built dataset
+// emits every record of network i before network i+1 and Merge concatenates,
+// the result is bit-identical to the Stats collected alongside the same
+// dataset by BuildWithStats.
+func StatsFromDataset(ds *Dataset) *Stats {
+	s := NewStats()
+	for i := range ds.Networks {
+		s.FoldNetworkRecord(ds.Networks[i])
+	}
+	for i := range ds.Layers {
+		s.FoldLayerRecord(ds.Layers[i])
+	}
+	foldKernelRecords(s, ds.Kernels)
+	return s
+}
+
+// foldKernelRecords folds kernel records and reconstructs the layer→kernel
+// mapping from the record stream: AddTrace emits a layer instance's kernels
+// contiguously, so a change in (network, GPU, batch, layer index) closes the
+// instance and commits its kernel-name list first-wins — the same order
+// FoldTrace observes on the live trace.
+func foldKernelRecords(s *Stats, recs []KernelRecord) {
+	var names []string
+	commit := func(last KernelRecord) {
+		if len(names) == 0 {
+			return
+		}
+		c := s.cell(CellKey{GPU: last.GPU, Batch: last.BatchSize})
+		if _, ok := c.Mapping[last.LayerSignature]; !ok {
+			c.Mapping[last.LayerSignature] = names
+		}
+		names = nil
+	}
+	for i := range recs {
+		r := recs[i]
+		if i > 0 {
+			if prev := recs[i-1]; prev.Network != r.Network || prev.GPU != r.GPU ||
+				prev.BatchSize != r.BatchSize || prev.LayerIndex != r.LayerIndex {
+				commit(prev)
+			}
+		}
+		s.FoldKernelRecord(r)
+		names = append(names, r.Kernel)
+	}
+	if len(recs) > 0 {
+		commit(recs[len(recs)-1])
+	}
+}

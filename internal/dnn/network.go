@@ -2,6 +2,7 @@ package dnn
 
 import (
 	"fmt"
+	"strconv"
 )
 
 // Task labels the problem a network solves; the paper's dataset covers image
@@ -48,7 +49,7 @@ func New(name, family string, task Task, input Shape) *Network {
 func (n *Network) Add(l *Layer) int {
 	idx := len(n.Layers)
 	if l.Name == "" {
-		l.Name = fmt.Sprintf("%s_%d", l.Kind, idx)
+		l.Name = string(l.Kind) + "_" + strconv.Itoa(idx)
 	}
 	n.Layers = append(n.Layers, l)
 	n.batch = 0 // invalidate any prior inference

@@ -348,8 +348,10 @@ func BatchBreakpoints(l *dnn.Layer) []int {
 // ForNetwork returns the concatenated kernel sequence of every layer, paired
 // with the producing layer index. The network must have inferred shapes.
 func ForNetwork(n *dnn.Network) ([]Kernel, []int) {
-	var ks []Kernel
-	var layerIdx []int
+	// Most layers dispatch one to three kernels; presizing for two avoids
+	// nearly all append-growth copying over a full-network enumeration.
+	ks := make([]Kernel, 0, 2*len(n.Layers))
+	layerIdx := make([]int, 0, 2*len(n.Layers))
 	for i, l := range n.Layers {
 		for _, k := range ForLayer(l) {
 			ks = append(ks, k)

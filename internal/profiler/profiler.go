@@ -8,14 +8,20 @@
 // Timing follows the paper's measurement protocol: a warm-up period is
 // skipped, the next Batches batches are measured, and every reported number
 // is the average across measured batches.
+//
+// Profiling one (network, batch size) on several devices shares work: the
+// device-independent half (shape inference, kernel enumeration, layer
+// templates) is computed once by Prepare and re-executed per device by
+// ProfilePrepared, which additionally memoizes noiseless kernel base times
+// per device across calls.
 package profiler
 
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"math"
 	"math/rand"
+	"strconv"
 
 	"repro/internal/dnn"
 	"repro/internal/kernels"
@@ -28,11 +34,13 @@ import (
 // span-level structure comes from the per-GPU build spans in internal/bench.
 var (
 	metricProfiles = obs.Default().Counter("profiler_profiles_total",
-		"Network executions profiled (one per (network, batch, GPU) run).")
+		"Network executions profiled to completion (one per successful (network, batch, GPU) run).")
 	metricProfileSeconds = obs.Default().Histogram("profiler_profile_seconds",
-		"Latency of one Profile call (warm-up plus measured batches).", nil)
+		"Latency of one profiled execution (warm-up plus measured batches).", nil)
 	metricProfileOOMs = obs.Default().Counter("profiler_oom_total",
 		"Profile runs rejected because the footprint exceeded device memory.")
+	metricProfileFailures = obs.Default().Counter("profiler_failures_total",
+		"Profile runs aborted by a non-OOM error (shape inference or FLOP counting failure).")
 )
 
 // ErrOutOfMemory marks runs whose footprint exceeds device memory; the
@@ -124,7 +132,28 @@ type Profiler struct {
 	// Profile calls — the dominant allocations of a collection sweep. Their
 	// presence makes a Profiler single-goroutine; the dataset builder already
 	// creates one per worker.
-	base, noisy, sumDur []float64
+	base, noisy, sumDur, uniqBase []float64
+
+	// baseTimes memoizes noiseless kernel durations. Kernels recur heavily
+	// across a network (every residual block repeats its shapes) and across
+	// zoo families, so the memo turns the per-run BaseKernelTime sweep —
+	// seven hash digests plus a pow per kernel — into map hits. The key
+	// includes the device pointer because a collection worker re-points
+	// Device across GPUs while reusing one Profiler.
+	baseTimes map[baseTimeKey]float64
+
+	// rnd is the reusable noise RNG, re-seeded per run (seeding writes the
+	// generator's whole state, so reuse is exact, not approximate).
+	rnd *rand.Rand
+
+	// dedup is Prepare's reusable kernel→unique-index scratch map.
+	dedup map[kernels.Kernel]int32
+}
+
+// baseTimeKey memoizes BaseKernelTime per (device, kernel invocation).
+type baseTimeKey struct {
+	dev *sim.Device
+	k   kernels.Kernel
 }
 
 // New returns a profiler for the device with the paper's protocol
@@ -139,96 +168,101 @@ func NewFast(dev *sim.Device, batches int) *Profiler {
 	return &Profiler{Device: dev, Warmup: 2, Batches: batches}
 }
 
-// seedFor derives a deterministic RNG seed per (network, GPU, batch) so the
-// whole dataset is reproducible.
-func (p *Profiler) seedFor(net string, batch int) int64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%s|%d|%t", net, p.Device.GPU.Name, batch, p.Training)
-	return int64(h.Sum64())
+// seedFor derives a deterministic RNG seed per (network, GPU, batch, mode)
+// so the whole dataset is reproducible. The digest is fnv-1a over the exact
+// byte stream "%s|%s|%d|%t" formatting produced, folded without the
+// fmt/hash.Hash64 allocations.
+func seedFor(net, gpuName string, batch int, training bool) int64 {
+	const offset64, prime64 = uint64(14695981039346656037), uint64(1099511628211)
+	h := offset64
+	fold := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+	}
+	fold(net)
+	fold("|")
+	fold(gpuName)
+	fold("|")
+	var buf [20]byte
+	for _, b := range strconv.AppendInt(buf[:0], int64(batch), 10) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	fold("|")
+	fold(strconv.FormatBool(training))
+	return int64(h)
 }
 
-// Profile executes the network at the given batch size and returns its
-// trace. The network is (re-)shape-inferred at that batch size. Runs whose
-// memory footprint exceeds the device return ErrOutOfMemory.
-func (p *Profiler) Profile(n *dnn.Network, batch int) (*Trace, error) {
-	tm := obs.StartTimer(metricProfileSeconds)
-	defer tm.Stop()
-	metricProfiles.Inc()
+// Prepared is the device-independent half of profiling one (network, batch
+// size) pair: shape inference, FLOP counting, kernel enumeration, memory
+// footprint and layer templates. One Prepared can be executed on any number
+// of devices via ProfilePrepared — the dataset builder prepares each batch
+// size once and replays it across GPUs. It snapshots everything it needs, so
+// it stays valid after the network is re-inferred at another batch size.
+type Prepared struct {
+	name       string
+	family     string
+	task       dnn.Task
+	batch      int
+	training   bool
+	totalFLOPs int64
+	footprint  int64
+
+	ks       []kernels.Kernel
+	layerIdx []int
+	// uniq holds the distinct kernel invocations of ks, and uniqIdx maps each
+	// launch to its entry (ks[i] == uniq[uniqIdx[i]]). Networks relaunch the
+	// same invocation heavily (residual blocks repeat shapes), so per-device
+	// base-time resolution hashes each distinct kernel once instead of once
+	// per launch.
+	uniq    []kernels.Kernel
+	uniqIdx []int32
+	// layers holds per-layer templates with nil Kernels; layerKernels counts
+	// each layer's dispatches so trace assembly can presize exactly.
+	layers       []LayerRecord
+	layerKernels []int
+}
+
+// Kernels reports how many kernel launches one execution dispatches.
+func (pr *Prepared) Kernels() int { return len(pr.ks) }
+
+// Prepare computes the device-independent work of profiling the network at
+// the given batch size. The network is (re-)shape-inferred at that batch
+// size; the returned Prepared snapshots the result.
+func (p *Profiler) Prepare(n *dnn.Network, batch int) (*Prepared, error) {
 	if err := n.Infer(batch); err != nil {
+		metricProfileFailures.Inc()
 		return nil, err
-	}
-	fits := p.Device.FitsMemory
-	if p.Training {
-		fits = p.Device.FitsMemoryTraining
-	}
-	if !fits(n) {
-		metricProfileOOMs.Inc()
-		return nil, fmt.Errorf("%w: %s at batch %d on %s",
-			ErrOutOfMemory, n.Name, batch, p.Device.GPU.Name)
 	}
 	totalFLOPs, err := n.TotalFLOPs()
 	if err != nil {
+		metricProfileFailures.Inc()
 		return nil, err
 	}
-
-	var ks []kernels.Kernel
-	var layerIdx []int
+	prep := &Prepared{
+		name:       n.Name,
+		family:     n.Family,
+		task:       n.Task,
+		batch:      batch,
+		training:   p.Training,
+		totalFLOPs: totalFLOPs,
+	}
 	if p.Training {
-		ks, layerIdx = kernels.ForNetworkTraining(n)
+		prep.ks, prep.layerIdx = kernels.ForNetworkTraining(n)
+		prep.footprint = sim.TrainingFootprint(n)
 	} else {
-		ks, layerIdx = kernels.ForNetwork(n)
+		prep.ks, prep.layerIdx = kernels.ForNetwork(n)
+		prep.footprint = sim.InferenceFootprint(n)
 	}
-	base := growScratch(&p.base, len(ks))
-	for i, k := range ks {
-		base[i] = p.Device.BaseKernelTime(k)
-	}
-
-	rnd := rand.New(rand.NewSource(p.seedFor(n.Name, batch)))
-	// Warm-up batches: executed for protocol fidelity (they advance the
-	// noise stream — one draw per kernel, exactly as a timed execution
-	// would) but not recorded, so the base-time computation is skipped.
-	for b := 0; b < p.Warmup; b++ {
-		for range ks {
-			_ = noiseDraw(rnd, p.Device)
-		}
-	}
-
-	batches := p.Batches
-	if batches <= 0 {
-		batches = 1
-	}
-	noisy := growScratch(&p.noisy, len(ks))
-	sumDur := growScratch(&p.sumDur, len(ks))
-	for i := range sumDur {
-		sumDur[i] = 0
-	}
-	var wallSum float64
-	for b := 0; b < batches; b++ {
-		for i := range ks {
-			noisy[i] = base[i] * noiseDraw(rnd, p.Device)
-			sumDur[i] += noisy[i]
-		}
-		wallSum += p.Device.WallTime(noisy)
-	}
-
-	tr := &Trace{
-		Network:    n.Name,
-		Family:     n.Family,
-		Task:       n.Task,
-		GPU:        p.Device.GPU.Name,
-		BatchSize:  batch,
-		Training:   p.Training,
-		TotalFLOPs: totalFLOPs,
-		E2ETime:    wallSum / float64(batches),
-	}
-
-	tr.Layers = make([]LayerRecord, len(n.Layers))
+	prep.layers = make([]LayerRecord, len(n.Layers))
 	for i, l := range n.Layers {
 		inElems := int64(0)
 		for _, s := range l.InShapes {
 			inElems += s.Numel()
 		}
-		tr.Layers[i] = LayerRecord{
+		prep.layers[i] = LayerRecord{
 			Index:       i,
 			Name:        l.Name,
 			Kind:        l.Kind,
@@ -238,23 +272,196 @@ func (p *Profiler) Profile(n *dnn.Network, batch int) (*Trace, error) {
 			OutputElems: l.OutShape.Numel(),
 		}
 	}
+	prep.layerKernels = make([]int, len(n.Layers))
+	for _, li := range prep.layerIdx {
+		prep.layerKernels[li]++
+	}
+	prep.uniqIdx = make([]int32, len(prep.ks))
+	if p.dedup == nil {
+		p.dedup = make(map[kernels.Kernel]int32, len(prep.ks))
+	} else {
+		clear(p.dedup)
+	}
+	at := p.dedup
+	for i, k := range prep.ks {
+		u, ok := at[k]
+		if !ok {
+			u = int32(len(prep.uniq))
+			at[k] = u
+			prep.uniq = append(prep.uniq, k)
+		}
+		prep.uniqIdx[i] = u
+	}
+	return prep, nil
+}
+
+// Profile executes the network at the given batch size and returns its
+// trace. The network is (re-)shape-inferred at that batch size. Runs whose
+// memory footprint exceeds the device return ErrOutOfMemory.
+func (p *Profiler) Profile(n *dnn.Network, batch int) (*Trace, error) {
+	prep, err := p.Prepare(n, batch)
+	if err != nil {
+		return nil, err
+	}
+	return p.ProfilePrepared(prep)
+}
+
+// ProfilePrepared executes a prepared (network, batch size) on the
+// profiler's current device and returns its trace. Runs whose memory
+// footprint exceeds the device return ErrOutOfMemory.
+func (p *Profiler) ProfilePrepared(prep *Prepared) (*Trace, error) {
+	return p.run(prep, true)
+}
+
+// ProfileE2EPrepared is ProfilePrepared without the per-kernel trace: it
+// executes the same simulation (identical RNG stream, identical E2ETime) but
+// returns a trace with nil Layers and no KernelSum, skipping the kernel
+// event assembly that dominates allocation. Collection uses it for the batch
+// sizes where only the end-to-end record is kept.
+func (p *Profiler) ProfileE2EPrepared(prep *Prepared) (*Trace, error) {
+	return p.run(prep, false)
+}
+
+// run is the shared execution path; detail selects full trace assembly.
+func (p *Profiler) run(prep *Prepared, detail bool) (*Trace, error) {
+	tm := obs.StartTimer(metricProfileSeconds)
+	defer tm.Stop()
+	if !p.Device.FitsFootprint(prep.footprint) {
+		metricProfileOOMs.Inc()
+		return nil, fmt.Errorf("%w: %s at batch %d on %s",
+			ErrOutOfMemory, prep.name, prep.batch, p.Device.GPU.Name)
+	}
+
+	ks := prep.ks
+	base := growScratch(&p.base, len(ks))
+	if p.baseTimes == nil {
+		p.baseTimes = make(map[baseTimeKey]float64, 4*len(prep.uniq))
+	}
+	// Resolve base times per distinct invocation (one struct hash each), then
+	// fan out to launch order with plain index loads.
+	uniqBase := growScratch(&p.uniqBase, len(prep.uniq))
+	for i, k := range prep.uniq {
+		key := baseTimeKey{p.Device, k}
+		t, ok := p.baseTimes[key]
+		if !ok {
+			t = p.Device.BaseKernelTime(k)
+			p.baseTimes[key] = t
+		}
+		uniqBase[i] = t
+	}
+	for i, u := range prep.uniqIdx {
+		base[i] = uniqBase[u]
+	}
+
+	sigma := p.Device.Config().NoiseSigma
+	var rnd *rand.Rand
+	if sigma > 0 {
+		// With σ ≤ 0 the simulation draws nothing (see lognormal in
+		// internal/sim), so the RNG — whose seeding is itself costly — is
+		// only touched when noise is on. Seed fully rewrites the source
+		// state, so the reused generator's stream is identical to a fresh
+		// rand.New(rand.NewSource(seed)).
+		seed := seedFor(prep.name, p.Device.GPU.Name, prep.batch, prep.training)
+		if p.rnd == nil {
+			p.rnd = rand.New(rand.NewSource(seed))
+		} else {
+			p.rnd.Seed(seed)
+		}
+		rnd = p.rnd
+		// Warm-up batches are executed for protocol fidelity: they advance
+		// the noise stream one draw per kernel, exactly as a timed execution
+		// would. Only NormFloat64 advances the RNG, so the lognormal
+		// math.Exp on each discarded draw is skipped — measured output is
+		// bit-identical.
+		for b := 0; b < p.Warmup; b++ {
+			for range ks {
+				rnd.NormFloat64()
+			}
+		}
+	}
+
+	batches := p.Batches
+	if batches <= 0 {
+		batches = 1
+	}
+	noisy := growScratch(&p.noisy, len(ks))
+	var sumDur []float64
+	if detail {
+		sumDur = growScratch(&p.sumDur, len(ks))
+		for i := range sumDur {
+			sumDur[i] = 0
+		}
+	}
+	var wallSum float64
+	for b := 0; b < batches; b++ {
+		switch {
+		case sigma > 0 && detail:
+			for i := range ks {
+				noisy[i] = base[i] * math.Exp(rnd.NormFloat64()*sigma)
+				sumDur[i] += noisy[i]
+			}
+		case sigma > 0:
+			for i := range ks {
+				noisy[i] = base[i] * math.Exp(rnd.NormFloat64()*sigma)
+			}
+		case detail:
+			// Noise-free devices still run the per-batch summation so the
+			// averages below divide the same accumulated sums either way.
+			for i := range ks {
+				noisy[i] = base[i]
+				sumDur[i] += base[i]
+			}
+		default:
+			copy(noisy, base)
+		}
+		wallSum += p.Device.WallTime(noisy)
+	}
+
+	tr := &Trace{
+		Network:    prep.name,
+		Family:     prep.family,
+		Task:       prep.task,
+		GPU:        p.Device.GPU.Name,
+		BatchSize:  prep.batch,
+		Training:   prep.training,
+		TotalFLOPs: prep.totalFLOPs,
+		E2ETime:    wallSum / float64(batches),
+	}
+	if !detail {
+		metricProfiles.Inc()
+		return tr, nil
+	}
+
+	tr.Layers = make([]LayerRecord, len(prep.layers))
+	copy(tr.Layers, prep.layers)
+	// One backing array holds every kernel event of the trace; each layer
+	// gets a zero-length slice over its disjoint region, so the launch-order
+	// append loop below never reallocates even though training-pass layer
+	// indices are not monotone.
+	backing := make([]KernelEvent, len(ks))
+	off := 0
+	for i, c := range prep.layerKernels {
+		tr.Layers[i].Kernels = backing[off : off : off+c]
+		off += c
+	}
 
 	var cursor float64
 	for i, k := range ks {
 		avg := sumDur[i] / float64(batches)
 		ev := KernelEvent{
 			Name:       k.Name,
-			LayerIndex: layerIdx[i],
+			LayerIndex: prep.layerIdx[i],
 			Start:      cursor,
 			Duration:   avg,
 			Kernel:     k,
 		}
 		cursor += avg
-		lr := &tr.Layers[layerIdx[i]]
+		lr := &tr.Layers[prep.layerIdx[i]]
 		lr.Kernels = append(lr.Kernels, ev)
 		lr.Duration += avg
 		tr.KernelSum += avg
 	}
+	metricProfiles.Inc()
 	return tr, nil
 }
 
@@ -266,14 +473,4 @@ func growScratch(buf *[]float64, n int) []float64 {
 	}
 	*buf = (*buf)[:n]
 	return *buf
-}
-
-// noiseDraw draws one lognormal measurement-noise factor matching the
-// device's configured sigma.
-func noiseDraw(rnd *rand.Rand, dev *sim.Device) float64 {
-	sigma := dev.Config().NoiseSigma
-	if sigma <= 0 {
-		return 1
-	}
-	return math.Exp(rnd.NormFloat64() * sigma)
 }

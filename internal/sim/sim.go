@@ -16,10 +16,9 @@
 package sim
 
 import (
-	"fmt"
-	"hash/fnv"
 	"math"
 	"math/rand"
+	"strconv"
 
 	"repro/internal/dnn"
 	"repro/internal/gpu"
@@ -110,11 +109,18 @@ func (c Config) withDefaults() Config {
 type Device struct {
 	GPU gpu.Spec
 	cfg Config
+	// seedBytes is the little-endian encoding of cfg.Seed, precomputed so
+	// the per-kernel efficiency hashes never re-serialize it.
+	seedBytes [8]byte
 }
 
 // New builds a device model for the given GPU with the given configuration.
 func New(g gpu.Spec, cfg Config) *Device {
-	return &Device{GPU: g, cfg: cfg.withDefaults()}
+	d := &Device{GPU: g, cfg: cfg.withDefaults()}
+	for i := 0; i < 8; i++ {
+		d.seedBytes[i] = byte(d.cfg.Seed >> (8 * i))
+	}
+	return d
 }
 
 // NewDefault builds a device model with canonical constants.
@@ -123,16 +129,63 @@ func NewDefault(g gpu.Spec) *Device { return New(g, Config{}) }
 // Config returns the device's resolved configuration.
 func (d *Device) Config() Config { return d.cfg }
 
+// fnv64a constants (hash/fnv), inlined so the hot hashing path runs without
+// allocations or interface calls. The digest of hashAdd/hashFinish over a
+// byte sequence is bit-identical to hash/fnv's New64a().Write(...).Sum64().
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashAddString folds s into an fnv-1a state.
+func hashAddString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// hashAddInt folds the decimal representation of v into an fnv-1a state —
+// the same bytes fmt's %d verb would produce — without allocating.
+func hashAddInt(h uint64, v int64) uint64 {
+	var buf [20]byte
+	for _, b := range strconv.AppendInt(buf[:0], v, 10) {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// hashState seeds an fnv-1a state with the device's universe seed. The byte
+// stream (seed bytes, then the caller's parts) matches the previous
+// fmt/hash.Hash64 implementation, so every derived efficiency is
+// bit-identical.
+func (d *Device) hashState() uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range d.seedBytes {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// hashTo01 converts a finished fnv-1a state to a uniform value in [0, 1).
+func hashTo01(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
 // hash01 maps a string (plus the universe seed) to a uniform value in [0, 1).
 func (d *Device) hash01(s string) float64 {
-	h := fnv.New64a()
-	var seedBytes [8]byte
-	for i := 0; i < 8; i++ {
-		seedBytes[i] = byte(d.cfg.Seed >> (8 * i))
+	return hashTo01(hashAddString(d.hashState(), s))
+}
+
+// hash01Parts is hash01 over the concatenation of parts, computed without
+// building the intermediate string.
+func (d *Device) hash01Parts(parts ...string) float64 {
+	h := d.hashState()
+	for _, p := range parts {
+		h = hashAddString(h, p)
 	}
-	h.Write(seedBytes[:])
-	h.Write([]byte(s))
-	return float64(h.Sum64()>>11) / float64(1<<53)
+	return hashTo01(h)
 }
 
 // archComputeFactor reflects generation-over-generation efficiency of the
@@ -199,10 +252,10 @@ func archSensitivity(arch string) float64 {
 // observation O6 (stable bandwidth efficiency across GPUs) and the premise of
 // the inter-GPU model.
 func (d *Device) Efficiencies(kernelName string) (computeEff, bwEff float64) {
-	fam := d.hash01("fam:" + kernelName)
-	famBW := d.hash01("fambw:" + kernelName)
-	jitC := d.hash01("jitc:" + kernelName + "|" + d.GPU.Name)
-	jitB := d.hash01("jitb:" + kernelName + "|" + d.GPU.Name)
+	fam := d.hash01Parts("fam:", kernelName)
+	famBW := d.hash01Parts("fambw:", kernelName)
+	jitC := d.hash01Parts("jitc:", kernelName, "|", d.GPU.Name)
+	jitB := d.hash01Parts("jitb:", kernelName, "|", d.GPU.Name)
 
 	computeEff = (0.16 + 0.24*fam) * archComputeFactor(d.GPU.Architecture)
 	computeEff *= 1 + 0.20*(jitC-0.5) // ±10 % GPU-specific
@@ -211,7 +264,7 @@ func (d *Device) Efficiencies(kernelName string) (computeEff, bwEff float64) {
 		// The penalty is keyed by the kernel's algorithm group (the token
 		// before the first underscore), so a whole algorithm pipeline —
 		// e.g. every Winograd stage — shifts coherently on an architecture.
-		h := d.hash01("archsens:" + algoGroup(kernelName) + "|" + d.GPU.Architecture)
+		h := d.hash01Parts("archsens:", algoGroup(kernelName), "|", d.GPU.Architecture)
 		bwEff *= 1 - sens*h*h // quadratic: most groups mild, a few severe
 	}
 	bwEff *= 1 + 0.20*(jitB-0.5) // ±10 % GPU-specific
@@ -287,7 +340,10 @@ func (d *Device) shapeFactor(k kernels.Kernel) float64 {
 		b >>= 1
 		bucket++
 	}
-	u := d.hash01(fmt.Sprintf("shape:%s:%d", k.Name, bucket))
+	h := hashAddString(d.hashState(), "shape:")
+	h = hashAddString(h, k.Name)
+	h = hashAddString(h, ":")
+	u := hashTo01(hashAddInt(h, int64(bucket)))
 	return 1 + 0.20*(u-0.5) // ±10 %
 }
 
@@ -313,7 +369,12 @@ func (d *Device) geomFactor(k kernels.Kernel) float64 {
 		r := float64(k.LayerInputElems) / float64(k.LayerOutputElems)
 		ratio = int(4 * math.Log2(r))
 	}
-	u := d.hash01(fmt.Sprintf("geom:%s:%d:%d", k.Name, workPerOut, ratio))
+	h := hashAddString(d.hashState(), "geom:")
+	h = hashAddString(h, k.Name)
+	h = hashAddString(h, ":")
+	h = hashAddInt(h, int64(workPerOut))
+	h = hashAddString(h, ":")
+	u := hashTo01(hashAddInt(h, int64(ratio)))
 	return 1 + 0.40*(u-0.5) // ±20 %
 }
 
@@ -333,7 +394,7 @@ func (d *Device) curvatureFactor(k kernels.Kernel) float64 {
 	if b <= 0 {
 		return 1
 	}
-	eps := 0.16 * (d.hash01("curve:"+k.Name) - 0.5) // ε ∈ ±0.08
+	eps := 0.16 * (d.hash01Parts("curve:", k.Name) - 0.5) // ε ∈ ±0.08
 	return math.Pow(b/curveRefBytes, eps)
 }
 
@@ -411,23 +472,37 @@ func (d *Device) WallTime(kernelDurations []float64) float64 {
 // resident (plans, autotuning workspaces).
 const workspaceBytes = 512 << 20
 
+// InferenceFootprint is the resident-memory requirement of an inference run
+// at the network's current (inferred) shapes. At inference only the live
+// tensors are resident, so the activation term is the peak (producer +
+// consumer) estimate rather than the sum over all layers.
+func InferenceFootprint(n *dnn.Network) int64 {
+	return n.WeightBytes() + n.PeakActivationBytes() + workspaceBytes
+}
+
+// TrainingFootprint is the training-step variant: every activation is
+// retained for the backward pass, and weights carry gradient plus optimizer
+// state (SGD momentum: 3× the parameter footprint in total).
+func TrainingFootprint(n *dnn.Network) int64 {
+	return 3*n.WeightBytes() + n.ActivationBytes() + workspaceBytes
+}
+
+// FitsFootprint reports whether a precomputed memory footprint fits in the
+// device memory. The profiler snapshots a network's footprint once per
+// (network, batch) and re-checks it cheaply per device.
+func (d *Device) FitsFootprint(need int64) bool { return need <= d.GPU.MemBytes() }
+
 // FitsMemory reports whether a network at the given batch size fits in the
 // device memory; when it does not, execution fails like the paper's
 // out-of-memory runs (§3, "we clean the dataset by removing ... fail-to-
-// execute experiments"). At inference only the live tensors are resident, so
-// the activation term is the peak (producer + consumer) estimate rather than
-// the sum over all layers.
+// execute experiments").
 func (d *Device) FitsMemory(n *dnn.Network) bool {
-	need := n.WeightBytes() + n.PeakActivationBytes() + workspaceBytes
-	return need <= d.GPU.MemBytes()
+	return d.FitsFootprint(InferenceFootprint(n))
 }
 
-// FitsMemoryTraining is the training-step variant: every activation is
-// retained for the backward pass, and weights carry gradient plus optimizer
-// state (SGD momentum: 3× the parameter footprint in total).
+// FitsMemoryTraining is the training-step variant of FitsMemory.
 func (d *Device) FitsMemoryTraining(n *dnn.Network) bool {
-	need := 3*n.WeightBytes() + n.ActivationBytes() + workspaceBytes
-	return need <= d.GPU.MemBytes()
+	return d.FitsFootprint(TrainingFootprint(n))
 }
 
 // lognormal returns exp(N(0, sigma²)) drawn from rnd.

@@ -14,35 +14,70 @@ const FullZooSize = 646
 // Standard returns the named, canonical models used throughout the paper's
 // figures and case studies.
 func Standard() []*dnn.Network {
-	nets := []*dnn.Network{
-		MustResNet(18), MustResNet(34), MustResNet(50), MustResNet(101), MustResNet(152),
-		MustResNet(26), MustResNet(44), MustResNet(62), MustResNet(77), MustResNet(89),
-		MustVGG(11, false), MustVGG(13, false), MustVGG(16, false), MustVGG(19, false),
-		MustVGG(11, true), MustVGG(13, true), MustVGG(16, true), MustVGG(19, true),
-		MustDenseNet(121), MustDenseNet(161), MustDenseNet(169), MustDenseNet(201),
-		mustNet(ResNeXt("50_32x4d")), mustNet(ResNeXt("101_32x8d")),
-		mustNet(WideResNet(50)), mustNet(WideResNet(101)),
-		StandardMobileNetV2(),
-		StandardShuffleNetV1(),
-		AlexNet(224),
-		SqueezeNet("1.0", 224), SqueezeNet("1.1", 224),
-		GoogLeNet(224),
-	}
-	for _, name := range []string{"bert-tiny", "bert-mini", "bert-small", "bert-medium", "bert-base"} {
-		t, err := StandardTransformer(name)
-		if err != nil {
-			panic(err)
-		}
-		nets = append(nets, t)
-	}
-	for _, name := range []string{"vit-tiny", "vit-small", "vit-base"} {
-		v, err := StandardViT(name)
-		if err != nil {
-			panic(err)
-		}
-		nets = append(nets, v)
+	bs := standardBuilders()
+	nets := make([]*dnn.Network, len(bs))
+	for i, b := range bs {
+		nets[i] = b()
 	}
 	return nets
+}
+
+// standardBuilders returns one constructor per standard model, in the
+// canonical order Standard() materializes.
+func standardBuilders() []func() *dnn.Network {
+	bs := []func() *dnn.Network{
+		func() *dnn.Network { return MustResNet(18) },
+		func() *dnn.Network { return MustResNet(34) },
+		func() *dnn.Network { return MustResNet(50) },
+		func() *dnn.Network { return MustResNet(101) },
+		func() *dnn.Network { return MustResNet(152) },
+		func() *dnn.Network { return MustResNet(26) },
+		func() *dnn.Network { return MustResNet(44) },
+		func() *dnn.Network { return MustResNet(62) },
+		func() *dnn.Network { return MustResNet(77) },
+		func() *dnn.Network { return MustResNet(89) },
+		func() *dnn.Network { return MustVGG(11, false) },
+		func() *dnn.Network { return MustVGG(13, false) },
+		func() *dnn.Network { return MustVGG(16, false) },
+		func() *dnn.Network { return MustVGG(19, false) },
+		func() *dnn.Network { return MustVGG(11, true) },
+		func() *dnn.Network { return MustVGG(13, true) },
+		func() *dnn.Network { return MustVGG(16, true) },
+		func() *dnn.Network { return MustVGG(19, true) },
+		func() *dnn.Network { return MustDenseNet(121) },
+		func() *dnn.Network { return MustDenseNet(161) },
+		func() *dnn.Network { return MustDenseNet(169) },
+		func() *dnn.Network { return MustDenseNet(201) },
+		func() *dnn.Network { return mustNet(ResNeXt("50_32x4d")) },
+		func() *dnn.Network { return mustNet(ResNeXt("101_32x8d")) },
+		func() *dnn.Network { return mustNet(WideResNet(50)) },
+		func() *dnn.Network { return mustNet(WideResNet(101)) },
+		func() *dnn.Network { return StandardMobileNetV2() },
+		func() *dnn.Network { return StandardShuffleNetV1() },
+		func() *dnn.Network { return AlexNet(224) },
+		func() *dnn.Network { return SqueezeNet("1.0", 224) },
+		func() *dnn.Network { return SqueezeNet("1.1", 224) },
+		func() *dnn.Network { return GoogLeNet(224) },
+	}
+	for _, name := range []string{"bert-tiny", "bert-mini", "bert-small", "bert-medium", "bert-base"} {
+		bs = append(bs, func() *dnn.Network {
+			t, err := StandardTransformer(name)
+			if err != nil {
+				panic(err)
+			}
+			return t
+		})
+	}
+	for _, name := range []string{"vit-tiny", "vit-small", "vit-base"} {
+		bs = append(bs, func() *dnn.Network {
+			v, err := StandardViT(name)
+			if err != nil {
+				panic(err)
+			}
+			return v
+		})
+	}
+	return bs
 }
 
 // mustNet unwraps builder errors for compile-time-constant variants.
@@ -154,83 +189,104 @@ func isStandardVGGConfig(stages []int) bool {
 // family contributes enough diversity that held-out evaluation exercises
 // genuinely different structures.
 func Full() []*dnn.Network {
-	nets := Standard()
-	seen := make(map[string]bool, FullZooSize)
-	for _, n := range nets {
-		seen[n.Name] = true
-	}
-	add := func(n *dnn.Network) {
+	bs := FullBuilders()
+	nets := make([]*dnn.Network, len(bs))
+	seen := make(map[string]bool, len(bs))
+	for i, b := range bs {
+		n := b()
 		if seen[n.Name] {
 			panic(fmt.Sprintf("zoo: duplicate network name %q", n.Name))
 		}
 		seen[n.Name] = true
-		nets = append(nets, n)
+		nets[i] = n
+	}
+	return nets
+}
+
+// FullBuilders returns one constructor per zoo network in the zoo's canonical
+// order: FullBuilders()[i]() builds exactly Full()[i]. Samplers construct
+// only the networks they keep — the quick experiment lab, for example,
+// benchmarks a 1-in-6 subset without materializing all 646 models.
+func FullBuilders() []func() *dnn.Network {
+	nets := standardBuilders()
+	add := func(f func() *dnn.Network) {
+		nets = append(nets, f)
 	}
 
 	basics := basicResNetTuples()
 	// Width-scaled basic ResNets.
 	for _, w := range []int{48, 80} {
 		for _, t := range basics {
-			add(variantResNet(t, false, w, 224))
+			add(func() *dnn.Network { return variantResNet(t, false, w, 224) })
 		}
 	}
 	// Resolution-scaled basic ResNets at standard width (half the tuples).
 	for _, res := range []int{160, 192} {
 		for _, t := range basics[:len(basics)/2] {
-			add(variantResNet(t, false, 64, res))
+			add(func() *dnn.Network { return variantResNet(t, false, 64, res) })
 		}
 	}
 	// Bottleneck variants at widened base.
 	for _, t := range bottleneckResNetTuples() {
-		add(variantResNet(t, true, 96, 224))
+		add(func() *dnn.Network { return variantResNet(t, true, 96, 224) })
 	}
 
 	// VGG variants: width scales of every stage config, the non-standard
 	// configs at full width, and resolution variants.
 	for _, scale := range []float64{0.375, 0.5, 0.625, 0.75, 0.875, 1.125, 1.25} {
 		for i, stages := range vggVariantConfigs {
-			name := fmt.Sprintf("vggv-c%d-s%04d", i, int(scale*1000))
-			add(VGG(name, VGGConfig{
-				Stages:   append([]int(nil), stages...),
-				Channels: scaleChannels(standardVGGChannels, scale),
-			}))
+			add(func() *dnn.Network {
+				name := fmt.Sprintf("vggv-c%d-s%04d", i, int(scale*1000))
+				return VGG(name, VGGConfig{
+					Stages:   append([]int(nil), stages...),
+					Channels: scaleChannels(standardVGGChannels, scale),
+				})
+			})
 		}
 	}
 	for i, stages := range vggVariantConfigs {
 		if isStandardVGGConfig(stages) {
 			continue
 		}
-		name := fmt.Sprintf("vggv-c%d-s1000", i)
-		add(VGG(name, VGGConfig{
-			Stages:   append([]int(nil), stages...),
-			Channels: append([]int(nil), standardVGGChannels...),
-		}))
+		add(func() *dnn.Network {
+			name := fmt.Sprintf("vggv-c%d-s1000", i)
+			return VGG(name, VGGConfig{
+				Stages:   append([]int(nil), stages...),
+				Channels: append([]int(nil), standardVGGChannels...),
+			})
+		})
 	}
 	for i, stages := range vggVariantConfigs {
-		name := fmt.Sprintf("vggv-c%d-r192", i)
-		add(VGG(name, VGGConfig{
-			Stages:     append([]int(nil), stages...),
-			Channels:   append([]int(nil), standardVGGChannels...),
-			Resolution: 192,
-		}))
+		add(func() *dnn.Network {
+			name := fmt.Sprintf("vggv-c%d-r192", i)
+			return VGG(name, VGGConfig{
+				Stages:     append([]int(nil), stages...),
+				Channels:   append([]int(nil), standardVGGChannels...),
+				Resolution: 192,
+			})
+		})
 	}
 
 	// DenseNet variants: growth-rate sweep and resolution variants.
 	dnConfigs := [][]int{{6, 12, 24, 16}, {6, 12, 32, 32}, {4, 8, 16, 12}, {6, 12, 18, 12}}
 	for _, g := range []int{12, 16, 20, 24, 28, 36, 40, 44} {
 		for i, blocks := range dnConfigs {
-			name := fmt.Sprintf("densenetv-c%d-g%d", i, g)
-			add(DenseNet(name, DenseNetConfig{
-				Blocks: append([]int(nil), blocks...), GrowthRate: g,
-			}))
+			add(func() *dnn.Network {
+				name := fmt.Sprintf("densenetv-c%d-g%d", i, g)
+				return DenseNet(name, DenseNetConfig{
+					Blocks: append([]int(nil), blocks...), GrowthRate: g,
+				})
+			})
 		}
 	}
 	for _, res := range []int{160, 192} {
 		for _, depth := range []int{121, 169} {
-			cfg := standardDenseNets[depth]
-			cfg.Blocks = append([]int(nil), cfg.Blocks...)
-			cfg.Resolution = res
-			add(DenseNet(fmt.Sprintf("densenet%d_%d", depth, res), cfg))
+			add(func() *dnn.Network {
+				cfg := standardDenseNets[depth]
+				cfg.Blocks = append([]int(nil), cfg.Blocks...)
+				cfg.Resolution = res
+				return DenseNet(fmt.Sprintf("densenet%d_%d", depth, res), cfg)
+			})
 		}
 	}
 
@@ -240,18 +296,22 @@ func Full() []*dnn.Network {
 			if int(w*100+0.5) == 100 && res == 224 {
 				continue
 			}
-			add(MobileNetV2(mobileNetVariantName(w, res), MobileNetV2Config{
-				WidthMult: w, Resolution: res,
-			}))
+			add(func() *dnn.Network {
+				return MobileNetV2(mobileNetVariantName(w, res), MobileNetV2Config{
+					WidthMult: w, Resolution: res,
+				})
+			})
 		}
 	}
 	for _, t := range []int{3, 4} {
 		for _, w := range []float64{0.5, 1.0, 1.4} {
 			for _, res := range []int{160, 224} {
-				name := fmt.Sprintf("mobilenet_v2_t%d_%03d_%d", t, int(w*100+0.5), res)
-				add(MobileNetV2(name, MobileNetV2Config{
-					WidthMult: w, Resolution: res, ExpandOverride: t,
-				}))
+				add(func() *dnn.Network {
+					name := fmt.Sprintf("mobilenet_v2_t%d_%03d_%d", t, int(w*100+0.5), res)
+					return MobileNetV2(name, MobileNetV2Config{
+						WidthMult: w, Resolution: res, ExpandOverride: t,
+					})
+				})
 			}
 		}
 	}
@@ -262,23 +322,27 @@ func Full() []*dnn.Network {
 			if g == 3 && int(s*100) == 100 {
 				continue
 			}
-			name := fmt.Sprintf("shufflenet_v1_g%d_s%03d", g, int(s*100))
-			add(ShuffleNetV1(name, ShuffleNetV1Config{Groups: g, Scale: s}))
+			add(func() *dnn.Network {
+				name := fmt.Sprintf("shufflenet_v1_g%d_s%03d", g, int(s*100))
+				return ShuffleNetV1(name, ShuffleNetV1Config{Groups: g, Scale: s})
+			})
 		}
 	}
 	for _, g := range []int{1, 2, 3, 4, 8} {
 		for _, res := range []int{160, 192} {
-			name := fmt.Sprintf("shufflenet_v1_g%d_r%d", g, res)
-			add(ShuffleNetV1(name, ShuffleNetV1Config{Groups: g, Resolution: res}))
+			add(func() *dnn.Network {
+				name := fmt.Sprintf("shufflenet_v1_g%d_r%d", g, res)
+				return ShuffleNetV1(name, ShuffleNetV1Config{Groups: g, Resolution: res})
+			})
 		}
 	}
 
 	// Resolution variants of the remaining CNN families.
 	for _, res := range []int{160, 192, 256} {
-		add(AlexNet(res))
-		add(GoogLeNet(res))
-		add(SqueezeNet("1.0", res))
-		add(SqueezeNet("1.1", res))
+		add(func() *dnn.Network { return AlexNet(res) })
+		add(func() *dnn.Network { return GoogLeNet(res) })
+		add(func() *dnn.Network { return SqueezeNet("1.0", res) })
+		add(func() *dnn.Network { return SqueezeNet("1.1", res) })
 	}
 
 	// Transformer sweep at the BERT-and-above scale the HuggingFace
@@ -292,25 +356,31 @@ func Full() []*dnn.Network {
 				if isStandardTransformer(cfg) {
 					continue
 				}
-				name := fmt.Sprintf("tx-l%d-h%d-s%d", layers, hidden, seq)
-				add(Transformer(name, cfg))
+				add(func() *dnn.Network {
+					name := fmt.Sprintf("tx-l%d-h%d-s%d", layers, hidden, seq)
+					return Transformer(name, cfg)
+				})
 			}
 		}
 	}
 	for _, layers := range []int{4, 8, 12} {
 		for _, hidden := range []int{512, 768} {
-			name := fmt.Sprintf("tx-l%d-h%d-ffn2", layers, hidden)
-			add(Transformer(name, TransformerConfig{
-				Layers: layers, Hidden: hidden, SeqLen: 128, FFNMult: 2,
-			}))
+			add(func() *dnn.Network {
+				name := fmt.Sprintf("tx-l%d-h%d-ffn2", layers, hidden)
+				return Transformer(name, TransformerConfig{
+					Layers: layers, Hidden: hidden, SeqLen: 128, FFNMult: 2,
+				})
+			})
 		}
 	}
 	for _, heads := range []int{4, 16} {
 		for _, layers := range []int{4, 8} {
-			name := fmt.Sprintf("tx-l%d-h512-a%d", layers, heads)
-			add(Transformer(name, TransformerConfig{
-				Layers: layers, Hidden: 512, Heads: heads, SeqLen: 128,
-			}))
+			add(func() *dnn.Network {
+				name := fmt.Sprintf("tx-l%d-h512-a%d", layers, heads)
+				return Transformer(name, TransformerConfig{
+					Layers: layers, Hidden: 512, Heads: heads, SeqLen: 128,
+				})
+			})
 		}
 	}
 
@@ -325,106 +395,122 @@ func Full() []*dnn.Network {
 		{PatchSize: 16, Hidden: 256, Layers: 12, Heads: 4},
 		{PatchSize: 16, Hidden: 768, Layers: 8, Heads: 12},
 	} {
-		res := cfg.Resolution
-		if res == 0 {
-			res = 224
-		}
-		name := fmt.Sprintf("vitv-p%d-h%d-l%d-r%d", cfg.PatchSize, cfg.Hidden, cfg.Layers, res)
-		add(ViT(name, cfg))
+		add(func() *dnn.Network {
+			res := cfg.Resolution
+			if res == 0 {
+				res = 224
+			}
+			name := fmt.Sprintf("vitv-p%d-h%d-l%d-r%d", cfg.PatchSize, cfg.Hidden, cfg.Layers, res)
+			return ViT(name, cfg)
+		})
 	}
 
 	// ResNeXt cardinality/width sweep.
 	for _, g := range []int{8, 16, 32} {
 		for _, w := range []int{2, 4, 8} {
-			name := fmt.Sprintf("resnextv-g%d-w%d", g, w)
-			add(ResNet(name, ResNetConfig{
-				Blocks: [4]int{3, 4, 6, 3}, Bottleneck: true, Groups: g, WidthPerGroup: w,
-			}))
+			add(func() *dnn.Network {
+				name := fmt.Sprintf("resnextv-g%d-w%d", g, w)
+				return ResNet(name, ResNetConfig{
+					Blocks: [4]int{3, 4, 6, 3}, Bottleneck: true, Groups: g, WidthPerGroup: w,
+				})
+			})
 		}
 	}
 
 	// Pad to exactly FullZooSize, drawing round-robin from additional
 	// variant pools so no single family dominates the tail.
-	for _, n := range padPool() {
+	for _, f := range padPoolBuilders() {
 		if len(nets) >= FullZooSize {
 			break
 		}
-		add(n)
+		add(f)
 	}
 	if len(nets) != FullZooSize {
-		panic(fmt.Sprintf("zoo: generated %d networks, want %d", len(nets), FullZooSize))
+		panic(fmt.Sprintf("zoo: generated %d builders, want %d", len(nets), FullZooSize))
 	}
 	return nets
 }
 
-// padPool builds the deterministic interleaved filler pool: ResNet widths,
-// VGG scales, MobileNet widths, DenseNet growths, ShuffleNet scales and
-// mid-size transformers, drawn round-robin.
-func padPool() []*dnn.Network {
-	var pools [][]*dnn.Network
+// padPoolBuilders enumerates the deterministic interleaved filler pool:
+// ResNet widths, VGG scales, MobileNet widths, DenseNet growths, ShuffleNet
+// scales and mid-size transformers, drawn round-robin.
+func padPoolBuilders() []func() *dnn.Network {
+	var pools [][]func() *dnn.Network
 
-	var resnets []*dnn.Network
+	var resnets []func() *dnn.Network
 	for _, w := range []int{32, 96, 112} {
 		for _, t := range basicResNetTuples() {
-			resnets = append(resnets, variantResNet(t, false, w, 224))
+			resnets = append(resnets, func() *dnn.Network {
+				return variantResNet(t, false, w, 224)
+			})
 		}
 	}
 	pools = append(pools, resnets)
 
-	var vggs []*dnn.Network
+	var vggs []func() *dnn.Network
 	for _, scale := range []float64{0.45, 0.55, 0.7, 0.8, 0.95} {
 		for i, stages := range vggVariantConfigs {
-			name := fmt.Sprintf("vggv-c%d-s%04d", i, int(scale*1000))
-			vggs = append(vggs, VGG(name, VGGConfig{
-				Stages:   append([]int(nil), stages...),
-				Channels: scaleChannels(standardVGGChannels, scale),
-			}))
+			vggs = append(vggs, func() *dnn.Network {
+				name := fmt.Sprintf("vggv-c%d-s%04d", i, int(scale*1000))
+				return VGG(name, VGGConfig{
+					Stages:   append([]int(nil), stages...),
+					Channels: scaleChannels(standardVGGChannels, scale),
+				})
+			})
 		}
 	}
 	pools = append(pools, vggs)
 
-	var mobiles []*dnn.Network
+	var mobiles []func() *dnn.Network
 	for _, w := range []float64{0.6, 0.9, 1.1} {
 		for _, res := range []int{96, 128, 160, 192, 224, 256} {
-			mobiles = append(mobiles, MobileNetV2(mobileNetVariantName(w, res),
-				MobileNetV2Config{WidthMult: w, Resolution: res}))
+			mobiles = append(mobiles, func() *dnn.Network {
+				return MobileNetV2(mobileNetVariantName(w, res),
+					MobileNetV2Config{WidthMult: w, Resolution: res})
+			})
 		}
 	}
 	pools = append(pools, mobiles)
 
-	var denses []*dnn.Network
+	var denses []func() *dnn.Network
 	dnConfigs := [][]int{{6, 12, 24, 16}, {6, 12, 32, 32}, {4, 8, 16, 12}, {6, 12, 18, 12}}
 	for _, g := range []int{14, 18, 22, 26} {
 		for i, blocks := range dnConfigs {
-			name := fmt.Sprintf("densenetv-c%d-g%d", i, g)
-			denses = append(denses, DenseNet(name, DenseNetConfig{
-				Blocks: append([]int(nil), blocks...), GrowthRate: g,
-			}))
+			denses = append(denses, func() *dnn.Network {
+				name := fmt.Sprintf("densenetv-c%d-g%d", i, g)
+				return DenseNet(name, DenseNetConfig{
+					Blocks: append([]int(nil), blocks...), GrowthRate: g,
+				})
+			})
 		}
 	}
 	pools = append(pools, denses)
 
-	var shuffles []*dnn.Network
+	var shuffles []func() *dnn.Network
 	for _, g := range []int{1, 2, 3, 4, 8} {
 		for _, s := range []float64{0.75, 1.25} {
-			name := fmt.Sprintf("shufflenet_v1_g%d_s%03d", g, int(s*100))
-			shuffles = append(shuffles, ShuffleNetV1(name, ShuffleNetV1Config{Groups: g, Scale: s}))
+			shuffles = append(shuffles, func() *dnn.Network {
+				name := fmt.Sprintf("shufflenet_v1_g%d_s%03d", g, int(s*100))
+				return ShuffleNetV1(name, ShuffleNetV1Config{Groups: g, Scale: s})
+			})
 		}
 	}
 	pools = append(pools, shuffles)
 
-	var txs []*dnn.Network
+	var txs []func() *dnn.Network
 	for _, layers := range []int{3, 5, 7, 9, 10} {
 		for _, hidden := range []int{256, 512, 768} {
-			name := fmt.Sprintf("tx-l%d-h%d-s128", layers, hidden)
-			txs = append(txs, Transformer(name, TransformerConfig{
-				Layers: layers, Hidden: hidden, SeqLen: 128,
-			}))
+			txs = append(txs, func() *dnn.Network {
+				name := fmt.Sprintf("tx-l%d-h%d-s128", layers, hidden)
+				return Transformer(name, TransformerConfig{
+					Layers: layers, Hidden: hidden, SeqLen: 128,
+				})
+			})
 		}
 	}
 	pools = append(pools, txs)
 
-	var out []*dnn.Network
+	var out []func() *dnn.Network
 	for i := 0; ; i++ {
 		advanced := false
 		for _, p := range pools {

@@ -1,6 +1,7 @@
 package zoo
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -349,5 +350,25 @@ func TestResNeXtAndWide(t *testing.T) {
 	}
 	if _, err := WideResNet(18); err == nil {
 		t.Fatal("unknown depth should error")
+	}
+}
+
+// TestFullBuildersMatchFull pins the lazy-zoo invariant NewQuickLab depends
+// on: FullBuilders()[i]() constructs exactly Full()[i], so a caller can
+// materialize any subset of the zoo without building the rest.
+func TestFullBuildersMatchFull(t *testing.T) {
+	full := Full()
+	builders := FullBuilders()
+	if len(builders) != len(full) {
+		t.Fatalf("builders = %d, zoo = %d", len(builders), len(full))
+	}
+	for i, mk := range builders {
+		n := mk()
+		if n.Name != full[i].Name {
+			t.Fatalf("builder %d builds %q, zoo has %q", i, n.Name, full[i].Name)
+		}
+		if !reflect.DeepEqual(n, full[i]) {
+			t.Fatalf("builder %d (%s): network structure differs from Full()", i, n.Name)
+		}
 	}
 }

@@ -21,6 +21,11 @@ go test -run '^$' -bench 'BenchmarkServePredict' \
     -benchtime 1000x ./cmd/dnnperf/ >>"$tmp"
 go test -run '^$' -bench 'BenchmarkLabDatasetBuild' -benchtime 3x . >>"$tmp"
 
+# Collection fast path: one Build pass, one detail profile, one stats fit.
+go test -run '^$' -bench 'BenchmarkDatasetBuild$' -benchtime 10x ./internal/dataset/ >>"$tmp"
+go test -run '^$' -bench 'BenchmarkProfile$' -benchtime 200x ./internal/profiler/ >>"$tmp"
+go test -run '^$' -bench 'BenchmarkFitKW$' -benchtime 50x ./internal/core/ >>"$tmp"
+
 # Convert `BenchmarkName-P  N  T ns/op  B B/op  A allocs/op` lines to JSON.
 awk 'BEGIN { print "{"; first = 1 }
 /^Benchmark/ {

@@ -7,10 +7,11 @@
 #
 # The gated set covers the cached single-prediction path (KWPredictPlan,
 # KWPredictParallel, KWPredict, KWPredictConcurrent), plan compilation
-# (PlanCompile), the batch-sweep path (PredictSweep) and the serve layer's
-# /predict handler (ServePredict). All are steady-state microsecond-scale
-# loops stable enough to gate on; the collection benchmarks in the baseline
-# file remain order-of-magnitude references only.
+# (PlanCompile), the batch-sweep path (PredictSweep), the serve layer's
+# /predict handler (ServePredict), and the collection fast path: one
+# dataset.Build pass (DatasetBuild), one detail profile (Profile) and one
+# KW fit from sufficient statistics (FitKW). Only the root package's
+# LabDatasetBuild stays an ungated order-of-magnitude reference.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -34,6 +35,12 @@ go test -run '^$' -bench 'BenchmarkKWPredict$|BenchmarkKWPredictConcurrent$' \
     -benchtime 1000x -count 3 . >>"$raw"
 go test -run '^$' -bench 'BenchmarkServePredict$' \
     -benchtime 1000x -count 3 ./cmd/dnnperf/ >>"$raw"
+go test -run '^$' -bench 'BenchmarkDatasetBuild$' \
+    -benchtime 10x -count 3 ./internal/dataset/ >>"$raw"
+go test -run '^$' -bench 'BenchmarkProfile$' \
+    -benchtime 200x -count 3 ./internal/profiler/ >>"$raw"
+go test -run '^$' -bench 'BenchmarkFitKW$' \
+    -benchtime 50x -count 3 ./internal/core/ >>"$raw"
 
 # `BenchmarkName-P  N  T ns/op ...` -> `BenchmarkName T`, keeping the
 # fastest of the repeated runs: the minimum is the standard noise filter
