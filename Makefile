@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint verify bench bench-smoke bench-baseline bench-compare serve-smoke
+.PHONY: build test lint verify bench bench-smoke bench-baseline bench-compare serve-smoke loadtest-smoke
 
 build:
 	$(GO) build ./...
@@ -18,8 +18,9 @@ lint:
 
 # verify is the pre-merge gate: vet, dnnlint, the full test suite under the
 # race detector (the concurrency tests in internal/bench, internal/cache and
-# internal/core only bite with -race on), the `dnnperf serve` smoke test, the
-# cached-predict benchmark regression gate, and the lint self-test proving
+# internal/core only bite with -race on), the `dnnperf serve` + fleet smoke
+# test, the fleet loadtest smoke, the cached-predict benchmark regression
+# gate with the fleet throughput/p99 gate, and the lint self-test proving
 # the gate fails on a seeded violation. scripts/ci.sh runs all of them.
 verify:
 	./scripts/ci.sh
@@ -52,7 +53,13 @@ bench-baseline:
 bench-compare:
 	./scripts/bench_compare.sh
 
-# serve-smoke boots `dnnperf serve` and checks /healthz, /metrics and
-# /metrics.json answer.
+# serve-smoke boots `dnnperf serve` and checks /healthz, /readyz, /metrics
+# and both predict endpoints, then a 2-replica fleet: routed predictions,
+# 429 backpressure under a concurrent burst, and whole-fleet drain.
 serve-smoke:
 	./scripts/serve_smoke.sh
+
+# loadtest-smoke drives a 2-replica fleet with `dnnperf loadtest` for ~2s
+# and requires non-zero sustained throughput with zero 5xx.
+loadtest-smoke:
+	./scripts/loadtest_smoke.sh

@@ -14,7 +14,12 @@
 //	train     fit the E2E/LW/KW models on one GPU and print summaries
 //	predict   predict one network's time with the KW model
 //	serve     run the HTTP prediction service (/predict, /predict/batch,
-//	          /metrics, /metrics.json, /healthz, expvar, pprof)
+//	          /metrics, /metrics.json, /healthz, /readyz, /modelz,
+//	          expvar, pprof)
+//	fleet     run N serve replicas behind the consistent-hash sharding
+//	          proxy (health-aware routing, admission control, /fleetz)
+//	loadtest  boot a fleet, drive open-loop load through the proxy, and
+//	          print a throughput/latency summary JSON
 //	table1, fig3…fig9, fig11…fig19, table2
 //	          regenerate one table/figure of the paper
 //	all       regenerate every table and figure
@@ -36,6 +41,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
@@ -65,6 +71,13 @@ func main() {
 	addr := flag.String("addr", "localhost:8080", "listen address for serve")
 	timing := flag.Bool("timing", false, "report per-phase wall time (observability spans)")
 	traceOut := flag.String("o", "", "write a Chrome trace-event JSON of the run to this file")
+	replicas := flag.Int("replicas", 4, "replica count for fleet/loadtest")
+	maxInflight := flag.Int("max-inflight", 256, "per-replica in-flight cap for fleet/loadtest admission control")
+	rate := flag.Float64("rate", 200, "offered request rate (rps) for loadtest")
+	duration := flag.Duration("duration", 10*time.Second, "loadtest run length including warm-up")
+	warmup := flag.Duration("warmup", 2*time.Second, "loadtest warm-up window excluded from the measurements")
+	arrival := flag.String("arrival", "poisson", "loadtest arrival schedule: poisson, bursty or closed")
+	seed := flag.Int64("seed", 1, "loadtest randomness seed")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -103,6 +116,20 @@ func main() {
 		runPredict(lab(), g, *network, *batch, *modelPath)
 	case "serve":
 		if err := runServe(lab(), g, *addr); err != nil {
+			fatal(err)
+		}
+	case "fleet":
+		ff := fleetFlags{replicas: *replicas, maxInflight: *maxInflight}
+		if err := runFleet(*quick, *gpuName, *addr, ff); err != nil {
+			fatal(err)
+		}
+	case "loadtest":
+		ff := fleetFlags{
+			replicas: *replicas, maxInflight: *maxInflight,
+			rate: *rate, duration: *duration, warmup: *warmup,
+			arrival: *arrival, seed: *seed,
+		}
+		if err := runLoadtest(*quick, *gpuName, *network, ff); err != nil {
 			fatal(err)
 		}
 	case "all":
@@ -473,7 +500,7 @@ func usage() {
 usage: dnnperf [flags] <command>
 
 commands:
-  zoo | trace | collect | train | predict | serve | all | export | plots
+  zoo | trace | collect | train | predict | serve | fleet | loadtest | all | export | plots
   table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9
   fig11 fig12 fig13 table2 fig14 fig15 fig16 fig17 fig18 fig19 ablation training mig smallbatch uncertainty robustness online
 

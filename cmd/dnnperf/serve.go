@@ -27,13 +27,17 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/gpu"
 	"repro/internal/obs"
+	"repro/internal/registry"
 	"repro/internal/units"
 )
 
 // The serve subcommand turns dnnperf into a small prediction service with a
 // first-class telemetry surface:
 //
-//	GET  /healthz        liveness + model readiness, JSON
+//	GET  /healthz        liveness (always 200 while the process runs), JSON
+//	GET  /readyz         readiness: 200 once the model is warmed, else 503
+//	GET  /modelz         model registry introspection: version + history
+//	POST /modelz         hot-swap: publish a core.Save model envelope
 //	GET  /metrics        obs registry, Prometheus text exposition format
 //	GET  /metrics.json   obs registry, JSON snapshot
 //	GET  /predict        KW prediction: ?network=resnet50&batch=64
@@ -43,10 +47,17 @@ import (
 //	GET  /debug/vars     expvar (includes the obs snapshot under "obs")
 //	GET  /debug/pprof/   runtime profiling endpoints
 //
-// The KW model is fitted in the background at startup so /healthz responds
-// immediately; the predict endpoints return 503 until the model is ready.
+// The KW model is fitted in the background at startup and published into a
+// versioned registry, so /healthz responds immediately; the predict endpoints
+// return 503 until the first snapshot lands. Later POSTs to /modelz hot-swap
+// the serving model atomically — requests already past loadModel finish on
+// the snapshot they loaded, so a swap never drops an in-flight prediction.
 // SIGINT/SIGTERM trigger a graceful drain: the listener closes, in-flight
 // requests get up to shutdownDrain to finish, then the process exits.
+//
+// Every endpoint runs under uniform protective limits: the http.Server
+// enforces read-header/read/write/idle timeouts, and any request that
+// carries a body (on any route) is capped by http.MaxBytesReader.
 //
 // The single-prediction path is allocation-free in steady state: query
 // parameters are read straight from the raw query string, the network is
@@ -79,6 +90,20 @@ const shutdownDrain = 10 * time.Second
 // maxBatchBody bounds the /predict/batch POST body; larger bodies get 413.
 const maxBatchBody = 1 << 20
 
+// maxModelBody bounds the /modelz POST body (a full coefficient-set
+// envelope, which runs larger than a prediction request).
+const maxModelBody = 8 << 20
+
+// Uniform per-request server deadlines. ReadHeaderTimeout bounds slow-loris
+// header dribble; ReadTimeout and WriteTimeout bound one whole request and
+// response so a stuck client cannot pin a handler goroutine forever.
+const (
+	serveReadHeaderTimeout = 5 * time.Second
+	serveReadTimeout       = 30 * time.Second
+	serveWriteTimeout      = 60 * time.Second
+	serveIdleTimeout       = 120 * time.Second
+)
+
 // maxSweepPoints bounds the batches list of one sweep request.
 const maxSweepPoints = 4096
 
@@ -104,13 +129,13 @@ type sweepFlight struct {
 }
 
 // server holds the serving state: the lab (for networks), the device, and
-// the asynchronously fitted model.
+// the versioned model registry the warm-up fit publishes into.
 type server struct {
 	lab   *bench.Lab
 	gpu   gpu.Spec
 	start time.Time
 
-	model    atomic.Pointer[core.KWModel]
+	reg      *registry.Registry
 	modelErr atomic.Pointer[error]
 
 	// nets caches name → network so the hot path never rebuilds a standard
@@ -122,7 +147,13 @@ type server struct {
 }
 
 func newServer(l *bench.Lab, g gpu.Spec) *server {
-	return &server{lab: l, gpu: g, start: time.Now(), inflight: map[string]*sweepFlight{}}
+	s := &server{
+		lab: l, gpu: g, start: time.Now(),
+		reg:      registry.New(),
+		inflight: map[string]*sweepFlight{},
+	}
+	s.reg.RegisterMetrics("serve_model")
+	return s
 }
 
 // runServe fits the model in the background and serves until the process
@@ -134,10 +165,11 @@ func runServe(l *bench.Lab, g gpu.Spec, addr string) error {
 	return newServer(l, g).serveUntil(ctx, addr, nil)
 }
 
-// startWarmup kicks off the background model fit. It is a no-op when a
-// model is already installed (tests pre-fit servers).
+// startWarmup kicks off the background model fit; the result is published
+// into the registry as version 1. It is a no-op when a snapshot is already
+// installed (tests pre-fit servers).
 func (s *server) startWarmup() {
-	if s.model.Load() != nil {
+	if s.reg.Current() != nil {
 		return
 	}
 	go func() {
@@ -154,7 +186,9 @@ func (s *server) startWarmup() {
 			s.modelErr.Store(&err)
 			return
 		}
-		s.model.Store(kw)
+		if _, err := s.reg.Publish(kw, "warmup"); err != nil {
+			s.modelErr.Store(&err)
+		}
 	}()
 }
 
@@ -171,6 +205,8 @@ func (s *server) handler() http.Handler {
 	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.instrument(s.handleHealthz))
+	mux.HandleFunc("/readyz", s.instrument(s.handleReadyz))
+	mux.HandleFunc("/modelz", s.instrument(s.handleModelz))
 	mux.HandleFunc("/metrics", s.instrument(s.handleMetrics))
 	mux.HandleFunc("/metrics.json", s.instrument(s.handleMetricsJSON))
 	mux.HandleFunc("/predict", s.instrument(s.handlePredict))
@@ -194,8 +230,14 @@ func (s *server) serveUntil(ctx context.Context, addr string, ready chan<- strin
 	if err != nil {
 		return err
 	}
-	fmt.Printf("dnnperf: serving on http://%s (endpoints: /healthz /metrics /metrics.json /predict /predict/batch /debug/vars /debug/pprof/)\n", ln.Addr())
-	srv := &http.Server{Handler: s.handler(), ReadHeaderTimeout: 5 * time.Second}
+	fmt.Printf("dnnperf: serving on http://%s (endpoints: /healthz /readyz /modelz /metrics /metrics.json /predict /predict/batch /debug/vars /debug/pprof/)\n", ln.Addr())
+	srv := &http.Server{
+		Handler:           s.handler(),
+		ReadHeaderTimeout: serveReadHeaderTimeout,
+		ReadTimeout:       serveReadTimeout,
+		WriteTimeout:      serveWriteTimeout,
+		IdleTimeout:       serveIdleTimeout,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	if ready != nil {
@@ -231,13 +273,18 @@ func (r *statusRecorder) WriteHeader(code int) {
 
 var recorderPool = sync.Pool{New: func() any { return new(statusRecorder) }}
 
-// instrument wraps a handler with the serve-layer metrics.
+// instrument wraps a handler with the serve-layer metrics and the uniform
+// request-body cap. Bodyless requests (every steady-state GET) skip the
+// MaxBytesReader wrap so the zero-allocation /predict path stays free.
 func (s *server) instrument(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
 		tm := obs.StartTimer(metricServeLatency)
 		metricServeRequests.Inc()
 		rec := recorderPool.Get().(*statusRecorder)
 		rec.ResponseWriter, rec.status = w, http.StatusOK
+		if req.ContentLength != 0 && req.Body != nil && req.Body != http.NoBody {
+			req.Body = http.MaxBytesReader(rec, req.Body, maxModelBody)
+		}
 		h(rec, req)
 		if rec.status >= 400 {
 			metricServeErrors.Inc()
@@ -248,24 +295,111 @@ func (s *server) instrument(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// handleHealthz reports liveness plus model readiness. It always answers
-// 200 while the process lives; readiness is in the body so orchestration
-// can distinguish "up" from "warm".
+// handleHealthz reports pure liveness. It always answers 200 while the
+// process lives; model readiness stays in the body for dashboards, but
+// orchestration that needs a routable signal must use /readyz, whose status
+// code actually flips.
 func (s *server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	type health struct {
 		Status        string  `json:"status"`
 		ModelReady    bool    `json:"model_ready"`
+		ModelVersion  uint64  `json:"model_version"`
 		ModelError    string  `json:"model_error,omitempty"`
 		GPU           string  `json:"gpu"`
 		UptimeSeconds float64 `json:"uptime_seconds"`
 	}
 	h := health{Status: "ok", GPU: s.gpu.Name, UptimeSeconds: time.Since(s.start).Seconds()}
-	h.ModelReady = s.model.Load() != nil
+	if snap := s.reg.Current(); snap != nil {
+		h.ModelReady = true
+		h.ModelVersion = snap.Version
+	}
 	if errp := s.modelErr.Load(); errp != nil {
 		h.Status = "degraded"
 		h.ModelError = (*errp).Error()
 	}
 	writeJSON(w, http.StatusOK, h)
+}
+
+// handleReadyz reports readiness to serve predictions: 200 with the serving
+// model version once the registry holds a snapshot, 503 before that (or
+// after a failed warm-up). The fleet proxy routes on this endpoint.
+func (s *server) handleReadyz(w http.ResponseWriter, req *http.Request) {
+	type readiness struct {
+		Ready        bool   `json:"ready"`
+		ModelReady   bool   `json:"model_ready"`
+		ModelVersion uint64 `json:"model_version"`
+		ModelError   string `json:"model_error,omitempty"`
+		GPU          string `json:"gpu"`
+	}
+	rd := readiness{GPU: s.gpu.Name}
+	if snap := s.reg.Current(); snap != nil {
+		rd.Ready, rd.ModelReady, rd.ModelVersion = true, true, snap.Version
+		writeJSON(w, http.StatusOK, rd)
+		return
+	}
+	if errp := s.modelErr.Load(); errp != nil {
+		rd.ModelError = (*errp).Error()
+	}
+	writeJSON(w, http.StatusServiceUnavailable, rd)
+}
+
+// handleModelz is the registry surface. GET introspects the serving version
+// and the bounded publication history; POST hot-swaps the serving model by
+// publishing a core.Save envelope. Requests already holding the previous
+// snapshot finish against it, so swaps are invisible to in-flight work.
+func (s *server) handleModelz(w http.ResponseWriter, req *http.Request) {
+	switch req.Method {
+	case http.MethodGet:
+		type modelz struct {
+			Version uint64           `json:"version"`
+			Ready   bool             `json:"ready"`
+			GPU     string           `json:"gpu,omitempty"`
+			Source  string           `json:"source,omitempty"`
+			Kernels int              `json:"kernels,omitempty"`
+			Groups  int              `json:"groups,omitempty"`
+			History []registry.Entry `json:"history"`
+		}
+		mz := modelz{History: s.reg.History()}
+		if snap := s.reg.Current(); snap != nil {
+			mz.Version, mz.Ready, mz.Source = snap.Version, true, snap.Source
+			mz.GPU = snap.Model.GPUName()
+			mz.Kernels = snap.Model.KernelCount()
+			mz.Groups = snap.Model.ModelCount()
+		}
+		writeJSON(w, http.StatusOK, mz)
+	case http.MethodPost:
+		pred, err := core.Load(http.MaxBytesReader(w, req.Body, maxModelBody))
+		if err != nil {
+			var mbe *http.MaxBytesError
+			if errors.As(err, &mbe) {
+				writeJSONError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("body exceeds %d bytes", maxModelBody))
+				return
+			}
+			writeJSONError(w, http.StatusBadRequest, "decoding model envelope: "+err.Error())
+			return
+		}
+		kw, ok := pred.(*core.KWModel)
+		if !ok {
+			writeJSONError(w, http.StatusUnprocessableEntity,
+				fmt.Sprintf("model kind %q cannot serve here; want a kw model", pred.Name()))
+			return
+		}
+		snap, err := s.reg.Publish(kw, "modelz-post")
+		if err != nil {
+			writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"version": snap.Version,
+			"gpu":     kw.GPUName(),
+			"kernels": kw.KernelCount(),
+			"groups":  kw.ModelCount(),
+		})
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeJSONError(w, http.StatusMethodNotAllowed, "use GET or POST")
+	}
 }
 
 // handleMetrics serves the Prometheus text exposition.
@@ -285,17 +419,20 @@ func (s *server) handleMetricsJSON(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
-// loadModel returns the fitted model or writes the 503 warm-up response.
+// loadModel returns the current snapshot's model or writes the 503 warm-up
+// response. The single atomic load pins the snapshot for the whole request:
+// a concurrent hot-swap replaces the registry's current pointer but never
+// touches the model this request already holds.
 func (s *server) loadModel(w http.ResponseWriter) *core.KWModel {
-	m := s.model.Load()
-	if m == nil {
-		msg := "model warming up"
-		if errp := s.modelErr.Load(); errp != nil {
-			msg = "model fit failed: " + (*errp).Error()
-		}
-		writeJSONError(w, http.StatusServiceUnavailable, msg)
+	if snap := s.reg.Current(); snap != nil {
+		return snap.Model
 	}
-	return m
+	msg := "model warming up"
+	if errp := s.modelErr.Load(); errp != nil {
+		msg = "model fit failed: " + (*errp).Error()
+	}
+	writeJSONError(w, http.StatusServiceUnavailable, msg)
+	return nil
 }
 
 // network resolves a network by name through the server-side cache. The Get

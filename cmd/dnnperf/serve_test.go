@@ -48,7 +48,10 @@ func fittedServer(t testing.TB) *server {
 			return
 		}
 		s := newServer(bench.NewQuickLab(), gpu.A100)
-		s.model.Store(kw)
+		if _, err := s.reg.Publish(kw, "test-prefit"); err != nil {
+			fittedErr = err
+			return
+		}
 		fittedSrv = s
 	})
 	if fittedErr != nil {
@@ -147,7 +150,7 @@ func TestServePredictBatchPostErrors(t *testing.T) {
 func TestServePredictMatchesModel(t *testing.T) {
 	s := fittedServer(t)
 	h := s.handler()
-	m := s.model.Load()
+	m := s.reg.Current().Model
 	net, err := s.network("resnet50")
 	if err != nil {
 		t.Fatal(err)
@@ -185,7 +188,7 @@ func TestServePredictMatchesModel(t *testing.T) {
 func TestServePredictBatchMatchesLoop(t *testing.T) {
 	s := fittedServer(t)
 	h := s.handler()
-	m := s.model.Load()
+	m := s.reg.Current().Model
 	net, err := s.network("resnet50")
 	if err != nil {
 		t.Fatal(err)
@@ -277,7 +280,7 @@ func TestServePredictBatchInlineSpec(t *testing.T) {
 // and the coalesced counter moves.
 func TestServeSweepCoalesces(t *testing.T) {
 	s := fittedServer(t)
-	m := s.model.Load()
+	m := s.reg.Current().Model
 	net, err := s.network("resnet50")
 	if err != nil {
 		t.Fatal(err)

@@ -131,6 +131,39 @@ func TestLocksafeNegative(t *testing.T) {
 	runFixture(t, NewLocksafe(), "locksafeneg", 0)
 }
 
+// TestUnitsafeLoadgenFixture models the load-generator result surface: a
+// measurement window or latency summary that regresses to a raw float64
+// must be flagged once repro/internal/loadgen is in the unitsafe scope.
+func TestUnitsafeLoadgenFixture(t *testing.T) {
+	runFixture(t, NewUnitsafe([]string{"unitsafeloadgen"}), "unitsafeloadgen", 2)
+}
+
+// TestLocksafeFleetFixture models the fleet proxy's routing-table shapes:
+// a copied table mutex and a lock leaked on the mark-unready path.
+func TestLocksafeFleetFixture(t *testing.T) {
+	findings := runFixture(t, NewLocksafe(), "locksafefleet", 2)
+	var copies, unpaired int
+	for _, f := range findings {
+		if strings.Contains(f.Message, "no matching") {
+			unpaired++
+		} else {
+			copies++
+		}
+	}
+	if copies != 1 || unpaired != 1 {
+		t.Fatalf("copies=%d unpaired=%d, want 1 and 1", copies, unpaired)
+	}
+}
+
+// TestLocksafeRegistryFixture models the registry publish path: the leaked
+// publisher lock is flagged, the deferred-unlock shape is not.
+func TestLocksafeRegistryFixture(t *testing.T) {
+	findings := runFixture(t, NewLocksafe(), "locksaferegistry", 1)
+	if !strings.Contains(findings[0].Message, "no matching") {
+		t.Fatalf("unexpected finding: %s", findings[0])
+	}
+}
+
 func TestStaleplanPositive(t *testing.T) {
 	runFixture(t, NewStaleplan(), "staleplanpos", 3)
 }
@@ -160,7 +193,10 @@ func TestAllStableOrder(t *testing.T) {
 // TestDefaultUnitScope pins the unit-disciplined package set.
 func TestDefaultUnitScope(t *testing.T) {
 	scope := DefaultUnitScope()
-	for _, p := range []string{"repro/internal/core", "repro/internal/dataset"} {
+	for _, p := range []string{
+		"repro/internal/core", "repro/internal/dataset",
+		"repro/internal/fleet", "repro/internal/loadgen", "repro/internal/registry",
+	} {
 		found := false
 		for _, s := range scope {
 			if s == p {

@@ -1,0 +1,28 @@
+// Package locksafefleet models the fleet proxy's concurrency shapes for the
+// locksafe analyzer: replica tables guarded by a mutex must never be copied
+// by value, and routing paths that lock the table must release it on every
+// path. repro/internal/fleet keeps its per-replica state in atomics for
+// exactly this reason; these fixtures are the mutex-based shapes that go
+// wrong.
+package locksafefleet
+
+import "sync"
+
+// table is a mutex-guarded replica routing table.
+type table struct {
+	mu    sync.Mutex
+	ready map[string]bool
+}
+
+// routeByValue receives the table by value: the copied mutex guards a
+// disjoint lock state and the map races anyway.
+func routeByValue(t table, addr string) bool { // violation: mutex copied
+	return t.ready[addr]
+}
+
+// markUnready locks the table and returns without unlocking — every later
+// request deadlocks on the routing table.
+func markUnready(t *table, addr string) {
+	t.mu.Lock() // violation: no matching Unlock
+	t.ready[addr] = false
+}

@@ -1,0 +1,35 @@
+// Package locksaferegistry models the model registry's publish path for the
+// locksafe analyzer. repro/internal/registry serializes publishers with a
+// mutex while readers go through an atomic pointer; the invariant is that
+// the publisher lock is released on every path, including error returns.
+package locksaferegistry
+
+import "sync"
+
+// registry mirrors the publisher-side state.
+type registry struct {
+	mu      sync.Mutex
+	nextVer uint64
+	history []uint64
+}
+
+// publishLeak takes the publisher lock and returns on the validation path
+// without releasing it; the next publisher deadlocks.
+func publishLeak(r *registry, ok bool) uint64 {
+	r.mu.Lock() // violation: no matching Unlock
+	if !ok {
+		return 0
+	}
+	r.nextVer++
+	r.history = append(r.history, r.nextVer)
+	return r.nextVer
+}
+
+// publish is the correct shape: the deferred unlock covers every path.
+func publish(r *registry) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.nextVer++
+	r.history = append(r.history, r.nextVer)
+	return r.nextVer
+}

@@ -1,0 +1,23 @@
+// Package unitsafeloadgen models the load-generator result surface inside
+// the unitsafe scope: measurement windows and latency summaries must carry
+// the units.Seconds type, not a raw float64 whose name merely promises the
+// unit. This is the exact shape repro/internal/loadgen adopted (its
+// Result.MeasuredSeconds is a units.Seconds); these fixtures are the
+// violations the scope rule keeps out.
+package unitsafeloadgen
+
+// Seconds mirrors units.Seconds.
+type Seconds float64
+
+// result mirrors a loadgen run summary that regressed to a raw float64
+// measurement window.
+type result struct {
+	Sent            int64
+	MeasuredSeconds float64 // violation: unit-named field, raw type
+}
+
+// summarize returns a latency quantile as a raw unit-named result.
+func summarize(r result) (p99Seconds float64) { // violation: unit-named result, raw type
+	_ = r
+	return 0
+}

@@ -39,7 +39,10 @@ func DefaultUnitScope() []string {
 		"repro/internal/core",
 		"repro/internal/dataset",
 		"repro/internal/disagg",
+		"repro/internal/fleet",
+		"repro/internal/loadgen",
 		"repro/internal/obs",
+		"repro/internal/registry",
 		"repro/internal/units",
 	}
 }

@@ -56,10 +56,23 @@ type Sharded[K interface {
 	Capacity int
 
 	hits, misses atomic.Int64
+	lookups      atomic.Int64
+	inserts      atomic.Int64
 	evictions    atomic.Int64
 	shared       atomic.Int64
 	shards       [numShards]shard[K, V]
 }
+
+// NumShards is the fixed shard count of every Sharded instance, exported so
+// externally partitioned deployments (one cache per replica, keys routed by
+// hash) can reason about per-shard capacity.
+const NumShards = numShards
+
+// ShardFor returns the index of the shard that owns key. Ownership is a pure
+// function of the key's hash, so an external router that partitions a key
+// space across replicas can use it to verify which lock domain (and which
+// LRU budget) a key lands in.
+func (c *Sharded[K, V]) ShardFor(key K) int { return int(key.Hash() % numShards) }
 
 // shard is one lock domain: a map plus an intrusive LRU list (front = most
 // recently used).
@@ -86,6 +99,7 @@ type entry[K comparable, V any] struct {
 // the next caller retries.
 func (c *Sharded[K, V]) GetOrCompute(key K, fn func() (V, error)) (V, error) {
 	s := &c.shards[key.Hash()%numShards]
+	c.lookups.Add(1)
 
 	s.mu.Lock()
 	if s.entries == nil {
@@ -108,6 +122,7 @@ func (c *Sharded[K, V]) GetOrCompute(key K, fn func() (V, error)) (V, error) {
 	e.wg.Add(1)
 	s.entries[key] = e
 	s.pushFront(e)
+	c.inserts.Add(1)
 	if n := s.evict(c.perShardCapacity()); n > 0 {
 		c.evictions.Add(int64(n))
 		obsEvictions.Add(int64(n))
@@ -141,9 +156,12 @@ func (c *Sharded[K, V]) GetOrCompute(key K, fn func() (V, error)) (V, error) {
 }
 
 // Get returns the cached value without computing, waiting for an in-flight
-// computation if one is running.
+// computation if one is running. Get counts against the same hit/miss
+// statistics as GetOrCompute (an absent key or a failed flight is a miss),
+// so a Get-heavy read path is visible in Stats and the cache metrics.
 func (c *Sharded[K, V]) Get(key K) (V, bool) {
 	s := &c.shards[key.Hash()%numShards]
+	c.lookups.Add(1)
 	s.mu.Lock()
 	e, ok := s.entries[key]
 	if ok {
@@ -151,14 +169,20 @@ func (c *Sharded[K, V]) Get(key K) (V, bool) {
 	}
 	s.mu.Unlock()
 	if !ok {
+		c.misses.Add(1)
+		obsMisses.Inc()
 		var zero V
 		return zero, false
 	}
 	e.wg.Wait()
 	if e.err != nil {
+		c.misses.Add(1)
+		obsMisses.Inc()
 		var zero V
 		return zero, false
 	}
+	c.hits.Add(1)
+	obsHits.Inc()
 	return e.val, true
 }
 
@@ -195,8 +219,15 @@ func (c *Sharded[K, V]) Misses() int64 { return c.misses.Load() }
 // Stats is a point-in-time snapshot of one cache instance.
 type Stats struct {
 	// Hits counts lookups that found an entry (including joins of an
-	// in-flight computation); Misses counts lookups that started one.
+	// in-flight computation); Misses counts lookups that started one (or,
+	// for Get, found nothing). Hits + Misses always equals Lookups once the
+	// counted operations have finished.
 	Hits, Misses int64
+	// Lookups counts every Get and GetOrCompute call.
+	Lookups int64
+	// Inserts counts entries created by GetOrCompute misses; Evictions can
+	// never exceed it.
+	Inserts int64
 	// Evictions counts entries dropped by the per-shard LRU policy.
 	Evictions int64
 	// SingleflightShared counts lookups that joined an in-flight
@@ -217,6 +248,8 @@ func (c *Sharded[K, V]) Stats() Stats {
 	st := Stats{
 		Hits:               c.hits.Load(),
 		Misses:             c.misses.Load(),
+		Lookups:            c.lookups.Load(),
+		Inserts:            c.inserts.Load(),
 		Evictions:          c.evictions.Load(),
 		SingleflightShared: c.shared.Load(),
 	}

@@ -36,8 +36,14 @@ func TestGetOrComputeBasic(t *testing.T) {
 	if _, ok := c.Get(key{2}); ok {
 		t.Fatal("Get(uncached) reported a hit")
 	}
-	if c.Hits() != 1 || c.Misses() != 1 {
-		t.Fatalf("hits=%d misses=%d; want 1, 1", c.Hits(), c.Misses())
+	// One GetOrCompute miss + one GetOrCompute hit, one Get hit + one Get
+	// miss: both lookup paths count.
+	if c.Hits() != 2 || c.Misses() != 2 {
+		t.Fatalf("hits=%d misses=%d; want 2, 2", c.Hits(), c.Misses())
+	}
+	st := c.Stats()
+	if st.Lookups != 4 || st.Inserts != 1 {
+		t.Fatalf("lookups=%d inserts=%d; want 4, 1", st.Lookups, st.Inserts)
 	}
 }
 

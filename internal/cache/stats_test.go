@@ -1,0 +1,89 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestStatsReconcileUnderLoad drives a small-capacity cache with concurrent
+// mixed Get / GetOrCompute traffic over a key space much larger than the
+// capacity, so hits, misses, singleflight joins and LRU evictions all occur
+// at once, then asserts the Stats counters reconcile:
+//
+//	hits + misses == lookups   (every counted lookup resolves one way)
+//	evictions     <= inserts   (only inserted entries can be evicted)
+//	shared        <= hits      (joins are a subset of hits)
+//
+// Run under -race this doubles as the concurrency-safety test for the new
+// counters.
+func TestStatsReconcileUnderLoad(t *testing.T) {
+	c := Sharded[key, string]{Capacity: 32}
+	const workers, opsPerWorker, keySpace = 8, 500, 256
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < opsPerWorker; i++ {
+				id := uint64(rng.Intn(keySpace))
+				want := fmt.Sprintf("v%d", id)
+				if rng.Intn(3) == 0 {
+					if v, ok := c.Get(key{id}); ok && v != want {
+						t.Errorf("Get(%d) = %q, want %q", id, v, want)
+						return
+					}
+					continue
+				}
+				v, err := c.GetOrCompute(key{id}, func() (string, error) { return want, nil })
+				if err != nil || v != want {
+					t.Errorf("GetOrCompute(%d) = %q, %v; want %q", id, v, err, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	if st.Lookups != workers*opsPerWorker {
+		t.Fatalf("lookups = %d, want %d", st.Lookups, workers*opsPerWorker)
+	}
+	if st.Hits+st.Misses != st.Lookups {
+		t.Fatalf("hits(%d) + misses(%d) = %d, want lookups %d",
+			st.Hits, st.Misses, st.Hits+st.Misses, st.Lookups)
+	}
+	if st.Inserts == 0 || st.Inserts > st.Misses {
+		t.Fatalf("inserts = %d, want in (0, misses=%d]", st.Inserts, st.Misses)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("capacity 32 over a 256-key space evicted nothing; the load pattern is too tame")
+	}
+	if st.Evictions > st.Inserts {
+		t.Fatalf("evictions (%d) exceed inserts (%d)", st.Evictions, st.Inserts)
+	}
+	if st.SingleflightShared > st.Hits {
+		t.Fatalf("singleflight joins (%d) exceed hits (%d)", st.SingleflightShared, st.Hits)
+	}
+	// Occupancy must respect the configured bound (in-flight entries are
+	// all resolved by now, so no transient overshoot remains).
+	if st.Entries > 32+NumShards {
+		t.Fatalf("entries = %d, exceeds capacity slack", st.Entries)
+	}
+	if st.Pinned != 0 {
+		t.Fatalf("pinned = %d after quiescence, want 0", st.Pinned)
+	}
+}
+
+// TestShardFor pins external shard ownership to the key's hash.
+func TestShardFor(t *testing.T) {
+	var c Sharded[key, int]
+	for _, id := range []uint64{0, 1, 15, 16, 17, 1 << 40} {
+		if got, want := c.ShardFor(key{id}), int(id%NumShards); got != want {
+			t.Fatalf("ShardFor(%d) = %d, want %d", id, got, want)
+		}
+	}
+}

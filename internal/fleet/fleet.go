@@ -1,0 +1,570 @@
+// Package fleet turns N dnnperf serve replicas into one serving tier. A
+// stdlib-only reverse proxy shards prediction requests across the replicas
+// with a consistent-hash ring keyed by the request's network identity — the
+// same key the replicas' plan caches use — so each replica's singleflight
+// plan-cache LRU holds a (mostly) disjoint slice of the key space and the
+// fleet's aggregate cache capacity scales linearly with replica count.
+//
+// The proxy is health-aware and self-protecting:
+//
+//   - Routing only considers replicas whose /readyz reports a warmed model;
+//     a background prober refreshes readiness continuously.
+//   - Connection-level failures (refused, reset) mark the replica unready
+//     immediately and retry the next ring owner, bounded by Options.Retries.
+//   - Admission control: each replica has an in-flight cap. A request whose
+//     owner is saturated spills to the next ready owner on the ring; when
+//     the whole fleet is above the high watermark the proxy sheds the
+//     request with 429 and a Retry-After hint instead of queueing — the
+//     open-loop-safe response to compile queues backing up.
+//
+// Endpoints served by the proxy itself: /healthz (proxy liveness),
+// /readyz (≥1 ready replica), /fleetz (full fleet introspection JSON).
+// Everything else is forwarded.
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Proxy-level observability.
+var (
+	metricRequests = obs.Default().Counter("fleet_proxy_requests_total",
+		"Requests handled by the fleet proxy.")
+	metricForwarded = obs.Default().Counter("fleet_forwarded_total",
+		"Requests forwarded to a replica.")
+	metricRetries = obs.Default().Counter("fleet_retries_total",
+		"Forward attempts retried on another replica after a connection failure.")
+	metricSpills = obs.Default().Counter("fleet_spills_total",
+		"Requests routed past their saturated ring owner to another ready replica.")
+	metricRejected = obs.Default().Counter("fleet_admission_rejected_total",
+		"Requests shed with 429 by admission control.")
+	metricUnavailable = obs.Default().Counter("fleet_unavailable_total",
+		"Requests answered 503 because no ready replica existed.")
+	metricProxyErrors = obs.Default().Counter("fleet_proxy_errors_total",
+		"Requests answered 502 after exhausting every forward attempt.")
+	metricLatency = obs.Default().Histogram("fleet_proxy_seconds",
+		"Proxy request latency, including the replica round trip.", nil)
+	metricInflight = obs.Default().Gauge("fleet_inflight_requests",
+		"Requests currently being forwarded, fleet-wide.")
+)
+
+// vnodesPerReplica is the ring's virtual-node fan-out. 64 points per replica
+// keeps the key-space split within a few percent of even for small fleets.
+const vnodesPerReplica = 64
+
+// maxBufferedBody bounds the request body the proxy will buffer for
+// retryable forwarding; longer bodies get 413 (mirroring the replicas' cap).
+const maxBufferedBody = 1 << 20
+
+// Options tunes a Proxy.
+type Options struct {
+	// MaxInflight caps concurrently forwarded requests per replica; 0 means
+	// 256. Admission control sheds load with 429 once every ready replica is
+	// at its cap (the queue-depth high watermark).
+	MaxInflight int
+	// Retries bounds how many additional replicas a request may try after a
+	// connection-level failure; 0 means 2.
+	Retries int
+	// HealthInterval is the readiness probe period; 0 means 250ms.
+	HealthInterval time.Duration
+	// Timeout bounds one forwarded request; 0 means 30s.
+	Timeout time.Duration
+	// RetryAfter is the hint returned with 429 responses, in seconds; 0
+	// means 1.
+	RetryAfter int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 256
+	}
+	if o.Retries <= 0 {
+		o.Retries = 2
+	}
+	if o.HealthInterval <= 0 {
+		o.HealthInterval = 250 * time.Millisecond
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = 1
+	}
+	return o
+}
+
+// replica is one backend and its routing state.
+type replica struct {
+	addr     string // host:port
+	ready    atomic.Bool
+	inflight atomic.Int64
+	// modelVersion mirrors the replica's /readyz model version for /fleetz.
+	modelVersion atomic.Uint64
+}
+
+// ringPoint is one virtual node: a hash position owned by a replica.
+type ringPoint struct {
+	hash uint64
+	idx  int // index into Proxy.replicas
+}
+
+// Proxy is the sharding reverse proxy. Create with New, then Start the
+// health prober; the Proxy itself is an http.Handler.
+type Proxy struct {
+	opt      Options
+	replicas []*replica
+	ring     []ringPoint
+	client   *http.Client
+	probes   *http.Client
+
+	wg sync.WaitGroup
+}
+
+// New builds a proxy over the replica addresses (host:port each).
+func New(addrs []string, opt Options) (*Proxy, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("fleet: no replicas")
+	}
+	opt = opt.withDefaults()
+	p := &Proxy{
+		opt: opt,
+		client: &http.Client{
+			Timeout: opt.Timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        4 * opt.MaxInflight,
+				MaxIdleConnsPerHost: opt.MaxInflight,
+			},
+		},
+		probes: &http.Client{Timeout: 2 * time.Second},
+	}
+	for i, addr := range addrs {
+		if addr == "" {
+			return nil, fmt.Errorf("fleet: replica %d has an empty address", i)
+		}
+		p.replicas = append(p.replicas, &replica{addr: addr})
+		for v := 0; v < vnodesPerReplica; v++ {
+			p.ring = append(p.ring, ringPoint{hash: mix64(fnv64(fmt.Sprintf("%s#%d", addr, v))), idx: i})
+		}
+	}
+	sort.Slice(p.ring, func(i, j int) bool { return p.ring[i].hash < p.ring[j].hash })
+	return p, nil
+}
+
+// Start launches the readiness prober; it stops when ctx is cancelled. Wait
+// returns once the prober goroutine has exited.
+func (p *Proxy) Start(ctx context.Context) {
+	p.probeAll()
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		t := time.NewTicker(p.opt.HealthInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				p.probeAll()
+			}
+		}
+	}()
+}
+
+// Wait blocks until the prober has stopped.
+func (p *Proxy) Wait() { p.wg.Wait() }
+
+// probeAll refreshes every replica's readiness from its /readyz endpoint.
+func (p *Proxy) probeAll() {
+	var wg sync.WaitGroup
+	for _, r := range p.replicas {
+		wg.Add(1)
+		go func(r *replica) {
+			defer wg.Done()
+			r.ready.Store(p.probe(r))
+		}(r)
+	}
+	wg.Wait()
+}
+
+// probe asks one replica for readiness and records its model version.
+func (p *Proxy) probe(r *replica) bool {
+	resp, err := p.probes.Get("http://" + r.addr + "/readyz")
+	if err != nil {
+		return false
+	}
+	defer func() {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var body struct {
+		ModelVersion uint64 `json:"model_version"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&body); err == nil {
+		r.modelVersion.Store(body.ModelVersion)
+	}
+	return true
+}
+
+// ReadyCount returns how many replicas currently pass readiness.
+func (p *Proxy) ReadyCount() int {
+	n := 0
+	for _, r := range p.replicas {
+		if r.ready.Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// WaitReady blocks until want replicas are ready or ctx expires.
+func (p *Proxy) WaitReady(ctx context.Context, want int) error {
+	for {
+		p.probeAll()
+		if p.ReadyCount() >= want {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("fleet: %d/%d replicas ready: %w", p.ReadyCount(), want, ctx.Err())
+		case <-time.After(250 * time.Millisecond):
+		}
+	}
+}
+
+// mix64 is the splitmix64 finalizer. FNV-1a over near-identical short
+// strings ("host:port#3" vs "host:port#4") leaves its low entropy clustered;
+// avalanching the output spreads ring points evenly so every replica owns a
+// fair slice of the key space.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// fnv64 is FNV-1a, matching the hashing the replicas' caches build on.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// shardKey extracts the routing key for a request: the network identity.
+// GET requests carry it as ?network=; buffered POST bodies are scanned for
+// the "network" field, falling back to hashing the whole body (an inline
+// network_spec IS the network identity). Requests with no network identity
+// (metrics, health) hash their path so they spread deterministically.
+func shardKey(r *http.Request, body []byte) uint64 {
+	if net := queryNetwork(r.URL.RawQuery); net != "" {
+		return fnv64(net)
+	}
+	if len(body) > 0 {
+		if net := jsonStringField(body, "network"); net != "" {
+			return fnv64(net)
+		}
+		h := uint64(14695981039346656037)
+		for _, b := range body {
+			h ^= uint64(b)
+			h *= 1099511628211
+		}
+		return h
+	}
+	return fnv64(r.URL.Path)
+}
+
+// queryNetwork pulls the network parameter straight off the raw query.
+func queryNetwork(rawQuery string) string {
+	for len(rawQuery) > 0 {
+		var pair string
+		if i := strings.IndexByte(rawQuery, '&'); i >= 0 {
+			pair, rawQuery = rawQuery[:i], rawQuery[i+1:]
+		} else {
+			pair, rawQuery = rawQuery, ""
+		}
+		if v, ok := strings.CutPrefix(pair, "network="); ok {
+			if u, err := url.QueryUnescape(v); err == nil {
+				return u
+			}
+			return v
+		}
+	}
+	return ""
+}
+
+// jsonStringField scans raw JSON for a top-level-ish `"name": "value"` pair
+// without decoding the document. Good enough for routing: a false miss just
+// hashes the body instead.
+func jsonStringField(body []byte, name string) string {
+	needle := []byte(`"` + name + `"`)
+	i := bytes.Index(body, needle)
+	if i < 0 {
+		return ""
+	}
+	rest := body[i+len(needle):]
+	j := bytes.IndexByte(rest, ':')
+	if j < 0 {
+		return ""
+	}
+	rest = bytes.TrimLeft(rest[j+1:], " \t\r\n")
+	if len(rest) == 0 || rest[0] != '"' {
+		return ""
+	}
+	rest = rest[1:]
+	k := bytes.IndexByte(rest, '"')
+	if k < 0 {
+		return ""
+	}
+	return string(rest[:k])
+}
+
+// owners yields the ring walk for a hash: the owner replica first, then each
+// distinct successor. The returned slice is indices into p.replicas.
+func (p *Proxy) owners(hash uint64) []int {
+	hash = mix64(hash) // spread clustered key hashes before the ring walk
+	// First ring point with hash >= key, wrapping.
+	i := sort.Search(len(p.ring), func(i int) bool { return p.ring[i].hash >= hash })
+	if i == len(p.ring) {
+		i = 0
+	}
+	out := make([]int, 0, len(p.replicas))
+	seen := make(map[int]bool, len(p.replicas))
+	for n := 0; n < len(p.ring) && len(out) < len(p.replicas); n++ {
+		idx := p.ring[(i+n)%len(p.ring)].idx
+		if !seen[idx] {
+			seen[idx] = true
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// Owner returns the ready ring owner's address for a network name — the
+// replica a /predict?network=name request will be forwarded to. Exposed for
+// tests and /fleetz introspection.
+func (p *Proxy) Owner(network string) (string, bool) {
+	for _, idx := range p.owners(fnv64(network)) {
+		if r := p.replicas[idx]; r.ready.Load() {
+			return r.addr, true
+		}
+	}
+	return "", false
+}
+
+// ServeHTTP implements the proxy.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	metricRequests.Inc()
+	tm := obs.StartTimer(metricLatency)
+	defer tm.Stop()
+
+	switch req.URL.Path {
+	case "/healthz":
+		p.writeHealth(w)
+		return
+	case "/readyz":
+		p.writeReady(w)
+		return
+	case "/fleetz":
+		p.writeFleetz(w)
+		return
+	}
+
+	// Buffer the body once so retries can replay it.
+	var body []byte
+	if req.Body != nil && req.Body != http.NoBody {
+		b, err := io.ReadAll(io.LimitReader(req.Body, maxBufferedBody+1))
+		req.Body.Close()
+		if err != nil {
+			writeError(w, http.StatusBadGateway, "reading request body: "+err.Error())
+			return
+		}
+		if len(b) > maxBufferedBody {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes", maxBufferedBody))
+			return
+		}
+		body = b
+	}
+
+	owners := p.owners(shardKey(req, body))
+
+	// Admission + readiness walk: the first ready owner under its in-flight
+	// cap gets the request; saturated owners are spilled past. If a ready
+	// owner exists but all are saturated → 429; if none is ready → 503.
+	attempts := 0
+	sawReady := false
+	sawSpill := false
+	for _, idx := range owners {
+		r := p.replicas[idx]
+		if !r.ready.Load() {
+			continue
+		}
+		sawReady = true
+		if r.inflight.Load() >= int64(p.opt.MaxInflight) {
+			sawSpill = true
+			continue
+		}
+		if attempts > p.opt.Retries {
+			break
+		}
+		if attempts > 0 {
+			metricRetries.Inc()
+		}
+		if sawSpill {
+			metricSpills.Inc()
+			sawSpill = false
+		}
+		attempts++
+		status, retryable := p.forward(w, req, r, body)
+		if !retryable {
+			_ = status
+			return
+		}
+		// Connection-level failure: the prober will confirm, but don't wait.
+		r.ready.Store(false)
+	}
+
+	if attempts > 0 {
+		metricProxyErrors.Inc()
+		writeError(w, http.StatusBadGateway, "every forward attempt failed")
+		return
+	}
+	if sawReady {
+		metricRejected.Inc()
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", p.opt.RetryAfter))
+		writeError(w, http.StatusTooManyRequests, "fleet saturated: all ready replicas at their in-flight cap")
+		return
+	}
+	metricUnavailable.Inc()
+	writeError(w, http.StatusServiceUnavailable, "no ready replica")
+}
+
+// forward sends the request to one replica and relays the response. It
+// reports retryable=true only for connection-level failures where no
+// response bytes reached the client.
+func (p *Proxy) forward(w http.ResponseWriter, req *http.Request, r *replica, body []byte) (int, bool) {
+	r.inflight.Add(1)
+	metricInflight.Add(1)
+	defer func() {
+		r.inflight.Add(-1)
+		metricInflight.Add(-1)
+	}()
+
+	out, err := http.NewRequestWithContext(req.Context(), req.Method,
+		"http://"+r.addr+req.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		writeError(w, http.StatusBadGateway, err.Error())
+		return http.StatusBadGateway, false
+	}
+	copyHeaders(out.Header, req.Header)
+	out.Header.Set("X-Forwarded-For", req.RemoteAddr)
+
+	metricForwarded.Inc()
+	resp, err := p.client.Do(out)
+	if err != nil {
+		// Nothing was written to the client yet; safe to retry elsewhere.
+		return 0, true
+	}
+	defer resp.Body.Close()
+
+	copyHeaders(w.Header(), resp.Header)
+	w.Header().Set("X-Fleet-Replica", r.addr)
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+	return resp.StatusCode, false
+}
+
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		dst[k] = vs
+	}
+}
+
+// writeHealth reports proxy liveness.
+func (p *Proxy) writeHealth(w http.ResponseWriter) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"replicas": len(p.replicas),
+		"ready":    p.ReadyCount(),
+	})
+}
+
+// writeReady answers 200 when at least one replica can take traffic.
+func (p *Proxy) writeReady(w http.ResponseWriter) {
+	ready := p.ReadyCount()
+	status := http.StatusOK
+	if ready == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{
+		"ready":    ready > 0,
+		"replicas": len(p.replicas),
+		"warmed":   ready,
+	})
+}
+
+// ReplicaStatus is one row of the /fleetz introspection response.
+type ReplicaStatus struct {
+	Addr         string `json:"addr"`
+	Ready        bool   `json:"ready"`
+	Inflight     int64  `json:"inflight"`
+	ModelVersion uint64 `json:"model_version"`
+}
+
+// Fleetz snapshots per-replica routing state: address, readiness, in-flight
+// count, and the model version the last probe observed.
+func (p *Proxy) Fleetz() []ReplicaStatus {
+	rows := make([]ReplicaStatus, len(p.replicas))
+	for i, r := range p.replicas {
+		rows[i] = ReplicaStatus{
+			Addr:         r.addr,
+			Ready:        r.ready.Load(),
+			Inflight:     r.inflight.Load(),
+			ModelVersion: r.modelVersion.Load(),
+		}
+	}
+	return rows
+}
+
+// writeFleetz dumps the routing state.
+func (p *Proxy) writeFleetz(w http.ResponseWriter) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"replicas":     p.Fleetz(),
+		"vnodes":       vnodesPerReplica,
+		"max_inflight": p.opt.MaxInflight,
+		"retries":      p.opt.Retries,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,392 @@
+// Package loadgen is a stdlib-only HTTP load generator for the serving
+// tier. It offers load open-loop — arrivals follow a schedule that does not
+// wait for responses, the way independent users do — so queueing delay shows
+// up in the measured latencies instead of silently throttling the offered
+// rate, plus a closed-loop mode for measuring peak sustainable throughput.
+//
+// Schedules:
+//
+//   - Poisson: exponential inter-arrival times at the configured rate, the
+//     standard memoryless open-loop model.
+//   - Bursty: an on/off modulated Poisson process (rate·factor during bursts,
+//     rate/factor between them), stressing admission control and queue
+//     watermarks the way diurnal or thundering-herd traffic does.
+//   - Closed: Concurrency workers issue requests back to back; throughput
+//     reports the service capacity at that concurrency.
+//
+// Latencies are recorded twice: exact per-request samples (sorted once at
+// the end for precise p50/p99/p999) and an internal/obs latency histogram
+// whose buckets feed the summary's distribution view. Requests arriving
+// during the warm-up window are sent and counted but excluded from latency
+// and throughput, so cold plan caches and connection establishment do not
+// pollute the steady-state numbers.
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/units"
+)
+
+// Arrival selects the request schedule.
+type Arrival string
+
+// The supported schedules.
+const (
+	Poisson Arrival = "poisson"
+	Bursty  Arrival = "bursty"
+	Closed  Arrival = "closed"
+)
+
+// ParseArrival maps a CLI string onto an Arrival.
+func ParseArrival(s string) (Arrival, error) {
+	switch Arrival(s) {
+	case Poisson, Bursty, Closed:
+		return Arrival(s), nil
+	}
+	return "", fmt.Errorf("loadgen: unknown arrival schedule %q (want poisson, bursty or closed)", s)
+}
+
+// Config parameterizes one load-generation run.
+type Config struct {
+	// NewRequest builds the next request. It is called once per arrival on
+	// the dispatching goroutine; rng is the run's seeded source, so a fixed
+	// Seed yields a reproducible request mix.
+	NewRequest func(rng *rand.Rand) (*http.Request, error)
+
+	// Client issues the requests. Nil uses a dedicated client with keep-alive
+	// connections sized to Concurrency.
+	Client *http.Client
+
+	// Arrival is the schedule; empty defaults to Poisson.
+	Arrival Arrival
+
+	// Rate is the mean offered arrival rate in requests/second for the
+	// open-loop schedules. Ignored by Closed.
+	Rate float64
+
+	// Duration is the total run length including warm-up; Warmup is the
+	// prefix whose responses are excluded from latency and throughput.
+	Duration, Warmup time.Duration
+
+	// Concurrency bounds outstanding requests. Open-loop arrivals beyond the
+	// bound are shed (counted, not sent) rather than queued, keeping the
+	// generator itself from becoming the queue. For Closed it is the worker
+	// count. 0 defaults to 512 (open) / 16 (closed).
+	Concurrency int
+
+	// Seed seeds the arrival and request-mix randomness.
+	Seed int64
+
+	// BurstOn and BurstOff shape the Bursty schedule (defaults 200ms each);
+	// BurstFactor is the on-phase rate multiplier (default 4). The off-phase
+	// rate is Rate/BurstFactor, so with equal on/off windows the mean offered
+	// rate stays close to Rate.
+	BurstOn, BurstOff time.Duration
+	BurstFactor       float64
+}
+
+// Result summarizes one run.
+type Result struct {
+	Arrival Arrival
+	// OfferedRPS is the configured mean arrival rate (0 for Closed).
+	OfferedRPS float64
+	// Sent counts requests actually issued; Shed counts open-loop arrivals
+	// dropped because Concurrency requests were already outstanding.
+	Sent, Shed int64
+	// Completed counts responses received (any status); Run returns only
+	// after every sent request completed, so Completed == Sent unless the
+	// context was cancelled mid-flight.
+	Completed int64
+	// Status2xx..NetErrors partition Completed.
+	Status2xx, Status4xx, Status429, Status5xx, NetErrors int64
+	// MeasuredSeconds is the post-warm-up window the throughput refers to.
+	MeasuredSeconds units.Seconds
+	// Measured counts post-warm-up 2xx responses; ThroughputRPS is
+	// Measured / MeasuredSeconds.
+	Measured      int64
+	ThroughputRPS float64
+	// Latency quantiles over the post-warm-up samples (exact, from the
+	// sorted sample set, not bucket interpolation).
+	P50, P90, P99, P999, Max time.Duration
+	// Hist is the obs bucket histogram of the same samples.
+	Hist *obs.Histogram
+}
+
+// Quantile returns the exact q-quantile of the recorded samples.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Run drives one load-generation run and blocks until every issued request
+// has completed (or ctx is cancelled, which stops new arrivals and abandons
+// the wait after the client timeout).
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.NewRequest == nil {
+		return nil, errors.New("loadgen: Config.NewRequest is required")
+	}
+	arrival := cfg.Arrival
+	if arrival == "" {
+		arrival = Poisson
+	}
+	if arrival != Closed && cfg.Rate <= 0 {
+		return nil, fmt.Errorf("loadgen: %s schedule needs Rate > 0", arrival)
+	}
+	if cfg.Duration <= 0 {
+		return nil, errors.New("loadgen: Duration must be positive")
+	}
+	if cfg.Warmup < 0 || cfg.Warmup >= cfg.Duration {
+		return nil, fmt.Errorf("loadgen: Warmup %v must be in [0, Duration)", cfg.Warmup)
+	}
+	conc := cfg.Concurrency
+	if conc <= 0 {
+		if arrival == Closed {
+			conc = 16
+		} else {
+			conc = 512
+		}
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        conc,
+				MaxIdleConnsPerHost: conc,
+			},
+		}
+	}
+
+	r := &run{
+		cfg:       cfg,
+		client:    client,
+		warmupEnd: time.Now().Add(cfg.Warmup),
+		hist:      obs.NewHistogram(nil),
+	}
+	res := &Result{Arrival: arrival, OfferedRPS: cfg.Rate}
+	if arrival == Closed {
+		res.OfferedRPS = 0
+	}
+
+	deadline := time.Now().Add(cfg.Duration)
+	switch arrival {
+	case Closed:
+		r.runClosed(ctx, conc, deadline)
+	default:
+		r.runOpen(ctx, arrival, conc, deadline)
+	}
+	r.wg.Wait()
+
+	res.Sent = r.sent.Load()
+	res.Shed = r.shed.Load()
+	res.Completed = r.completed.Load()
+	res.Status2xx = r.s2xx.Load()
+	res.Status4xx = r.s4xx.Load()
+	res.Status429 = r.s429.Load()
+	res.Status5xx = r.s5xx.Load()
+	res.NetErrors = r.netErrs.Load()
+	res.MeasuredSeconds = units.Seconds((cfg.Duration - cfg.Warmup).Seconds())
+	res.Measured = r.measured.Load()
+	if res.MeasuredSeconds > 0 {
+		res.ThroughputRPS = float64(res.Measured) / res.MeasuredSeconds.Float64()
+	}
+	res.Hist = r.hist
+
+	r.mu.Lock()
+	samples := r.samples
+	r.mu.Unlock()
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	res.P50 = quantile(samples, 0.50)
+	res.P90 = quantile(samples, 0.90)
+	res.P99 = quantile(samples, 0.99)
+	res.P999 = quantile(samples, 0.999)
+	if n := len(samples); n > 0 {
+		res.Max = samples[n-1]
+	}
+	return res, ctx.Err()
+}
+
+// run is the mutable state of one Run call.
+type run struct {
+	cfg    Config
+	client *http.Client
+
+	warmupEnd time.Time
+
+	sent, shed, completed           atomic.Int64
+	s2xx, s4xx, s429, s5xx, netErrs atomic.Int64
+	measured                        atomic.Int64
+	outstanding                     atomic.Int64
+	wg                              sync.WaitGroup
+	mu                              sync.Mutex
+	samples                         []time.Duration
+	hist                            *obs.Histogram
+}
+
+// runOpen dispatches the Poisson or Bursty schedule until the deadline.
+func (r *run) runOpen(ctx context.Context, arrival Arrival, conc int, deadline time.Time) {
+	rng := rand.New(rand.NewSource(r.cfg.Seed))
+	reqRng := rand.New(rand.NewSource(r.cfg.Seed + 1))
+
+	burstOn, burstOff := r.cfg.BurstOn, r.cfg.BurstOff
+	if burstOn <= 0 {
+		burstOn = 200 * time.Millisecond
+	}
+	if burstOff <= 0 {
+		burstOff = 200 * time.Millisecond
+	}
+	factor := r.cfg.BurstFactor
+	if factor <= 1 {
+		factor = 4
+	}
+
+	next := time.Now()
+	phaseEnd := next.Add(burstOn) // bursty starts in the on phase
+	inBurst := true
+	for {
+		now := time.Now()
+		if !now.Before(deadline) {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+
+		rate := r.cfg.Rate
+		if arrival == Bursty {
+			for !now.Before(phaseEnd) {
+				if inBurst {
+					inBurst = false
+					phaseEnd = phaseEnd.Add(burstOff)
+				} else {
+					inBurst = true
+					phaseEnd = phaseEnd.Add(burstOn)
+				}
+			}
+			if inBurst {
+				rate *= factor
+			} else {
+				rate /= factor
+			}
+		}
+
+		// Exponential inter-arrival at the phase rate.
+		next = next.Add(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return
+			}
+		}
+		if !time.Now().Before(deadline) {
+			return
+		}
+
+		if r.outstanding.Load() >= int64(conc) {
+			r.shed.Add(1)
+			continue
+		}
+		req, err := r.cfg.NewRequest(reqRng)
+		if err != nil {
+			r.shed.Add(1)
+			continue
+		}
+		r.dispatch(req)
+	}
+}
+
+// runClosed runs conc workers back to back until the deadline.
+func (r *run) runClosed(ctx context.Context, conc int, deadline time.Time) {
+	for w := 0; w < conc; w++ {
+		r.wg.Add(1)
+		go func(w int) {
+			defer r.wg.Done()
+			rng := rand.New(rand.NewSource(r.cfg.Seed + int64(w)*7919))
+			for time.Now().Before(deadline) {
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				req, err := r.cfg.NewRequest(rng)
+				if err != nil {
+					return
+				}
+				r.sent.Add(1)
+				r.do(req)
+			}
+		}(w)
+	}
+}
+
+// dispatch issues one open-loop request on its own goroutine.
+func (r *run) dispatch(req *http.Request) {
+	r.sent.Add(1)
+	r.outstanding.Add(1)
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		defer r.outstanding.Add(-1)
+		r.do(req)
+	}()
+}
+
+// do issues one request and records its outcome.
+func (r *run) do(req *http.Request) {
+	start := time.Now()
+	resp, err := r.client.Do(req)
+	elapsed := time.Since(start)
+	r.completed.Add(1)
+	if err != nil {
+		r.netErrs.Add(1)
+		return
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		r.s429.Add(1)
+	case resp.StatusCode >= 500:
+		r.s5xx.Add(1)
+	case resp.StatusCode >= 400:
+		r.s4xx.Add(1)
+	default:
+		r.s2xx.Add(1)
+	}
+
+	if start.Before(r.warmupEnd) {
+		return
+	}
+	if resp.StatusCode < 400 {
+		r.measured.Add(1)
+	}
+	r.hist.Observe(units.Seconds(elapsed.Seconds()))
+	r.mu.Lock()
+	r.samples = append(r.samples, elapsed)
+	r.mu.Unlock()
+}

@@ -1,0 +1,229 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// testTarget is an httptest server with a controllable handler.
+func testTarget(t *testing.T, h http.HandlerFunc) (*httptest.Server, func(*rand.Rand) (*http.Request, error)) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	newReq := func(*rand.Rand) (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, srv.URL+"/predict", nil)
+	}
+	return srv, newReq
+}
+
+func TestRunPoissonBasics(t *testing.T) {
+	var served atomic.Int64
+	_, newReq := testTarget(t, func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.WriteHeader(http.StatusOK)
+	})
+
+	res, err := Run(context.Background(), Config{
+		NewRequest: newReq,
+		Rate:       400,
+		Duration:   500 * time.Millisecond,
+		Warmup:     100 * time.Millisecond,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.Completed != res.Sent {
+		t.Fatalf("sent=%d completed=%d; want equal and non-zero", res.Sent, res.Completed)
+	}
+	if res.Completed != served.Load() {
+		t.Fatalf("completed=%d but server saw %d", res.Completed, served.Load())
+	}
+	if res.Status2xx != res.Completed || res.Status5xx != 0 || res.NetErrors != 0 {
+		t.Fatalf("status partition: %+v", res)
+	}
+	// ~400 rps over 0.5s → ~200 arrivals; allow a wide Poisson band.
+	if res.Sent < 100 || res.Sent > 400 {
+		t.Fatalf("sent=%d, want roughly 200 for 400rps x 0.5s", res.Sent)
+	}
+	if res.ThroughputRPS <= 0 {
+		t.Fatalf("throughput = %v, want > 0", res.ThroughputRPS)
+	}
+	// Warm-up responses must be excluded from the measured set.
+	if res.Measured >= res.Completed {
+		t.Fatalf("measured=%d not smaller than completed=%d despite warm-up", res.Measured, res.Completed)
+	}
+	if int64(res.Hist.Count()) != res.Measured {
+		t.Fatalf("histogram count %d != measured %d", res.Hist.Count(), res.Measured)
+	}
+	if res.P50 <= 0 || res.P99 < res.P50 || res.P999 < res.P99 || res.Max < res.P999 {
+		t.Fatalf("quantiles not monotone: p50=%v p99=%v p999=%v max=%v", res.P50, res.P99, res.P999, res.Max)
+	}
+}
+
+func TestRunQuantilesAgainstKnownLatency(t *testing.T) {
+	const floor = 5 * time.Millisecond
+	_, newReq := testTarget(t, func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(floor)
+		w.WriteHeader(http.StatusOK)
+	})
+	res, err := Run(context.Background(), Config{
+		NewRequest: newReq,
+		Rate:       150,
+		Duration:   600 * time.Millisecond,
+		Seed:       2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measured == 0 {
+		t.Fatal("no measured responses")
+	}
+	if res.P50 < floor {
+		t.Fatalf("p50=%v below the server's %v latency floor", res.P50, floor)
+	}
+}
+
+func TestRunClosedLoop(t *testing.T) {
+	_, newReq := testTarget(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	res, err := Run(context.Background(), Config{
+		NewRequest:  newReq,
+		Arrival:     Closed,
+		Concurrency: 4,
+		Duration:    300 * time.Millisecond,
+		Seed:        3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.Completed != res.Sent {
+		t.Fatalf("closed loop sent=%d completed=%d", res.Sent, res.Completed)
+	}
+	if res.OfferedRPS != 0 {
+		t.Fatalf("closed loop reports offered rate %v", res.OfferedRPS)
+	}
+	if res.Shed != 0 {
+		t.Fatalf("closed loop shed %d", res.Shed)
+	}
+}
+
+func TestRunBurstyOffersMoreVariance(t *testing.T) {
+	_, newReq := testTarget(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	res, err := Run(context.Background(), Config{
+		NewRequest:  newReq,
+		Arrival:     Bursty,
+		Rate:        300,
+		Duration:    600 * time.Millisecond,
+		BurstOn:     100 * time.Millisecond,
+		BurstOff:    100 * time.Millisecond,
+		BurstFactor: 4,
+		Seed:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent == 0 || res.Status5xx != 0 {
+		t.Fatalf("bursty run: %+v", res)
+	}
+}
+
+func TestRunStatusPartition(t *testing.T) {
+	var n atomic.Int64
+	_, newReq := testTarget(t, func(w http.ResponseWriter, r *http.Request) {
+		switch n.Add(1) % 4 {
+		case 0:
+			w.WriteHeader(http.StatusTooManyRequests)
+		case 1:
+			w.WriteHeader(http.StatusBadRequest)
+		case 2:
+			w.WriteHeader(http.StatusInternalServerError)
+		default:
+			w.WriteHeader(http.StatusOK)
+		}
+	})
+	res, err := Run(context.Background(), Config{
+		NewRequest: newReq,
+		Rate:       300,
+		Duration:   400 * time.Millisecond,
+		Seed:       5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Status2xx + res.Status4xx + res.Status429 + res.Status5xx + res.NetErrors
+	if got != res.Completed {
+		t.Fatalf("status partition sums to %d, completed %d", got, res.Completed)
+	}
+	for name, v := range map[string]int64{
+		"2xx": res.Status2xx, "4xx": res.Status4xx, "429": res.Status429, "5xx": res.Status5xx,
+	} {
+		if v == 0 {
+			t.Errorf("no %s responses recorded", name)
+		}
+	}
+	// Only 2xx responses count toward throughput.
+	if res.Measured > res.Status2xx {
+		t.Fatalf("measured %d exceeds 2xx %d", res.Measured, res.Status2xx)
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	newReq := func(*rand.Rand) (*http.Request, error) {
+		return http.NewRequest(http.MethodGet, "http://127.0.0.1:0/", nil)
+	}
+	cases := []Config{
+		{},                             // no NewRequest
+		{NewRequest: newReq},           // no rate
+		{NewRequest: newReq, Rate: 10}, // no duration
+		{NewRequest: newReq, Rate: 10, Duration: time.Second, Warmup: time.Second}, // warmup >= duration
+	}
+	for i, cfg := range cases {
+		if _, err := Run(context.Background(), cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	if _, err := ParseArrival("diurnal"); err == nil {
+		t.Error("ParseArrival accepted an unknown schedule")
+	}
+	for _, s := range []string{"poisson", "bursty", "closed"} {
+		if _, err := ParseArrival(s); err != nil {
+			t.Errorf("ParseArrival(%q): %v", s, err)
+		}
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	_, newReq := testTarget(t, func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := Run(ctx, Config{
+		NewRequest: newReq,
+		Rate:       100,
+		Duration:   10 * time.Second,
+		Seed:       6,
+	})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not stop the run promptly")
+	}
+	if res == nil || res.Completed != res.Sent {
+		t.Fatalf("cancelled run dropped requests: %+v", res)
+	}
+}

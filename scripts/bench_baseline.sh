@@ -1,8 +1,14 @@
 #!/bin/sh
 # Regenerates BENCH_baseline.json: the committed reference numbers for the
-# prediction hot path and the lab collection pipeline. Run from the repo root
-# on a quiet machine; numbers are indicative (one -benchtime=1000x sample per
-# benchmark), meant to catch order-of-magnitude regressions, not 5% drifts.
+# prediction hot path, the lab collection pipeline, and the fleet serving
+# tier. Run from the repo root on a quiet machine; numbers are indicative
+# (one -benchtime=1000x sample per benchmark, one loadtest run), meant to
+# catch order-of-magnitude regressions, not 5% drifts.
+#
+# Fleet entries (`fleet_throughput_rps`, `fleet_p99_ns`) come from a short
+# `dnnperf loadtest` run whose arguments MUST match bench_compare.sh exactly
+# — the gate is only meaningful against a baseline measured the same way on
+# the same machine.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -26,7 +32,38 @@ go test -run '^$' -bench 'BenchmarkDatasetBuild$' -benchtime 10x ./internal/data
 go test -run '^$' -bench 'BenchmarkProfile$' -benchtime 200x ./internal/profiler/ >>"$tmp"
 go test -run '^$' -bench 'BenchmarkFitKW$' -benchtime 50x ./internal/core/ >>"$tmp"
 
-# Convert `BenchmarkName-P  N  T ns/op  B B/op  A allocs/op` lines to JSON.
+# Fleet serving tier: best of three loadtest runs (max throughput, min p99
+# — open-loop tail latency on a shared box is dominated by scheduler noise,
+# and as with the micro-benchmarks, slowdowns are noise while speedups are
+# not). Arguments must match bench_compare.sh.
+echo "bench_baseline: running fleet loadtest x3 (2 replicas, 400 rps, 6s)..."
+ltout="$(mktemp)"
+bin="$(mktemp -d)/dnnperf"
+trap 'rm -f "$tmp" "$ltout"; rm -rf "$(dirname "$bin")"' EXIT
+go build -o "$bin" ./cmd/dnnperf
+fleet_thr=""
+fleet_p99=""
+run=0
+while [ "$run" -lt 3 ]; do
+    "$bin" -quick -replicas 2 -max-inflight 256 -rate 400 -duration 6s -warmup 2s -seed 7 loadtest >"$ltout"
+    thr="$(sed -n 's/.*"fleet_throughput_rps": \([0-9][0-9.]*\).*/\1/p' "$ltout" | head -1)"
+    p99="$(sed -n 's/.*"fleet_p99_ns": \([0-9][0-9]*\).*/\1/p' "$ltout" | head -1)"
+    if [ -z "$thr" ] || [ -z "$p99" ]; then
+        echo "bench_baseline: loadtest summary missing fleet metrics:" >&2
+        cat "$ltout" >&2
+        exit 1
+    fi
+    if [ -z "$fleet_thr" ] || awk "BEGIN { exit !($thr > $fleet_thr) }"; then
+        fleet_thr="$thr"
+    fi
+    if [ -z "$fleet_p99" ] || awk "BEGIN { exit !($p99 < $fleet_p99) }"; then
+        fleet_p99="$p99"
+    fi
+    run=$((run + 1))
+done
+
+# Convert `BenchmarkName-P  N  T ns/op  B B/op  A allocs/op` lines to JSON,
+# leaving the object open so the fleet entries can be appended.
 awk 'BEGIN { print "{"; first = 1 }
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name)
@@ -44,7 +81,10 @@ awk 'BEGIN { print "{"; first = 1 }
     if (allocs != "") printf(", \"allocs_per_op\": %s", allocs)
     printf("}")
 }
-END { print "\n}" }' "$tmp" >"$out"
+END { printf(",\n") }' "$tmp" >"$out"
+
+printf '  "fleet_throughput_rps": {"value": %s},\n' "$fleet_thr" >>"$out"
+printf '  "fleet_p99_ns": {"value": %s}\n}\n' "$fleet_p99" >>"$out"
 
 echo "wrote $out:"
 cat "$out"

@@ -6,9 +6,14 @@
 #   2. dnnlint          — the repo's own invariants (internal/analysis):
 #                         detrange, unitsafe, floateq, locksafe, staleplan
 #   3. go test -race    — the full suite under the race detector
-#   4. serve smoke test — boot `dnnperf serve`, hit /healthz and /metrics
-#   5. bench compare    — cached-predict benchmarks vs BENCH_baseline.json
-#                         (>25% ns/op regression fails)
+#   4. serve smoke test — boot `dnnperf serve`, hit /healthz and /metrics;
+#                         then a 2-replica fleet: routing, 429 backpressure,
+#                         whole-fleet graceful drain
+#   5. loadtest smoke   — `dnnperf loadtest` drives a 2-replica fleet for
+#                         ~2s; non-zero throughput, zero 5xx required
+#   6. bench compare    — cached-predict benchmarks vs BENCH_baseline.json
+#                         (>25% ns/op regression fails) plus the fleet
+#                         throughput/p99 gate (BENCH_FLEET_THRESHOLD)
 #
 # Followed by the lint self-test: seed a known violation into a scratch copy
 # of the module and require dnnlint to fail on it, so a silently broken
@@ -28,6 +33,9 @@ go test -race ./...
 
 echo "== serve smoke test"
 ./scripts/serve_smoke.sh
+
+echo "== loadtest smoke test"
+./scripts/loadtest_smoke.sh
 
 echo "== bench compare"
 ./scripts/bench_compare.sh

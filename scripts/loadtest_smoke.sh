@@ -1,0 +1,57 @@
+#!/bin/sh
+# loadtest_smoke.sh — the fleet serving tier's CI smoke: boots a 2-replica
+# fleet through `dnnperf loadtest`, drives ~2s of open-loop Poisson traffic
+# at the proxy, and requires the summary to show non-zero sustained
+# throughput with zero 5xx responses and zero transport errors. This is the
+# cheap end-to-end proof that replica spawning, readiness probing,
+# consistent-hash routing and the load generator all still compose.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+bin="$(mktemp -d)/dnnperf"
+log="$(mktemp)"
+out="$(mktemp)"
+
+cleanup() {
+    rm -f "$log" "$out"
+    rm -rf "$(dirname "$bin")"
+}
+trap cleanup EXIT
+
+echo "loadtest_smoke: building dnnperf..."
+go build -o "$bin" ./cmd/dnnperf
+
+echo "loadtest_smoke: 2-replica fleet, 200 rps poisson for 2.5s..."
+if ! "$bin" -quick -replicas 2 -rate 200 -duration 2500ms -warmup 500ms -seed 7 loadtest >"$out" 2>"$log"; then
+    echo "loadtest_smoke: loadtest run failed:" >&2
+    cat "$log" >&2
+    exit 1
+fi
+
+field() {
+    sed -n "s/.*\"$1\": \([0-9][0-9.]*\).*/\1/p" "$out" | head -1
+}
+
+thr="$(field fleet_throughput_rps)"
+s5xx="$(field status_5xx)"
+neterr="$(field net_errors)"
+sent="$(field sent)"
+
+if [ -z "$thr" ] || [ -z "$s5xx" ] || [ -z "$neterr" ]; then
+    echo "loadtest_smoke: summary missing expected keys:" >&2
+    cat "$out" >&2
+    exit 1
+fi
+if ! awk "BEGIN { exit !($thr > 0) }"; then
+    echo "loadtest_smoke: fleet_throughput_rps = $thr, want > 0" >&2
+    cat "$out" >&2
+    exit 1
+fi
+if [ "$s5xx" != "0" ] || [ "$neterr" != "0" ]; then
+    echo "loadtest_smoke: failures under load: status_5xx=$s5xx net_errors=$neterr" >&2
+    cat "$out" >&2
+    exit 1
+fi
+
+echo "loadtest_smoke: $sent requests, ${thr} rps sustained, zero 5xx, zero transport errors"

@@ -1,22 +1,31 @@
 #!/bin/sh
 # serve_smoke.sh — boots `dnnperf serve` and verifies the serving surface
 # end to end: /healthz must return 200 promptly (liveness is independent of
-# the model warm-up), /metrics must emit Prometheus text containing the obs
-# registry's serve counters, and once the model is warm both /predict and
-# /predict/batch (GET and POST) must answer with predictions. Finally the
-# server must exit 0 on SIGTERM — the graceful-shutdown contract.
+# the model warm-up), /readyz must flip from 503 to 200 when the model
+# lands, /metrics must emit Prometheus text containing the obs registry's
+# serve counters, and once the model is warm both /predict and
+# /predict/batch (GET and POST) must answer with predictions. The server
+# must exit 0 on SIGTERM — the graceful-shutdown contract.
+#
+# A second section boots a 2-replica fleet proxy with a deliberately tiny
+# admission cap (-max-inflight 1), verifies routed predictions, provokes a
+# 429 Retry-After backpressure response with a concurrent burst, and checks
+# that SIGTERM drains the whole fleet: proxy exits 0 and no replica
+# processes survive it.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 addr="${SERVE_SMOKE_ADDR:-localhost:18097}"
+fleet_addr="${SERVE_SMOKE_FLEET_ADDR:-localhost:18098}"
 bin="$(mktemp -d)/dnnperf"
 log="$(mktemp)"
+codes="$(mktemp)"
 pid=""
 
 cleanup() {
     [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
-    rm -f "$log"
+    rm -f "$log" "$codes"
     rm -rf "$(dirname "$bin")"
 }
 trap cleanup EXIT
@@ -34,6 +43,17 @@ post() {
         curl -fsS --max-time 10 -H 'Content-Type: application/json' -d "$2" "$1"
     else
         wget -q -T 10 -O - --header 'Content-Type: application/json' --post-data "$2" "$1"
+    fi
+}
+
+# code prints only the HTTP status of a GET, without failing the script.
+code() {
+    if command -v curl >/dev/null 2>&1; then
+        curl -s -o /dev/null --max-time 15 -w '%{http_code}\n' "$1" || echo 000
+    elif wget -q -T 15 -O /dev/null "$1" 2>/dev/null; then
+        echo 200
+    else
+        echo 000
     fi
 }
 
@@ -109,6 +129,16 @@ if [ "$ok" -ne 1 ]; then
     exit 1
 fi
 
+# With the model warm, the readiness probe must agree with liveness.
+ready="$(fetch "http://$addr/readyz")"
+case "$ready" in
+*'"ready": true'*) : ;;
+*)
+    echo "serve_smoke: /readyz not ready after model_ready: $ready" >&2
+    exit 1
+    ;;
+esac
+
 pred="$(fetch "http://$addr/predict?network=resnet50&batch=64")"
 case "$pred" in
 *'"predicted_ms"'*) : ;;
@@ -147,4 +177,104 @@ if [ "$status" -ne 0 ]; then
     exit 1
 fi
 
-echo "serve_smoke: health, metrics, predict, batch predict and graceful shutdown all verified"
+echo "serve_smoke: single-server health, readiness, metrics, predict and graceful shutdown verified"
+
+# --- Fleet section: sharded proxy, admission backpressure, whole-fleet drain.
+echo "serve_smoke: booting 2-replica fleet with max-inflight 1..."
+"$bin" -quick -replicas 2 -max-inflight 1 -addr "$fleet_addr" fleet >"$log" 2>&1 &
+pid=$!
+
+ok=0
+i=0
+while [ "$i" -lt 240 ]; do
+    health="$(fetch "http://$fleet_addr/healthz" 2>/dev/null || true)"
+    case "$health" in
+    *'"ready": 2'*)
+        ok=1
+        break
+        ;;
+    esac
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve_smoke: fleet proxy exited early:" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+    sleep 0.5
+    i=$((i + 1))
+done
+if [ "$ok" -ne 1 ]; then
+    echo "serve_smoke: fleet replicas not ready within 120s" >&2
+    cat "$log" >&2
+    exit 1
+fi
+
+# A routed prediction through the proxy must succeed once replicas are ready.
+pred="$(fetch "http://$fleet_addr/predict?network=resnet50&batch=64")"
+case "$pred" in
+*'"predicted_ms"'*) : ;;
+*)
+    echo "serve_smoke: unexpected fleet /predict body: $pred" >&2
+    exit 1
+    ;;
+esac
+
+# Backpressure: with a per-replica in-flight cap of 1, a concurrent burst of
+# slow batch sweeps must saturate both replicas and surface at least one 429
+# (the proxy spills to the other replica first, then sheds). Several rounds
+# guard against scheduling luck on small machines.
+batches="$(seq 1 300 | paste -sd, -)"
+saw429=0
+round=0
+while [ "$round" -lt 5 ] && [ "$saw429" -eq 0 ]; do
+    : >"$codes"
+    burst_pids=""
+    j=0
+    while [ "$j" -lt 24 ]; do
+        code "http://$fleet_addr/predict/batch?network=resnet50&batches=$batches" >>"$codes" &
+        burst_pids="$burst_pids $!"
+        j=$((j + 1))
+    done
+    for bp in $burst_pids; do
+        wait "$bp" || true
+    done
+    if grep -q '^429$' "$codes"; then
+        saw429=1
+    fi
+    round=$((round + 1))
+done
+if [ "$saw429" -ne 1 ]; then
+    echo "serve_smoke: no 429 observed from saturated fleet after $round burst rounds:" >&2
+    sort "$codes" | uniq -c >&2
+    exit 1
+fi
+if grep -q '^5' "$codes"; then
+    echo "serve_smoke: 5xx under burst load:" >&2
+    sort "$codes" | uniq -c >&2
+    exit 1
+fi
+
+# The fleet must recover once the burst drains.
+st="$(code "http://$fleet_addr/predict?network=resnet50&batch=64")"
+if [ "$st" != "200" ]; then
+    echo "serve_smoke: fleet did not recover after burst, /predict -> $st" >&2
+    exit 1
+fi
+
+# SIGTERM must drain the proxy AND terminate every spawned replica.
+kill "$pid"
+status=0
+wait "$pid" || status=$?
+pid=""
+if [ "$status" -ne 0 ]; then
+    echo "serve_smoke: fleet proxy exited with status $status on SIGTERM" >&2
+    cat "$log" >&2
+    exit 1
+fi
+survivors="$(ps ax -o pid= -o command= 2>/dev/null | grep -F "$bin" | grep -v grep || true)"
+if [ -n "$survivors" ]; then
+    echo "serve_smoke: replica processes survived fleet shutdown:" >&2
+    echo "$survivors" >&2
+    exit 1
+fi
+
+echo "serve_smoke: fleet routing, 429 backpressure and whole-fleet graceful drain verified"
