@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint verify bench bench-smoke bench-baseline bench-compare serve-smoke loadtest-smoke
+.PHONY: build test lint lint-sarif verify bench bench-smoke bench-baseline bench-compare serve-smoke loadtest-smoke
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,17 @@ test:
 	$(GO) test ./...
 
 # lint runs the repository's own static analyzers (internal/analysis) over
-# every package: detrange, unitsafe, floateq, locksafe, staleplan.
+# every package: detrange, unitsafe, floateq, locksafe, staleplan,
+# allocfree, goroleak, httpcontract. Findings honor
+# `//lint:ignore <analyzer> <reason>` (the reason is mandatory).
 lint:
 	$(GO) run ./cmd/dnnlint ./...
+
+# lint-sarif writes the same findings as `make lint` in SARIF 2.1.0 form to
+# dnnlint.sarif (written even when findings exist; the target still fails
+# on findings so gates keep gating).
+lint-sarif:
+	$(GO) run ./cmd/dnnlint -sarif ./... > dnnlint.sarif
 
 # verify is the pre-merge gate: vet, dnnlint, the full test suite under the
 # race detector (the concurrency tests in internal/bench, internal/cache and

@@ -1,16 +1,25 @@
 // Command dnnlint runs the repository's domain-specific static analyzers
 // (internal/analysis) over package patterns and reports invariant
-// violations with file:line positions. It exits non-zero when any finding
-// is reported, so `go run ./cmd/dnnlint ./...` gates make verify and CI.
+// violations with file:line positions.
 //
 // Usage:
 //
-//	dnnlint [packages]
+//	dnnlint [-json | -sarif] [packages]
 //
 // Patterns: "./..." (default) walks every package under the current module;
 // an explicit directory ("./internal/core") checks just that package.
 // Test files and testdata directories are never checked — the invariants
 // guard production behaviour, and tests legitimately assert bit-identity.
+//
+// Packages load in parallel through one shared, memoized importer, and
+// findings are reported in deterministic (file, line, analyzer) order.
+// Findings honor //lint:ignore <analyzer> <reason> suppression directives;
+// a directive without a reason is itself a finding.
+//
+// Exit codes: 0 when clean, 1 when findings are reported, 2 when any
+// package fails to load (parse or type-check errors, printed to stderr).
+// Load errors dominate: a run that cannot see the whole module must not
+// pass the gate.
 package main
 
 import (
@@ -18,23 +27,27 @@ import (
 	"flag"
 	"fmt"
 	"go/token"
-	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
-	"strings"
 
 	"repro/internal/analysis"
 )
 
 func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log (GitHub code scanning)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dnnlint [packages]\n\nInvariants:\n")
+		fmt.Fprintf(os.Stderr, "usage: dnnlint [-json | -sarif] [packages]\n\nInvariants:\n")
 		for _, a := range analysis.All() {
-			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name(), a.Doc())
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name(), a.Doc())
 		}
 	}
 	flag.Parse()
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "dnnlint: -json and -sarif are mutually exclusive")
+		os.Exit(2)
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -45,14 +58,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	module, err := moduleName(root)
+	module, err := analysis.ModuleName(root)
+	if err != nil {
+		fatal(err)
+	}
+	dirs, err := analysis.ExpandPatterns(root, patterns)
 	if err != nil {
 		fatal(err)
 	}
 
-	dirs, err := expandPatterns(root, patterns)
-	if err != nil {
-		fatal(err)
+	pkgs := make([]analysis.PackageDir, len(dirs))
+	for i, dir := range dirs {
+		pkgs[i] = analysis.PackageDir{Dir: dir, ImportPath: analysis.ImportPathFor(module, root, dir)}
 	}
 
 	fset := token.NewFileSet()
@@ -60,14 +77,18 @@ func main() {
 	analyzers := analysis.All()
 
 	var findings []analysis.Finding
-	for _, dir := range dirs {
-		pass, err := analysis.LoadDir(fset, imp, dir, importPath(module, root, dir))
-		if err != nil {
-			fatal(err)
+	loadErrs := 0
+	for _, res := range analysis.LoadPackages(fset, imp, pkgs) {
+		if res.Err != nil {
+			fmt.Fprintln(os.Stderr, "dnnlint:", res.Err)
+			loadErrs++
+			continue
 		}
+		var pkgFindings []analysis.Finding
 		for _, a := range analyzers {
-			findings = append(findings, a.Run(pass)...)
+			pkgFindings = append(pkgFindings, a.Run(res.Pass)...)
 		}
+		findings = append(findings, analysis.ApplySuppressions(res.Pass, pkgFindings)...)
 	}
 
 	sort.Slice(findings, func(i, j int) bool {
@@ -82,114 +103,38 @@ func main() {
 	})
 
 	w := bufio.NewWriter(os.Stdout)
-	for _, f := range findings {
-		rel := f.Pos.Filename
-		if r, err := filepath.Rel(root, rel); err == nil {
-			rel = r
+	switch {
+	case *sarifOut:
+		if err := analysis.WriteSARIF(w, analyzers, findings, root); err != nil {
+			fatal(err)
 		}
-		fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", rel, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	case *jsonOut:
+		if err := analysis.WriteFindingsJSON(w, findings, root); err != nil {
+			fatal(err)
+		}
+	default:
+		for _, f := range findings {
+			rel := f.Pos.Filename
+			if r, err := filepath.Rel(root, rel); err == nil {
+				rel = r
+			}
+			fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", rel, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		}
 	}
 	w.Flush()
+
+	if loadErrs > 0 {
+		fmt.Fprintf(os.Stderr, "dnnlint: %d package(s) failed to load\n", loadErrs)
+		os.Exit(2)
+	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "dnnlint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
 }
 
-// fatal reports a driver error and exits with a status distinct from the
-// findings exit code.
+// fatal reports a driver error and exits with the load-error status.
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "dnnlint:", err)
 	os.Exit(2)
-}
-
-// moduleName reads the module path from go.mod in root.
-func moduleName(root string) (string, error) {
-	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
-	if err != nil {
-		return "", err
-	}
-	for _, line := range strings.Split(string(data), "\n") {
-		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
-			return strings.TrimSpace(rest), nil
-		}
-	}
-	return "", fmt.Errorf("no module directive in %s/go.mod", root)
-}
-
-// importPath maps a package directory to its import path under the module.
-func importPath(module, root, dir string) string {
-	rel, err := filepath.Rel(root, dir)
-	if err != nil || rel == "." {
-		return module
-	}
-	return module + "/" + filepath.ToSlash(rel)
-}
-
-// expandPatterns resolves package patterns to package directories: "./..."
-// and "dir/..." walk recursively; anything else is a single directory.
-// Directories named testdata, hidden directories and _-prefixed directories
-// are skipped, matching the go tool's convention.
-func expandPatterns(root string, patterns []string) ([]string, error) {
-	seen := map[string]bool{}
-	var dirs []string
-	add := func(dir string) {
-		if !seen[dir] {
-			seen[dir] = true
-			dirs = append(dirs, dir)
-		}
-	}
-	for _, pat := range patterns {
-		base, recursive := strings.CutSuffix(pat, "...")
-		base = strings.TrimSuffix(base, "/")
-		if base == "" || base == "." {
-			base = root
-		} else if !filepath.IsAbs(base) {
-			base = filepath.Join(root, base)
-		}
-		if !recursive {
-			if hasGoFiles(base) {
-				add(base)
-			} else {
-				return nil, fmt.Errorf("no Go files in %s", base)
-			}
-			continue
-		}
-		err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if !d.IsDir() {
-				return nil
-			}
-			name := d.Name()
-			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
-				return fs.SkipDir
-			}
-			if hasGoFiles(path) {
-				add(path)
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	sort.Strings(dirs)
-	return dirs, nil
-}
-
-// hasGoFiles reports whether dir directly contains a non-test Go file.
-func hasGoFiles(dir string) bool {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return false
-	}
-	for _, e := range entries {
-		name := e.Name()
-		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
-			return true
-		}
-	}
-	return false
 }

@@ -67,6 +67,9 @@ func All() []Analyzer {
 		NewFloateq(),
 		NewLocksafe(),
 		NewStaleplan(),
+		NewAllocfree(DefaultAllocWhitelist()),
+		NewGoroleak(),
+		NewHttpcontract(),
 	}
 }
 

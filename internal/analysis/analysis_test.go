@@ -179,7 +179,10 @@ func TestAllStableOrder(t *testing.T) {
 	for _, a := range All() {
 		names = append(names, a.Name())
 	}
-	want := []string{"detrange", "unitsafe", "floateq", "locksafe", "staleplan"}
+	want := []string{
+		"detrange", "unitsafe", "floateq", "locksafe", "staleplan",
+		"allocfree", "goroleak", "httpcontract",
+	}
 	if len(names) != len(want) {
 		t.Fatalf("analyzers = %v, want %v", names, want)
 	}

@@ -1,0 +1,53 @@
+package analysis
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkDnnlintModule measures one full dnnlint pass over the module:
+// expand ./..., load every package through the shared memoized importer in
+// parallel, run all eight analyzers and apply suppressions. This is the
+// wall-clock cost `make lint` adds to the pre-merge gate, so it is gated in
+// scripts/bench_compare.sh against BENCH_baseline.json. Iterations after
+// the first reuse the memoized import graph (exactly how the driver's loads
+// share work within one run).
+func BenchmarkDnnlintModule(b *testing.B) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		b.Fatal(err)
+	}
+	module, err := ModuleName(root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dirs, err := ExpandPatterns(root, []string{"./..."})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs := make([]PackageDir, len(dirs))
+	for i, dir := range dirs {
+		pkgs[i] = PackageDir{Dir: dir, ImportPath: ImportPathFor(module, root, dir)}
+	}
+	fset := token.NewFileSet()
+	imp := NewImporter(fset)
+	analyzers := All()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total := 0
+		for _, res := range LoadPackages(fset, imp, pkgs) {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+			var findings []Finding
+			for _, a := range analyzers {
+				findings = append(findings, a.Run(res.Pass)...)
+			}
+			total += len(ApplySuppressions(res.Pass, findings))
+		}
+		if total != 0 {
+			b.Fatalf("module not clean: %d findings", total)
+		}
+	}
+}

@@ -65,12 +65,31 @@ func (a *Detrange) checkFunc(p *Pass, fd *ast.FuncDecl, findings *[]Finding) {
 		if !ok {
 			return true
 		}
-		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap && !isMapIterator(p, rng.X) {
 			return true
 		}
 		a.checkMapRange(p, fd, rng, findings)
 		return true
 	})
+}
+
+// isMapIterator reports whether the range operand is a maps.Keys /
+// maps.Values / maps.All iterator — ranging one of those visits entries in
+// the same randomized order as ranging the map directly.
+func isMapIterator(p *Pass, x ast.Expr) bool {
+	call, ok := unparen(x).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(p, unparen(call.Fun))
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "maps" {
+		return false
+	}
+	switch fn.Name() {
+	case "Keys", "Values", "All":
+		return true
+	}
+	return false
 }
 
 // checkMapRange reports order-sensitive statements inside one map range.

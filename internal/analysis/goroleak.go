@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The goroleak analyzer requires every go statement to carry a visible
+// termination path, so the serving tier (fleet's replica prober, loadgen's
+// closed-loop workers, serve's listener goroutines) cannot quietly grow
+// goroutines that outlive their owner. A spawn is accepted when any of the
+// following holds:
+//
+//   - the spawned function literal selects or receives on a cancellation
+//     signal: a .Done() call result (context.Context or equivalent) or a
+//     done-channel (a receive-only channel or a chan struct{})
+//   - the spawned function literal is straight-line: no loops, selects,
+//     channel operations or .Wait() calls, so it self-terminates
+//   - the spawn site's enclosing function also waits: it calls a .Wait()
+//     method (sync.WaitGroup) or performs a channel receive (a join)
+//   - a named spawned function is handed a context.Context or a channel
+//     argument, delegating termination to the callee's own contract
+//
+// Anything else — a background loop with no context, no join and no done
+// channel — is a finding.
+
+const goroleakName = "goroleak"
+
+// Goroleak checks that go statements have a termination path.
+type Goroleak struct{}
+
+// NewGoroleak returns the analyzer.
+func NewGoroleak() *Goroleak { return &Goroleak{} }
+
+// Name implements Analyzer.
+func (a *Goroleak) Name() string { return goroleakName }
+
+// Doc implements Analyzer.
+func (a *Goroleak) Doc() string {
+	return "every go statement must have a termination path (context/done-channel select, straight-line body, or an enclosing wait/join)"
+}
+
+// Run implements Analyzer.
+func (a *Goroleak) Run(p *Pass) []Finding {
+	var findings []Finding
+	for _, fd := range funcDecls(p) {
+		a.checkBody(p, fd.Body, &findings)
+	}
+	return findings
+}
+
+// checkBody scans one function body (the body of a declaration or of a
+// nested literal) for go statements, tracking the nearest enclosing
+// function so the wait/join rule looks at the right scope.
+func (a *Goroleak) checkBody(p *Pass, body *ast.BlockStmt, findings *[]Finding) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			a.checkBody(p, x.Body, findings)
+			return false
+		case *ast.GoStmt:
+			a.checkGo(p, x, body, findings)
+		}
+		return true
+	})
+}
+
+// checkGo applies the termination rules to one go statement; enclosing is
+// the body of the function the spawn site lives in.
+func (a *Goroleak) checkGo(p *Pass, gs *ast.GoStmt, enclosing *ast.BlockStmt, findings *[]Finding) {
+	switch fun := unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if receivesCancellation(p, fun.Body) {
+			return
+		}
+		if straightLine(fun.Body) {
+			return
+		}
+		if waitsOrJoins(enclosing) {
+			return
+		}
+		reportf(p, findings, goroleakName, gs,
+			"goroutine has no termination path: select on a context/done channel, keep the body straight-line, or wait for it in the spawning function")
+	default:
+		if callCarriesSignal(p, gs.Call) {
+			return
+		}
+		if waitsOrJoins(enclosing) {
+			return
+		}
+		reportf(p, findings, goroleakName, gs,
+			"spawned call carries no context.Context or channel and the spawning function does not wait for it")
+	}
+}
+
+// receivesCancellation reports whether the body receives (directly or in a
+// select) from a .Done() call result or from a done-shaped channel (a
+// receive-only channel or a chan struct{}).
+func receivesCancellation(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		ue, ok := n.(*ast.UnaryExpr)
+		if !ok || ue.Op != token.ARROW {
+			return true
+		}
+		src := unparen(ue.X)
+		if call, ok := src.(*ast.CallExpr); ok {
+			if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				found = true
+				return false
+			}
+		}
+		if isDoneChannel(p.Info.Types[src].Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isDoneChannel reports whether t is a receive-only channel or a channel of
+// empty structs — the two shapes done channels take.
+func isDoneChannel(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	if ch.Dir() == types.RecvOnly {
+		return true
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+// straightLine reports whether the body self-terminates by construction:
+// no loops, no selects, no channel operations, no .Wait() calls.
+func straightLine(body *ast.BlockStmt) bool {
+	ok := true
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SelectStmt, *ast.SendStmt, *ast.GoStmt:
+			ok = false
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				ok = false
+				return false
+			}
+		case *ast.CallExpr:
+			if sel, isSel := unparen(x.Fun).(*ast.SelectorExpr); isSel && sel.Sel.Name == "Wait" {
+				ok = false
+				return false
+			}
+		}
+		return ok
+	})
+	return ok
+}
+
+// waitsOrJoins reports whether the enclosing body also waits for spawned
+// work: a .Wait() method call or a channel receive anywhere in it.
+func waitsOrJoins(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				found = true
+				return false
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callCarriesSignal reports whether a named spawned call passes a
+// context.Context or any channel to the callee.
+func callCarriesSignal(p *Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		t := p.Info.Types[arg].Type
+		if t == nil {
+			continue
+		}
+		if isContextType(t) {
+			return true
+		}
+		if _, ok := t.Underlying().(*types.Chan); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

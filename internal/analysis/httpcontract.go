@@ -1,0 +1,570 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// The httpcontract analyzer pins the HTTP-layer contract the serve and
+// fleet tiers maintain by hand:
+//
+//   - handlers (functions taking both an http.ResponseWriter and an
+//     *http.Request) must cap the request body — wrap it in
+//     http.MaxBytesReader or io.LimitReader — before consuming it
+//   - no path through a handler may commit the response status twice
+//     (WriteHeader after WriteHeader, or after a status-writing helper)
+//   - no path may write body bytes before the status on error paths
+//     (WriteHeader after the body has started is a no-op plus a log line)
+//
+// The analyzer threads a (wrote-header, wrote-body) state through each
+// handler's statement list, branching at if/switch/select and merging the
+// surviving (non-returning) branches. Same-package helper functions that
+// take a ResponseWriter are classified first — does every path through the
+// helper write the status (must), or only some (may)? — with a small
+// fixpoint so chains like writeJSONError -> writeJSON -> WriteHeader
+// resolve. A call that *must* write triggers the double-write check
+// against the current state; a call that only *may* write triggers the
+// check but does not advance the state, so retry loops that forward to a
+// helper which may or may not respond stay clean.
+
+const httpcontractName = "httpcontract"
+
+// Httpcontract checks HTTP handlers for body caps and single-commit
+// status writes.
+type Httpcontract struct{}
+
+// NewHttpcontract returns the analyzer.
+func NewHttpcontract() *Httpcontract { return &Httpcontract{} }
+
+// Name implements Analyzer.
+func (a *Httpcontract) Name() string { return httpcontractName }
+
+// Doc implements Analyzer.
+func (a *Httpcontract) Doc() string {
+	return "HTTP handlers must cap request bodies before reading them and commit the response status exactly once per path"
+}
+
+// writerClass summarizes how a function treats its ResponseWriter
+// parameter: must/may write the status header, must/may write body bytes.
+type writerClass struct {
+	mustWH, mayWH bool
+	mustBW, mayBW bool
+}
+
+// Run implements Analyzer.
+func (a *Httpcontract) Run(p *Pass) []Finding {
+	helpers := classifyHelpers(p)
+	var findings []Finding
+	check := func(ftype *ast.FuncType, body *ast.BlockStmt) {
+		w, req := handlerParams(p, ftype)
+		if w == nil || req == nil {
+			return
+		}
+		checkBodyCap(p, req, body, &findings)
+		ctx := &writeCtx{p: p, w: w, helpers: helpers, findings: &findings}
+		st := writeState{}
+		ctx.walkStmts(body.List, &st, false)
+	}
+	for _, fd := range funcDecls(p) {
+		check(fd.Type, fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				check(lit.Type, lit.Body)
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// handlerParams returns the ResponseWriter and *Request parameter objects,
+// or nils when the signature is not a handler's.
+func handlerParams(p *Pass, ftype *ast.FuncType) (w, req types.Object) {
+	if ftype.Params == nil {
+		return nil, nil
+	}
+	for _, field := range ftype.Params.List {
+		t := p.Info.Types[field.Type].Type
+		for _, name := range field.Names {
+			obj := p.Info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if isResponseWriter(t) {
+				w = obj
+			}
+			if isRequestPtr(t) {
+				req = obj
+			}
+		}
+	}
+	return w, req
+}
+
+// isResponseWriter reports whether t is net/http.ResponseWriter.
+func isResponseWriter(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "ResponseWriter"
+}
+
+// isRequestPtr reports whether t is *net/http.Request.
+func isRequestPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request"
+}
+
+// ------------------------------------------------------------ body cap
+
+// checkBodyCap requires every consumption of req.Body to be wrapped in (or
+// preceded by a rebind through) http.MaxBytesReader or io.LimitReader.
+func checkBodyCap(p *Pass, req types.Object, body *ast.BlockStmt, findings *[]Finding) {
+	// Collect positions where req.Body is rebound to a capped reader.
+	var capPositions []int
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		if !isReqBody(p, req, as.Lhs[0]) {
+			return true
+		}
+		if call, ok := unparen(as.Rhs[0]).(*ast.CallExpr); ok && isCapWrapper(p, call) {
+			capPositions = append(capPositions, int(as.Pos()))
+		}
+		return true
+	})
+	cappedBefore := func(pos int) bool {
+		for _, c := range capPositions {
+			if c < pos {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// req.Body.Read(...) and friends; Close is fine.
+		if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok && isReqBody(p, req, sel.X) {
+			if sel.Sel.Name != "Close" && !cappedBefore(int(call.Pos())) {
+				reportf(p, findings, httpcontractName, call,
+					"request body consumed without an http.MaxBytesReader or io.LimitReader cap")
+			}
+			return true
+		}
+		if isCapWrapper(p, call) {
+			return true // req.Body handed to the wrapper itself
+		}
+		for _, arg := range call.Args {
+			if isReqBody(p, req, arg) && !cappedBefore(int(call.Pos())) {
+				reportf(p, findings, httpcontractName, call,
+					"request body consumed without an http.MaxBytesReader or io.LimitReader cap")
+			}
+		}
+		return true
+	})
+}
+
+// isReqBody reports whether e is <req>.Body for the tracked request param.
+func isReqBody(p *Pass, req types.Object, e ast.Expr) bool {
+	sel, ok := unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Body" {
+		return false
+	}
+	id, ok := unparen(sel.X).(*ast.Ident)
+	return ok && p.Info.Uses[id] == req
+}
+
+// isCapWrapper reports whether call is http.MaxBytesReader or
+// io.LimitReader.
+func isCapWrapper(p *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(p, unparen(call.Fun))
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() + "." + fn.Name() {
+	case "net/http.MaxBytesReader", "io.LimitReader":
+		return true
+	}
+	return false
+}
+
+// ------------------------------------------------- status-write threading
+
+// writeState is the per-path response state.
+type writeState struct {
+	wroteHeader bool
+	wroteBody   bool
+	exited      bool
+}
+
+// writeCtx carries one walk's fixed inputs. In classify mode (findings
+// nil) the walk records exit states instead of reporting.
+type writeCtx struct {
+	p        *Pass
+	w        types.Object
+	helpers  map[types.Object]writerClass
+	findings *[]Finding
+	exits    []writeState
+	saw      writerClass // may-level summary accumulated during the walk
+}
+
+// walkStmts threads st through a statement list in order.
+func (c *writeCtx) walkStmts(list []ast.Stmt, st *writeState, inLoop bool) {
+	for _, s := range list {
+		c.walkStmt(s, st, inLoop)
+		if st.exited {
+			return
+		}
+	}
+}
+
+// walkStmt threads st through one statement.
+func (c *writeCtx) walkStmt(s ast.Stmt, st *writeState, inLoop bool) {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		c.applyExpr(x.X, st)
+		if isPanic(c.p, x.X) {
+			st.exited = true
+		}
+	case *ast.AssignStmt:
+		for _, r := range x.Rhs {
+			c.applyExpr(r, st)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.applyExpr(v, st)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			c.applyExpr(r, st)
+		}
+		st.exited = true
+		c.exits = append(c.exits, *st)
+	case *ast.BranchStmt:
+		st.exited = true // break/continue/goto: stop this list, not the function
+	case *ast.BlockStmt:
+		c.walkStmts(x.List, st, inLoop)
+	case *ast.IfStmt:
+		if x.Init != nil {
+			c.walkStmt(x.Init, st, inLoop)
+		}
+		c.applyExpr(x.Cond, st)
+		branches := [][]ast.Stmt{x.Body.List}
+		var elseStmt ast.Stmt = x.Else
+		c.mergeBranches(st, inLoop, branches, elseStmt, true)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			c.walkStmt(x.Init, st, inLoop)
+		}
+		if x.Tag != nil {
+			c.applyExpr(x.Tag, st)
+		}
+		c.mergeClauses(st, inLoop, x.Body.List)
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			c.walkStmt(x.Init, st, inLoop)
+		}
+		c.mergeClauses(st, inLoop, x.Body.List)
+	case *ast.SelectStmt:
+		c.mergeClauses(st, inLoop, x.Body.List)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			c.walkStmt(x.Init, st, inLoop)
+		}
+		c.walkLoopBody(x.Body, st)
+	case *ast.RangeStmt:
+		c.applyExpr(x.X, st)
+		c.walkLoopBody(x.Body, st)
+	case *ast.LabeledStmt:
+		c.walkStmt(x.Stmt, st, inLoop)
+	case *ast.SendStmt:
+		c.applyExpr(x.Value, st)
+	case *ast.GoStmt, *ast.DeferStmt:
+		// Concurrent and deferred writes are beyond a path-sensitive walk.
+	}
+}
+
+// mergeBranches walks an if's then/else as alternative paths and merges
+// the survivors back into st.
+func (c *writeCtx) mergeBranches(st *writeState, inLoop bool, branches [][]ast.Stmt, elseStmt ast.Stmt, implicitFallthrough bool) {
+	entry := *st
+	var survivors []writeState
+	for _, b := range branches {
+		bst := entry
+		c.walkStmts(b, &bst, inLoop)
+		if !bst.exited {
+			survivors = append(survivors, bst)
+		}
+	}
+	switch e := elseStmt.(type) {
+	case nil:
+		if implicitFallthrough {
+			survivors = append(survivors, entry)
+		}
+	case *ast.BlockStmt:
+		bst := entry
+		c.walkStmts(e.List, &bst, inLoop)
+		if !bst.exited {
+			survivors = append(survivors, bst)
+		}
+	case ast.Stmt: // else if ...
+		bst := entry
+		c.walkStmt(e, &bst, inLoop)
+		if !bst.exited {
+			survivors = append(survivors, bst)
+		}
+	}
+	mergeInto(st, survivors)
+}
+
+// mergeClauses merges switch/select case bodies as alternative paths.
+func (c *writeCtx) mergeClauses(st *writeState, inLoop bool, clauses []ast.Stmt) {
+	entry := *st
+	var survivors []writeState
+	hasDefault := false
+	for _, cl := range clauses {
+		var body []ast.Stmt
+		bst := entry
+		switch clause := cl.(type) {
+		case *ast.CaseClause:
+			if clause.List == nil {
+				hasDefault = true
+			}
+			body = clause.Body
+		case *ast.CommClause:
+			if clause.Comm == nil {
+				hasDefault = true
+			} else {
+				c.walkStmt(clause.Comm, &bst, inLoop)
+			}
+			body = clause.Body
+		default:
+			continue
+		}
+		c.walkStmts(body, &bst, inLoop)
+		if !bst.exited {
+			survivors = append(survivors, bst)
+		}
+	}
+	if !hasDefault {
+		survivors = append(survivors, entry) // no case may match
+	}
+	mergeInto(st, survivors)
+}
+
+// mergeInto sets st to the conjunction of the surviving branch states; a
+// statement list where every branch exits is itself exited.
+func mergeInto(st *writeState, survivors []writeState) {
+	if len(survivors) == 0 {
+		st.exited = true
+		return
+	}
+	merged := survivors[0]
+	for _, s := range survivors[1:] {
+		merged.wroteHeader = merged.wroteHeader && s.wroteHeader
+		merged.wroteBody = merged.wroteBody && s.wroteBody
+	}
+	merged.exited = false
+	*st = merged
+}
+
+// walkLoopBody walks a loop body once with the entry state; a body whose
+// surviving paths committed the status would commit it again on the next
+// iteration.
+func (c *writeCtx) walkLoopBody(body *ast.BlockStmt, st *writeState) {
+	bst := *st
+	c.walkStmts(body.List, &bst, true)
+	if !bst.exited && bst.wroteHeader && !st.wroteHeader && c.findings != nil {
+		reportf(c.p, c.findings, httpcontractName, body,
+			"response status may be committed on more than one loop iteration")
+	}
+	// The loop may run zero times: continue with the entry state.
+}
+
+// applyExpr applies the write events of every call in e, in traversal
+// order, to st.
+func (c *writeCtx) applyExpr(e ast.Expr, st *writeState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested handlers are checked on their own
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ev := c.callEvents(call)
+		c.apply(call, ev, st)
+		return true
+	})
+}
+
+// callEvents classifies one call's effect on the tracked ResponseWriter.
+func (c *writeCtx) callEvents(call *ast.CallExpr) writerClass {
+	fun := unparen(call.Fun)
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if id, ok := unparen(sel.X).(*ast.Ident); ok && c.p.Info.Uses[id] == c.w {
+			switch sel.Sel.Name {
+			case "WriteHeader":
+				return writerClass{mustWH: true, mayWH: true}
+			case "Write":
+				return writerClass{mustBW: true, mayBW: true}
+			}
+			return writerClass{}
+		}
+	}
+	fn := calleeFunc(c.p, fun)
+	passesW := false
+	for _, arg := range call.Args {
+		if id, ok := unparen(arg).(*ast.Ident); ok && c.p.Info.Uses[id] == c.w {
+			passesW = true
+		}
+	}
+	if fn != nil && fn.Pkg() != nil && passesW {
+		qual := fn.Pkg().Path() + "." + fn.Name()
+		switch qual {
+		case "io.Copy", "io.WriteString", "fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln":
+			return writerClass{mustBW: true, mayBW: true}
+		case "net/http.MaxBytesReader":
+			// Writes 413 itself only when a later read overflows.
+			return writerClass{}
+		}
+		if fn.Pkg() == c.p.Pkg {
+			if cls, ok := c.helpers[fn.Origin()]; ok {
+				return cls
+			}
+		}
+	}
+	if passesW {
+		return writerClass{mayWH: true, mayBW: true} // unknown sink for w
+	}
+	return writerClass{}
+}
+
+// apply threads one call's events through st, reporting contract
+// violations in report mode.
+func (c *writeCtx) apply(call *ast.CallExpr, ev writerClass, st *writeState) {
+	if ev.mayWH {
+		c.saw.mayWH = true
+		if c.findings != nil {
+			if st.wroteBody {
+				reportf(c.p, c.findings, httpcontractName, call,
+					"response status written after body bytes on this path")
+			} else if st.wroteHeader {
+				reportf(c.p, c.findings, httpcontractName, call,
+					"response status committed twice on this path")
+			}
+		}
+	}
+	if ev.mayBW {
+		c.saw.mayBW = true
+	}
+	if ev.mustWH {
+		st.wroteHeader = true
+	}
+	if ev.mustBW {
+		// A body write commits the status implicitly (an unset status
+		// becomes 200), so later WriteHeader calls are status-after-body.
+		st.wroteBody = true
+		st.wroteHeader = true
+	}
+}
+
+// isPanic reports whether e is a panic(...) call.
+func isPanic(p *Pass, e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+// ----------------------------------------------------- helper classification
+
+// classifyHelpers computes the writerClass of every same-package function
+// that takes a ResponseWriter. Three fixpoint iterations resolve the
+// helper chains that occur in practice (writeJSONError -> writeJSON ->
+// WriteHeader).
+func classifyHelpers(p *Pass) map[types.Object]writerClass {
+	type helper struct {
+		obj  types.Object
+		w    types.Object
+		body *ast.BlockStmt
+	}
+	var hs []helper
+	for _, fd := range funcDecls(p) {
+		w := responseWriterParam(p, fd.Type)
+		if w == nil {
+			continue
+		}
+		obj := p.Info.Defs[fd.Name]
+		if obj == nil {
+			continue
+		}
+		hs = append(hs, helper{obj: obj, w: w, body: fd.Body})
+	}
+	classes := map[types.Object]writerClass{}
+	for iter := 0; iter < 3; iter++ {
+		for _, h := range hs {
+			ctx := &writeCtx{p: p, w: h.w, helpers: classes}
+			st := writeState{}
+			ctx.walkStmts(h.body.List, &st, false)
+			if !st.exited {
+				ctx.exits = append(ctx.exits, st)
+			}
+			cls := ctx.saw
+			cls.mustWH = len(ctx.exits) > 0
+			cls.mustBW = len(ctx.exits) > 0
+			for _, e := range ctx.exits {
+				cls.mustWH = cls.mustWH && e.wroteHeader
+				cls.mustBW = cls.mustBW && e.wroteBody
+			}
+			classes[h.obj] = cls
+		}
+	}
+	return classes
+}
+
+// responseWriterParam returns the first ResponseWriter-typed parameter
+// object, or nil.
+func responseWriterParam(p *Pass, ftype *ast.FuncType) types.Object {
+	if ftype.Params == nil {
+		return nil
+	}
+	for _, field := range ftype.Params.List {
+		if !isResponseWriter(p.Info.Types[field.Type].Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := p.Info.Defs[name]; obj != nil {
+				return obj
+			}
+		}
+	}
+	return nil
+}

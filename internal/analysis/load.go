@@ -8,15 +8,98 @@ import (
 	"go/token"
 	"go/types"
 	"io/fs"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
-// NewImporter returns the stdlib source importer used to resolve
-// dependencies while type-checking. One importer should be shared across
-// every LoadDir call in a run so each dependency is checked once.
+// NewImporter returns the importer used to resolve dependencies while
+// type-checking: the stdlib source importer wrapped in a mutex-guarded
+// memo. One importer should be shared across every LoadDir call in a run
+// so each dependency is checked once; the memo makes that sharing safe
+// when packages load in parallel (the source importer caches internally
+// but is not concurrency-safe) and caches import errors so a broken
+// dependency fails every dependent fast.
 func NewImporter(fset *token.FileSet) types.Importer {
-	return importer.ForCompiler(fset, "source", nil)
+	return &memoImporter{
+		delegate: importer.ForCompiler(fset, "source", nil),
+		seen:     map[string]memoEntry{},
+	}
+}
+
+// memoEntry is one cached import outcome.
+type memoEntry struct {
+	pkg *types.Package
+	err error
+}
+
+// memoImporter serializes and memoizes a delegate importer.
+type memoImporter struct {
+	mu       sync.Mutex
+	delegate types.Importer
+	seen     map[string]memoEntry
+}
+
+// Import implements types.Importer.
+func (m *memoImporter) Import(path string) (*types.Package, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.seen[path]; ok {
+		return e.pkg, e.err
+	}
+	pkg, err := m.delegate.Import(path)
+	m.seen[path] = memoEntry{pkg: pkg, err: err}
+	return pkg, err
+}
+
+// PackageDir names one package to load: its directory and the import path
+// to record on the type-checked package.
+type PackageDir struct {
+	Dir        string
+	ImportPath string
+}
+
+// LoadResult is one package's load outcome.
+type LoadResult struct {
+	Dir        string
+	ImportPath string
+	Pass       *Pass
+	Err        error
+}
+
+// LoadPackages loads every package concurrently (bounded by GOMAXPROCS),
+// sharing fset and imp across workers, and returns results in input order
+// so callers report deterministically. A package that fails to load yields
+// a result with Err set; the other packages still load.
+func LoadPackages(fset *token.FileSet, imp types.Importer, pkgs []PackageDir) []LoadResult {
+	results := make([]LoadResult, len(pkgs))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				p := pkgs[i]
+				pass, err := LoadDir(fset, imp, p.Dir, p.ImportPath)
+				results[i] = LoadResult{Dir: p.Dir, ImportPath: p.ImportPath, Pass: pass, Err: err}
+			}
+		}()
+	}
+	for i := range pkgs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
 }
 
 // LoadDir parses and type-checks the non-test Go files of one package

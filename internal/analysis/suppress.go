@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Suppression directives. A finding can be silenced in place with
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed on the finding's line or the line immediately above it. The
+// analyzer name must match the finding's analyzer ("allocfree", "detrange",
+// ...; a comma-separated list silences several), and the reason is
+// mandatory: a bare //lint:ignore, or one without a reason, is itself
+// reported as a "suppress" finding so unexplained escapes cannot
+// accumulate. "suppress" findings are never suppressible.
+
+// SuppressName is the analyzer name attached to malformed-directive
+// findings.
+const SuppressName = "suppress"
+
+const ignoreDirective = "//lint:ignore"
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	file      string
+	line      int
+	analyzers []string
+}
+
+// ApplySuppressions filters out findings covered by a well-formed
+// //lint:ignore directive in the pass's files and appends one "suppress"
+// finding per malformed directive (missing analyzer name or reason). It is
+// applied by the driver to each package's combined finding list.
+func ApplySuppressions(p *Pass, findings []Finding) []Finding {
+	var dirs []directive
+	var out []Finding
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, ignoreDirective) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, ignoreDirective)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:ignorefoo — not a directive
+				}
+				pos := p.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					out = append(out, Finding{
+						Analyzer: SuppressName,
+						Pos:      pos,
+						Message: "malformed //lint:ignore directive: want " +
+							"`//lint:ignore <analyzer> <reason>` with a non-empty reason",
+					})
+					continue
+				}
+				dirs = append(dirs, directive{
+					file:      pos.Filename,
+					line:      pos.Line,
+					analyzers: strings.Split(fields[0], ","),
+				})
+			}
+		}
+	}
+	for _, f := range findings {
+		if !suppressed(dirs, f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a directive covers the finding: same file,
+// matching analyzer, on the finding's line or the line above it.
+func suppressed(dirs []directive, f Finding) bool {
+	if f.Analyzer == SuppressName {
+		return false
+	}
+	for _, d := range dirs {
+		if d.file != f.Pos.Filename {
+			continue
+		}
+		if d.line != f.Pos.Line && d.line != f.Pos.Line-1 {
+			continue
+		}
+		for _, a := range d.analyzers {
+			if a == f.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasDirective reports whether a doc comment group contains the given
+// //-style directive line (e.g. "//dnnperf:allocfree").
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,54 @@
+// Package allocfreeneg holds the sanctioned hot-path idioms the allocfree
+// analyzer must accept without findings.
+package allocfreeneg
+
+import (
+	"strconv"
+	"sync"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// render appends into a caller-provided scratch array through a zero-length
+// reslice — the canonical alloc-free formatting idiom.
+//
+//dnnperf:allocfree
+func render(dst *[64]byte, v int64) []byte {
+	return strconv.AppendInt(dst[:0], v, 10)
+}
+
+// fill appends into a slice whose capacity was established by a sized make
+// in the same function.
+//
+//dnnperf:allocfree
+func fill(vals []int64) []byte {
+	out := make([]byte, 0, 64)
+	for _, v := range vals {
+		out = append(out, byte(v))
+	}
+	return out
+}
+
+// bump uses whitelisted sync primitives.
+//
+//dnnperf:allocfree
+func (c *counter) bump() int {
+	c.mu.Lock()
+	n := c.n
+	c.n = n + 1
+	c.mu.Unlock()
+	return n
+}
+
+// chain calls another annotated function: the obligation transfers.
+//
+//dnnperf:allocfree
+func chain(dst *[64]byte, v int64) []byte {
+	return render(dst, v)
+}
+
+// untouched is not annotated, so its allocations are out of scope.
+func untouched() map[string]int { return map[string]int{"a": 1} }

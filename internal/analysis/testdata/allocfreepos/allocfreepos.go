@@ -1,0 +1,43 @@
+// Package allocfreepos exercises every allocation class the allocfree
+// analyzer reports inside annotated functions.
+package allocfreepos
+
+import "fmt"
+
+type pair struct{ a int }
+
+// grow appends with no capacity evidence in scope.
+//
+//dnnperf:allocfree
+func grow(xs []int, v int) []int {
+	xs = append(xs, v) // finding: append without preallocation evidence
+	return xs
+}
+
+//dnnperf:allocfree
+func build(n int) any {
+	m := map[string]int{"a": n} // finding: map literal
+	s := []int{n}               // finding: slice literal
+	p := &pair{a: n}            // finding: pointer-to-struct literal
+	_ = m
+	_ = s
+	_ = p
+	f := func() int { return n } // finding: closure captures n
+	_ = f
+	return n // finding: int boxed into the any result
+}
+
+//dnnperf:allocfree
+func format(n int) string {
+	return fmt.Sprintf("%d", n) // finding: fmt call
+}
+
+func helper() int { return 1 }
+
+//dnnperf:allocfree
+func concat(a, b string) string {
+	c := a + b    // finding: string concatenation
+	_ = []byte(a) // finding: string->[]byte conversion copies
+	_ = helper()  // finding: callee is neither annotated nor whitelisted
+	return c
+}

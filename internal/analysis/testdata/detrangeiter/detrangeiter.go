@@ -1,0 +1,37 @@
+// Package detrangeiter ranges over maps.Keys/maps.Values iterators, which
+// visit entries in the same randomized order as ranging the map directly.
+// detrange must treat these ranges exactly like map ranges.
+package detrangeiter
+
+import (
+	"maps"
+	"sort"
+)
+
+// foldIter accumulates floats in iterator order: nondeterministic rounding.
+func foldIter(m map[string]float64) float64 {
+	var total float64
+	for k := range maps.Keys(m) {
+		total += m[k] // finding: float accumulation in map-iterator order
+	}
+	return total
+}
+
+// keysSorted appends then sorts: the order is laundered, no finding.
+func keysSorted(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// valuesAppend leaks iterator order into the result slice.
+func valuesAppend(m map[string]int) []int {
+	var out []int
+	for v := range maps.Values(m) {
+		out = append(out, v) // finding: append in map-iterator order
+	}
+	return out
+}

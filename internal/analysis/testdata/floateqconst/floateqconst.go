@@ -1,0 +1,13 @@
+// Package floateqconst exercises floateq against float-typed named
+// constants: comparing against a nonzero named constant is still exact
+// float equality (finding); a named zero constant is the sanctioned
+// sentinel test (exempt), even when the constant carries an explicit
+// float64 type.
+package floateqconst
+
+const eps = 1e-9
+const zero float64 = 0
+
+func atEps(x float64) bool { return x == eps } // finding: nonzero constant
+
+func isZero(x float64) bool { return x == zero } // exempt: constant zero sentinel

@@ -1,0 +1,61 @@
+// Package goroleakneg holds goroutine spawn shapes with a termination path.
+package goroleakneg
+
+import (
+	"context"
+	"sync"
+)
+
+// ctxWorker's goroutine selects on ctx.Done: cancellation received in-body.
+func ctxWorker(ctx context.Context, jobs chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// joined closes a done channel the spawner receives from: a channel join.
+func joined() int {
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 3; i++ {
+			_ = i
+		}
+		close(done)
+	}()
+	<-done
+	return 0
+}
+
+// waited joins through a WaitGroup in the spawning function.
+func waited() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+	wg.Wait()
+}
+
+// fireAndForget's body is straight-line: it terminates by construction.
+func fireAndForget(v *int) {
+	go func() {
+		*v = 1
+	}()
+}
+
+func run(ctx context.Context) { _ = ctx }
+
+// named hands the context to the callee, which owns its own shutdown.
+func named(ctx context.Context) {
+	go run(ctx)
+}

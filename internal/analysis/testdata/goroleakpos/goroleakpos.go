@@ -1,0 +1,20 @@
+// Package goroleakpos spawns goroutines that carry no termination path.
+package goroleakpos
+
+// leakLoop spawns an unbounded send loop with no cancellation channel and
+// no join in the spawner.
+func leakLoop(ch chan int) {
+	go func() { // finding: looping body, no ctx/done, spawner never waits
+		for {
+			ch <- 1
+		}
+	}()
+}
+
+func worker() {}
+
+// leakNamed hands off to a named function without a context or channel
+// argument, and the spawner does not wait.
+func leakNamed() {
+	go worker() // finding: no signal argument, spawner never waits
+}

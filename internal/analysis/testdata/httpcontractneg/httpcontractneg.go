@@ -1,0 +1,64 @@
+// Package httpcontractneg holds compliant handler shapes.
+package httpcontractneg
+
+import (
+	"io"
+	"net/http"
+)
+
+const maxBody = 1 << 20
+
+// capped rebinds req.Body through MaxBytesReader before reading it.
+func capped(w http.ResponseWriter, req *http.Request) {
+	req.Body = http.MaxBytesReader(w, req.Body, maxBody)
+	b, err := io.ReadAll(req.Body)
+	if err != nil {
+		w.WriteHeader(http.StatusBadRequest)
+		return
+	}
+	_, _ = w.Write(b)
+}
+
+// limited wraps the body inline in a LimitReader at the read site.
+func limited(w http.ResponseWriter, req *http.Request) {
+	b, err := io.ReadAll(io.LimitReader(req.Body, maxBody))
+	if err != nil {
+		respond(w, http.StatusBadRequest)
+		return
+	}
+	_, _ = w.Write(b)
+}
+
+// respond is a status-writing helper the classifier must resolve: calling it
+// counts as committing the status.
+func respond(w http.ResponseWriter, code int) {
+	w.WriteHeader(code)
+}
+
+// branchy commits exactly one status on every path, through the helper.
+func branchy(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Path == "/a" {
+		respond(w, http.StatusOK)
+		return
+	}
+	respond(w, http.StatusNotFound)
+}
+
+// retry loops over a helper that only MAY write: not a loop-commit finding.
+func retry(w http.ResponseWriter, req *http.Request, tries int) {
+	for i := 0; i < tries; i++ {
+		if forward(w, i) {
+			return
+		}
+	}
+	respond(w, http.StatusBadGateway)
+}
+
+// forward writes a status on one branch only, so its effect is may-write.
+func forward(w http.ResponseWriter, i int) bool {
+	if i > 2 {
+		w.WriteHeader(http.StatusOK)
+		return true
+	}
+	return false
+}

@@ -1,0 +1,32 @@
+// Package httpcontractpos violates each HTTP-layer contract clause.
+package httpcontractpos
+
+import (
+	"io"
+	"net/http"
+)
+
+// uncapped reads the request body without a size cap.
+func uncapped(w http.ResponseWriter, req *http.Request) {
+	b, _ := io.ReadAll(req.Body) // finding: no MaxBytesReader/LimitReader
+	_, _ = w.Write(b)
+}
+
+// doubleHeader commits the status twice on the same path.
+func doubleHeader(w http.ResponseWriter, req *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(http.StatusInternalServerError) // finding: second commit
+}
+
+// bodyFirst writes response bytes before the error status.
+func bodyFirst(w http.ResponseWriter, req *http.Request) {
+	_, _ = w.Write([]byte("partial"))
+	w.WriteHeader(http.StatusInternalServerError) // finding: status after body
+}
+
+// loopHeader commits a status on every loop iteration.
+func loopHeader(w http.ResponseWriter, req *http.Request, codes []int) {
+	for _, c := range codes {
+		w.WriteHeader(c) // finding: may commit on more than one iteration
+	}
+}

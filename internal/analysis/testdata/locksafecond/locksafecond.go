@@ -1,0 +1,22 @@
+// Package locksafecond documents locksafe's treatment of conditional
+// releases: a defer mu.Unlock() inside one branch still pairs the Lock
+// (the analyzer requires a release to appear somewhere in the function,
+// not on every path), so this shape produces no finding.
+package locksafecond
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *guarded) bump(cond bool) {
+	g.mu.Lock()
+	if cond {
+		defer g.mu.Unlock()
+		g.n++
+		return
+	}
+	g.mu.Unlock()
+}

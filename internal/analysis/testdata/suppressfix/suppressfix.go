@@ -1,0 +1,34 @@
+// Package suppressfix exercises //lint:ignore directive handling.
+package suppressfix
+
+// folded carries a well-formed directive: analyzer name plus a reason.
+// The detrange finding on the accumulation line is suppressed.
+func folded(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		//lint:ignore detrange bit-drift is acceptable: the sum feeds a log line only
+		total += v
+	}
+	return total
+}
+
+// foldedBare omits the reason: the directive itself becomes a finding and
+// the detrange finding below survives.
+func foldedBare(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		//lint:ignore detrange
+		total += v
+	}
+	return total
+}
+
+// foldedWrong names a different analyzer: the detrange finding survives.
+func foldedWrong(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		//lint:ignore floateq misdirected reason
+		total += v
+	}
+	return total
+}

@@ -159,6 +159,8 @@ func (c *Sharded[K, V]) GetOrCompute(key K, fn func() (V, error)) (V, error) {
 // computation if one is running. Get counts against the same hit/miss
 // statistics as GetOrCompute (an absent key or a failed flight is a miss),
 // so a Get-heavy read path is visible in Stats and the cache metrics.
+//
+//dnnperf:allocfree
 func (c *Sharded[K, V]) Get(key K) (V, bool) {
 	s := &c.shards[key.Hash()%numShards]
 	c.lookups.Add(1)
@@ -337,6 +339,8 @@ func (s *shard[K, V]) evict(capacity int) int {
 }
 
 // moveToFront marks an entry most-recently-used.
+//
+//dnnperf:allocfree
 func (s *shard[K, V]) moveToFront(e *entry[K, V]) {
 	if s.front == e {
 		return
@@ -345,6 +349,7 @@ func (s *shard[K, V]) moveToFront(e *entry[K, V]) {
 	s.pushFront(e)
 }
 
+//dnnperf:allocfree
 func (s *shard[K, V]) pushFront(e *entry[K, V]) {
 	e.prev = nil
 	e.next = s.front
@@ -357,6 +362,7 @@ func (s *shard[K, V]) pushFront(e *entry[K, V]) {
 	}
 }
 
+//dnnperf:allocfree
 func (s *shard[K, V]) unlink(e *entry[K, V]) {
 	if e.prev != nil {
 		e.prev.next = e.next

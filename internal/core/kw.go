@@ -322,17 +322,21 @@ func (m *KWModel) kernelsForLayer(l *dnn.Layer) []kernels.Kernel {
 // at any batch size run allocation-free, never mutate n, and are safe to
 // issue from many goroutines. Results are bit-identical to
 // PredictNetworkUncached.
+//
+//dnnperf:allocfree
 func (m *KWModel) PredictNetwork(n *dnn.Network, batch int) (units.Seconds, error) {
 	tm := obs.StartTimer(metricKWPredict)
 	defer tm.Stop()
 	if batch <= 0 {
 		// Route through the uncached path for its validation error.
+		//lint:ignore allocfree the invalid-batch path is off the steady state by definition
 		return m.PredictNetworkUncached(n, batch)
 	}
 	p, err := m.planFor(n)
 	if err != nil {
 		// Compilation fails only for networks the uncached path also rejects;
 		// take it so callers see the familiar shape-inference errors.
+		//lint:ignore allocfree the compile-failure path is off the steady state by definition
 		return m.PredictNetworkUncached(n, batch)
 	}
 	return p.Predict(batch), nil
@@ -380,8 +384,13 @@ func (m *KWModel) PredictNetworkUncached(n *dnn.Network, batch int) (units.Secon
 
 // planFor returns the cached compiled plan for the network, compiling it on
 // first use. Concurrent callers for the same network share one compilation.
+// The cache hit path is allocation-free; the closure below only costs (and
+// only runs) on a compile miss.
+//
+//dnnperf:allocfree
 func (m *KWModel) planFor(n *dnn.Network) (*Plan, error) {
 	key := planKey{name: n.Name, fp: networkFingerprint(n, m.Training)}
+	//lint:ignore allocfree the GetOrCompute closure allocates only on the compile miss path
 	return m.plans.GetOrCompute(key, func() (*Plan, error) {
 		return m.CompilePlan(n)
 	})

@@ -109,6 +109,8 @@ func FractionWithin(evals []Eval, tol float64) float64 {
 }
 
 // clampTime floors a component prediction at minPrediction.
+//
+//dnnperf:allocfree
 func clampTime(t units.Seconds) units.Seconds {
 	if t < minPrediction || t.IsNaN() {
 		return minPrediction

@@ -74,6 +74,8 @@ func (p *Plan) SegmentCount() int { return len(p.segs) }
 // size must be positive (callers route non-positive batches through the
 // uncached path for its validation errors). It performs no allocation and is
 // safe to call concurrently.
+//
+//dnnperf:allocfree
 func (p *Plan) Predict(batch int) units.Seconds {
 	var total units.Seconds
 	start := 0
@@ -109,6 +111,8 @@ func (p *Plan) PredictSweep(batches []int) []units.Seconds {
 // PredictSweepInto is PredictSweep writing into dst (which must have at
 // least len(batches) elements), for callers that reuse buffers. It performs
 // no allocation and is safe to call concurrently.
+//
+//dnnperf:allocfree
 func (p *Plan) PredictSweepInto(dst []units.Seconds, batches []int) {
 	dst = dst[:len(batches)]
 	for j := range dst {
@@ -457,6 +461,8 @@ type layerTerm struct {
 }
 
 // predictTerms sums a cached layer's kernel predictions.
+//
+//dnnperf:allocfree
 func predictTerms(terms []layerTerm) units.Seconds {
 	var total units.Seconds
 	for _, t := range terms {
@@ -473,6 +479,7 @@ const (
 
 type fnv64 uint64
 
+//dnnperf:allocfree
 func (h *fnv64) str(s string) {
 	x := uint64(*h)
 	for i := 0; i < len(s); i++ {
@@ -481,6 +488,7 @@ func (h *fnv64) str(s string) {
 	*h = fnv64(x)
 }
 
+//dnnperf:allocfree
 func (h *fnv64) u64(v uint64) {
 	x := uint64(*h)
 	for i := 0; i < 8; i++ {
@@ -490,8 +498,10 @@ func (h *fnv64) u64(v uint64) {
 	*h = fnv64(x)
 }
 
+//dnnperf:allocfree
 func (h *fnv64) num(v int) { h.u64(uint64(int64(v))) }
 
+//dnnperf:allocfree
 func (h *fnv64) flag(b bool) {
 	if b {
 		h.u64(1)
@@ -505,6 +515,8 @@ func (h *fnv64) flag(b bool) {
 // parameters and wiring. Layer names are deliberately excluded — predictions
 // never consume them. The training flag is folded in because training and
 // inference plans differ for the same structure.
+//
+//dnnperf:allocfree
 func networkFingerprint(n *dnn.Network, training bool) uint64 {
 	h := fnv64(fnvOffset64)
 	h.str(n.Name)

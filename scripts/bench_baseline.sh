@@ -32,6 +32,11 @@ go test -run '^$' -bench 'BenchmarkDatasetBuild$' -benchtime 10x ./internal/data
 go test -run '^$' -bench 'BenchmarkProfile$' -benchtime 200x ./internal/profiler/ >>"$tmp"
 go test -run '^$' -bench 'BenchmarkFitKW$' -benchtime 50x ./internal/core/ >>"$tmp"
 
+# Static-analysis gate cost: a full dnnlint pass over the module. One
+# invocation with b.N=3 — cold importer on the first pass, memoized on the
+# rest — matching bench_compare.sh exactly.
+go test -run '^$' -bench 'BenchmarkDnnlintModule$' -benchtime 3x ./internal/analysis/ >>"$tmp"
+
 # Fleet serving tier: best of three loadtest runs (max throughput, min p99
 # — open-loop tail latency on a shared box is dominated by scheduler noise,
 # and as with the micro-benchmarks, slowdowns are noise while speedups are

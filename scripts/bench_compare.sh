@@ -10,8 +10,10 @@
 # (PlanCompile), the batch-sweep path (PredictSweep), the serve layer's
 # /predict handler (ServePredict), and the collection fast path: one
 # dataset.Build pass (DatasetBuild), one detail profile (Profile) and one
-# KW fit from sufficient statistics (FitKW). Only the root package's
-# LabDatasetBuild stays an ungated order-of-magnitude reference.
+# KW fit from sufficient statistics (FitKW), and one full dnnlint pass over
+# the module (DnnlintModule — the wall-clock cost `make lint` adds to the
+# gate). Only the root package's LabDatasetBuild stays an ungated
+# order-of-magnitude reference.
 #
 # The fleet serving tier is gated separately: three short `dnnperf
 # loadtest` runs (arguments identical to bench_baseline.sh; best of three —
@@ -55,6 +57,11 @@ go test -run '^$' -bench 'BenchmarkProfile$' \
     -benchtime 200x -count 3 ./internal/profiler/ >>"$raw"
 go test -run '^$' -bench 'BenchmarkFitKW$' \
     -benchtime 50x -count 3 ./internal/core/ >>"$raw"
+# One invocation with b.N=3 (not -count 3): the first pass pays the cold
+# importer, later passes reuse the memoized import graph, and the averaged
+# ns/op matches how bench_baseline.sh measures the same benchmark.
+go test -run '^$' -bench 'BenchmarkDnnlintModule$' \
+    -benchtime 3x ./internal/analysis/ >>"$raw"
 
 # `BenchmarkName-P  N  T ns/op ...` -> `BenchmarkName T`, keeping the
 # fastest of the repeated runs: the minimum is the standard noise filter

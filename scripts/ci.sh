@@ -4,7 +4,8 @@
 # Commands, in dependency order:
 #   1. go vet           — toolchain-level static checks
 #   2. dnnlint          — the repo's own invariants (internal/analysis):
-#                         detrange, unitsafe, floateq, locksafe, staleplan
+#                         detrange, unitsafe, floateq, locksafe, staleplan,
+#                         allocfree, goroleak, httpcontract
 #   3. go test -race    — the full suite under the race detector
 #   4. serve smoke test — boot `dnnperf serve`, hit /healthz and /metrics;
 #                         then a 2-replica fleet: routing, 429 backpressure,
@@ -15,9 +16,11 @@
 #                         (>25% ns/op regression fails) plus the fleet
 #                         throughput/p99 gate (BENCH_FLEET_THRESHOLD)
 #
-# Followed by the lint self-test: seed a known violation into a scratch copy
-# of the module and require dnnlint to fail on it, so a silently broken
-# analyzer cannot green-light the gate.
+# Followed by the lint self-test: seed known violations (one per
+# representative analyzer) into a scratch copy of the module and require
+# dnnlint to fail with the right finding and the right exit code (0 clean,
+# 1 findings, 2 load error), so a silently broken analyzer or a conflated
+# exit path cannot green-light the gate.
 set -eu
 
 cd "$(dirname "$0")/.."
