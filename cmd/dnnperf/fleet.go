@@ -13,11 +13,13 @@ import (
 	"os/exec"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/fleet"
 	"repro/internal/loadgen"
+	"repro/internal/obs"
 )
 
 // The fleet subcommand scales the serving tier horizontally: it re-executes
@@ -150,6 +152,44 @@ type fleetFlags struct {
 	warmup      time.Duration
 	arrival     string
 	seed        int64
+	traceOut    string
+}
+
+// writeFleetTrace merges the proxy's span buffer with every replica's
+// /tracez.json into one Perfetto-loadable timeline, one track per process.
+// Replicas that fail to scrape are skipped with a note — a partial timeline
+// beats none during a teardown.
+func writeFleetTrace(path string, proxy *fleet.Proxy) error {
+	procs := []obs.ProcessTrace{proxy.ProcessTrace()}
+	client := &http.Client{Timeout: 10 * time.Second}
+	for _, addr := range proxy.ReplicaAddrs() {
+		resp, err := client.Get("http://" + addr + "/tracez.json")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dnnperf: scraping %s/tracez.json: %v\n", addr, err)
+			continue
+		}
+		pt, err := obs.ReadProcessTrace(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dnnperf: decoding %s/tracez.json: %v\n", addr, err)
+			continue
+		}
+		procs = append(procs, pt)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTraceMerged(f, procs); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "dnnperf: merged fleet trace (%d processes) written to %s (load it at https://ui.perfetto.dev)\n",
+		len(procs), path)
+	return nil
 }
 
 // runFleet is the `dnnperf fleet` command: replicas + proxy until SIGTERM.
@@ -202,6 +242,13 @@ func runFleet(quick bool, gpuName, addr string, ff fleetFlags) error {
 	if err := <-errc; err != nil && err != http.ErrServerClosed {
 		return err
 	}
+	// Replicas are still alive here (stopFleet runs in the defer), so their
+	// span buffers can be scraped into the merged timeline.
+	if ff.traceOut != "" {
+		if err := writeFleetTrace(ff.traceOut, proxy); err != nil {
+			return err
+		}
+	}
 	// stopFleet in the defer terminates the replicas after the proxy drain.
 	return nil
 }
@@ -229,6 +276,16 @@ type loadtestSummary struct {
 	FleetP999Ns       int64   `json:"fleet_p999_ns"`
 	FleetMaxNs        int64   `json:"fleet_max_ns"`
 	ModelVersionFloor uint64  `json:"model_version_floor"`
+	// SlowestRequests lists the slowest measured requests with the trace ID
+	// each response echoed, for lookup in the -trace-o merged timeline.
+	SlowestRequests []slowRequestSummary `json:"slowest_requests,omitempty"`
+}
+
+// slowRequestSummary is one slowest-K entry in the loadtest summary.
+type slowRequestSummary struct {
+	TraceID   string `json:"trace_id,omitempty"`
+	LatencyNs int64  `json:"latency_ns"`
+	Status    int    `json:"status"`
 }
 
 // loadtestBatches is the cached-predict batch mix the generator cycles
@@ -295,11 +352,24 @@ func runLoadtest(quick bool, gpuName, network string, ff fleetFlags) error {
 
 	fmt.Fprintf(os.Stderr, "dnnperf loadtest: %s arrivals at %.0f rps for %v (warm-up %v) against %d replicas\n",
 		arrival, ff.rate, ff.duration, ff.warmup, len(kids))
+	var reqN atomic.Uint64
 	res, err := loadgen.Run(context.Background(), loadgen.Config{
 		NewRequest: func(rng *rand.Rand) (*http.Request, error) {
 			b := loadtestBatches[rng.Intn(len(loadtestBatches))]
-			return http.NewRequest(http.MethodGet,
+			req, err := http.NewRequest(http.MethodGet,
 				fmt.Sprintf("%s/predict?network=%s&batch=%d", base, network, b), nil)
+			if err != nil {
+				return nil, err
+			}
+			// Inject a sampled trace context on every other request: the
+			// proxy continues injected traces regardless of its own 1-in-N
+			// head sampling, so the slowest-K summary entries usually carry
+			// a trace ID and the merged timeline stays dense. The serving
+			// defaults are untouched — this is the diagnostic path.
+			if reqN.Add(1)%2 == 1 {
+				req.Header.Set("traceparent", obs.NewSpanContext().Traceparent())
+			}
+			return req, nil
 		},
 		Arrival:  arrival,
 		Rate:     ff.rate,
@@ -341,6 +411,17 @@ func runLoadtest(quick bool, gpuName, network string, ff fleetFlags) error {
 	}
 	if sum.ModelVersionFloor == ^uint64(0) {
 		sum.ModelVersionFloor = 0
+	}
+	for _, s := range res.Slowest {
+		sum.SlowestRequests = append(sum.SlowestRequests, slowRequestSummary{
+			TraceID: s.TraceID, LatencyNs: s.Latency.Nanoseconds(), Status: s.Status,
+		})
+	}
+
+	if ff.traceOut != "" {
+		if err := writeFleetTrace(ff.traceOut, proxy); err != nil {
+			return err
+		}
 	}
 
 	enc := json.NewEncoder(os.Stdout)

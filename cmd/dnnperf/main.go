@@ -71,6 +71,7 @@ func main() {
 	addr := flag.String("addr", "localhost:8080", "listen address for serve")
 	timing := flag.Bool("timing", false, "report per-phase wall time (observability spans)")
 	traceOut := flag.String("o", "", "write a Chrome trace-event JSON of the run to this file")
+	fleetTraceOut := flag.String("trace-o", "", "fleet/loadtest: write a merged Perfetto trace of the proxy and every replica to this file")
 	replicas := flag.Int("replicas", 4, "replica count for fleet/loadtest")
 	maxInflight := flag.Int("max-inflight", 256, "per-replica in-flight cap for fleet/loadtest admission control")
 	rate := flag.Float64("rate", 200, "offered request rate (rps) for loadtest")
@@ -119,7 +120,7 @@ func main() {
 			fatal(err)
 		}
 	case "fleet":
-		ff := fleetFlags{replicas: *replicas, maxInflight: *maxInflight}
+		ff := fleetFlags{replicas: *replicas, maxInflight: *maxInflight, traceOut: *fleetTraceOut}
 		if err := runFleet(*quick, *gpuName, *addr, ff); err != nil {
 			fatal(err)
 		}
@@ -127,7 +128,7 @@ func main() {
 		ff := fleetFlags{
 			replicas: *replicas, maxInflight: *maxInflight,
 			rate: *rate, duration: *duration, warmup: *warmup,
-			arrival: *arrival, seed: *seed,
+			arrival: *arrival, seed: *seed, traceOut: *fleetTraceOut,
 		}
 		if err := runLoadtest(*quick, *gpuName, *network, ff); err != nil {
 			fatal(err)

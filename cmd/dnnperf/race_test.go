@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation allocates, so exact allocs-per-run assertions skip.
+const raceEnabled = true

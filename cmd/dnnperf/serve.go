@@ -81,6 +81,8 @@ var (
 		"Requests to /predict/batch.")
 	metricServeCoalesced = obs.Default().Counter("serve_coalesced_requests_total",
 		"Sweep requests that joined an identical in-flight computation instead of starting their own.")
+	metricServe5xx = obs.Default().Counter("serve_request_5xx_total",
+		"HTTP requests answered with a 5xx status (the SLO availability bad-event count).")
 )
 
 // shutdownDrain bounds how long a graceful shutdown waits for in-flight
@@ -142,6 +144,17 @@ type server struct {
 	// model that fell outside the lab's sample.
 	nets cache.Sharded[netKey, *dnn.Network]
 
+	// tracer holds the replica's span buffer; reqTrack is the single
+	// reserved track every request span lands on, so the process renders
+	// as one timeline row. procName labels the process in merged traces.
+	tracer   *obs.Tracer
+	reqTrack int64
+	procName string
+
+	// slo tracks availability and latency burn rates over the serve-layer
+	// request counters and latency histogram.
+	slo *obs.SLOTracker
+
 	mu       sync.Mutex
 	inflight map[string]*sweepFlight
 }
@@ -151,7 +164,12 @@ func newServer(l *bench.Lab, g gpu.Spec) *server {
 		lab: l, gpu: g, start: time.Now(),
 		reg:      registry.New(),
 		inflight: map[string]*sweepFlight{},
+		tracer:   obs.NewTracer(),
+		procName: "replica",
 	}
+	s.reqTrack = s.tracer.ReserveTrack()
+	s.slo = obs.NewSLOTracker(obs.SLOConfig{},
+		metricServeRequests.Value, metricServe5xx.Value, metricServeLatency)
 	s.reg.RegisterMetrics("serve_model")
 	return s
 }
@@ -204,13 +222,15 @@ func (s *server) handler() http.Handler {
 		expvar.Publish("obs", expvar.Func(func() any { return obs.Default().SnapshotJSON() }))
 	})
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.instrument(s.handleHealthz))
-	mux.HandleFunc("/readyz", s.instrument(s.handleReadyz))
-	mux.HandleFunc("/modelz", s.instrument(s.handleModelz))
-	mux.HandleFunc("/metrics", s.instrument(s.handleMetrics))
-	mux.HandleFunc("/metrics.json", s.instrument(s.handleMetricsJSON))
-	mux.HandleFunc("/predict", s.instrument(s.handlePredict))
-	mux.HandleFunc("/predict/batch", s.instrument(s.handlePredictBatch))
+	mux.HandleFunc("/healthz", s.instrument("healthz", s.handleHealthz))
+	mux.HandleFunc("/readyz", s.instrument("readyz", s.handleReadyz))
+	mux.HandleFunc("/modelz", s.instrument("modelz", s.handleModelz))
+	mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	mux.HandleFunc("/metrics.json", s.instrument("metrics_json", s.handleMetricsJSON))
+	mux.HandleFunc("/predict", s.instrument("predict", s.handlePredict))
+	mux.HandleFunc("/predict/batch", s.instrument("predict_batch", s.handlePredictBatch))
+	mux.HandleFunc("/sloz", s.instrument("sloz", s.handleSloz))
+	mux.HandleFunc("/tracez.json", s.instrument("tracez", s.handleTracez))
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -230,7 +250,9 @@ func (s *server) serveUntil(ctx context.Context, addr string, ready chan<- strin
 	if err != nil {
 		return err
 	}
-	fmt.Printf("dnnperf: serving on http://%s (endpoints: /healthz /readyz /modelz /metrics /metrics.json /predict /predict/batch /debug/vars /debug/pprof/)\n", ln.Addr())
+	s.procName = "replica " + ln.Addr().String()
+	go s.slo.Run(ctx, 2*time.Second)
+	fmt.Printf("dnnperf: serving on http://%s (endpoints: /healthz /readyz /modelz /metrics /metrics.json /predict /predict/batch /sloz /tracez.json /debug/vars /debug/pprof/)\n", ln.Addr())
 	srv := &http.Server{
 		Handler:           s.handler(),
 		ReadHeaderTimeout: serveReadHeaderTimeout,
@@ -259,11 +281,13 @@ func (s *server) serveUntil(ctx context.Context, addr string, ready chan<- strin
 	return nil
 }
 
-// statusRecorder captures the handler's status code for error counting.
-// Instances are pooled; instrument resets them per request.
+// statusRecorder captures the handler's status code for error counting and
+// carries the request's trace (nil when unsampled) so handlers can recover it
+// through traceOf. Instances are pooled; instrument resets them per request.
 type statusRecorder struct {
 	http.ResponseWriter
 	status int
+	trace  *requestTrace
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -273,24 +297,57 @@ func (r *statusRecorder) WriteHeader(code int) {
 
 var recorderPool = sync.Pool{New: func() any { return new(statusRecorder) }}
 
-// instrument wraps a handler with the serve-layer metrics and the uniform
-// request-body cap. Bodyless requests (every steady-state GET) skip the
-// MaxBytesReader wrap so the zero-allocation /predict path stays free.
-func (s *server) instrument(h http.HandlerFunc) http.HandlerFunc {
+// routeStats is one route's RED surface: request rate, error rate, latency.
+// Handles are created once at route-table assembly; the registry dedups by
+// name, so building several servers in one process shares the same handles.
+type routeStats struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	seconds  *obs.Histogram
+}
+
+func newRouteStats(route string) routeStats {
+	return routeStats{
+		requests: obs.Default().Counter("serve_route_"+route+"_requests_total",
+			"Requests handled on the "+route+" route."),
+		errors: obs.Default().Counter("serve_route_"+route+"_errors_total",
+			"Requests answered with a 4xx/5xx status on the "+route+" route."),
+		seconds: obs.Default().Histogram("serve_route_"+route+"_seconds",
+			"Request handling latency on the "+route+" route.", nil),
+	}
+}
+
+// instrument wraps a handler with the serve-layer and per-route metrics, the
+// tracing sampling decision, and the uniform request-body cap. Bodyless
+// requests (every steady-state GET) skip the MaxBytesReader wrap so the
+// zero-allocation /predict path stays free; the sampling decision itself is
+// a fixed-shape header parse that allocates only for sampled requests.
+func (s *server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	rs := newRouteStats(route)
 	return func(w http.ResponseWriter, req *http.Request) {
 		tm := obs.StartTimer(metricServeLatency)
+		rtm := obs.StartTimer(rs.seconds)
 		metricServeRequests.Inc()
+		rs.requests.Inc()
 		rec := recorderPool.Get().(*statusRecorder)
 		rec.ResponseWriter, rec.status = w, http.StatusOK
+		rec.trace = s.sampleRequest(req)
+		rec.trace.echoTraceID(w.Header())
 		if req.ContentLength != 0 && req.Body != nil && req.Body != http.NoBody {
 			req.Body = http.MaxBytesReader(rec, req.Body, maxModelBody)
 		}
 		h(rec, req)
+		rec.trace.finish(route, rec.status)
 		if rec.status >= 400 {
 			metricServeErrors.Inc()
+			rs.errors.Inc()
 		}
-		rec.ResponseWriter = nil
+		if rec.status >= 500 {
+			metricServe5xx.Inc()
+		}
+		rec.ResponseWriter, rec.trace = nil, nil
 		recorderPool.Put(rec)
+		rtm.Stop()
 		tm.Stop()
 	}
 }
@@ -458,8 +515,12 @@ func (s *server) network(name string) (*dnn.Network, error) {
 
 // handlePredict serves one KW prediction:
 // /predict?network=resnet50&batch=64. The steady-state path allocates
-// nothing.
+// nothing: the always-on stage histograms go through the value-typed
+// stageClock, and the per-stage spans (rt) fire only when the request
+// arrived with a sampled traceparent — every rt method is a no-op on nil.
 func (s *server) handlePredict(w http.ResponseWriter, req *http.Request) {
+	rt := traceOf(w)
+	sc := startStages()
 	m := s.loadModel(w)
 	if m == nil {
 		return
@@ -478,16 +539,37 @@ func (s *server) handlePredict(w http.ResponseWriter, req *http.Request) {
 		}
 		batch = v
 	}
+	sc = sc.mark(metricStageParse)
+	rt.stage("parse")
 	net, err := s.network(name)
 	if err != nil {
 		writeJSONError(w, http.StatusNotFound, err.Error())
 		return
 	}
-	pred, err := m.PredictNetwork(net, batch)
+	sc = sc.mark(metricStageCache)
+	rt.stage("cache_lookup")
+	var pred units.Seconds
+	if rt != nil {
+		// Traced: split compilation from prediction so the timeline
+		// attributes plan-cache misses. Predictions are bit-identical to
+		// the untraced PredictNetwork path; a plan error falls back to it
+		// for the identical error shape.
+		if p, perr := m.CompiledPlan(net); perr == nil {
+			rt.stage("compile")
+			pred = p.Predict(batch)
+			rt.stage("predict")
+		} else {
+			pred, err = m.PredictNetwork(net, batch)
+			rt.stage("predict")
+		}
+	} else {
+		pred, err = m.PredictNetwork(net, batch)
+	}
 	if err != nil {
 		writeJSONError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}
+	sc = sc.mark(metricStagePredict)
 	metricServePredictions.Inc()
 
 	buf := bufPool.Get().(*bytes.Buffer)
@@ -495,6 +577,8 @@ func (s *server) handlePredict(w http.ResponseWriter, req *http.Request) {
 	setHeader(w.Header(), "Content-Type", "application/json")
 	_, _ = w.Write(buf.Bytes())
 	bufPool.Put(buf)
+	sc.mark(metricStageRender)
+	rt.stage("render")
 }
 
 // renderPredict encodes the /predict response body into buf (resetting it

@@ -108,6 +108,11 @@ func DefaultAllocWhitelist() []string {
 		"strings.HasPrefix",
 		"strings.HasSuffix",
 		"strings.TrimSpace",
+		// Monotonic clock reads for stage attribution.
+		"time.Now",
+		"time.Time.IsZero",
+		"time.Time.Sub",
+		"time.Duration.Seconds",
 		// Internal leaf methods of the predict path.
 		"repro/internal/regression.Line.Predict",
 		"repro/internal/units.Seconds.Float64",
@@ -116,6 +121,9 @@ func DefaultAllocWhitelist() []string {
 		"repro/internal/obs.Timer.Stop",
 		"repro/internal/obs.Counter.Inc",
 		"repro/internal/obs.Counter.Add",
+		"repro/internal/obs.Enabled",
+		"repro/internal/obs.ParseTraceparent",
+		"repro/internal/obs.Histogram.Observe",
 		"repro/internal/cache.Sharded.Get",
 		"repro/internal/registry.Registry.Current",
 	}

@@ -12,7 +12,7 @@ import (
 )
 
 func TestAllocfreePositive(t *testing.T) {
-	findings := runFixture(t, NewAllocfree(DefaultAllocWhitelist()), "allocfreepos", 10)
+	findings := runFixture(t, NewAllocfree(DefaultAllocWhitelist()), "allocfreepos", 11)
 	// One finding per allocation class the fixture stages.
 	classes := map[string]bool{
 		"append":        false, // append without capacity evidence
@@ -53,7 +53,7 @@ func TestGoroleakNegative(t *testing.T) {
 }
 
 func TestHttpcontractPositive(t *testing.T) {
-	findings := runFixture(t, NewHttpcontract(), "httpcontractpos", 4)
+	findings := runFixture(t, NewHttpcontract(), "httpcontractpos", 6)
 	classes := map[string]bool{
 		"cap":       false, // uncapped body read
 		"twice":     false, // double WriteHeader
@@ -277,11 +277,12 @@ func TestLoadPackages(t *testing.T) {
 // carry the //dnnperf:allocfree contract because their steady state is
 // benchmarked at 0 allocs/op.
 var hotPathAnnotations = map[string][]string{
-	"internal/core/plan.go":   {"Predict", "PredictSweepInto", "predictTerms", "networkFingerprint", "str", "u64", "num", "flag"},
-	"internal/core/model.go":  {"clampTime"},
-	"internal/core/kw.go":     {"PredictNetwork", "planFor"},
-	"internal/cache/cache.go": {"Get", "moveToFront", "pushFront", "unlink"},
-	"cmd/dnnperf/serve.go":    {"renderPredict", "queryValue", "setHeader", "writeJSONString"},
+	"internal/core/plan.go":     {"Predict", "PredictSweepInto", "predictTerms", "networkFingerprint", "str", "u64", "num", "flag"},
+	"internal/core/model.go":    {"clampTime"},
+	"internal/core/kw.go":       {"PredictNetwork", "planFor"},
+	"internal/cache/cache.go":   {"Get", "moveToFront", "pushFront", "unlink"},
+	"cmd/dnnperf/serve.go":      {"renderPredict", "queryValue", "setHeader", "writeJSONString"},
+	"cmd/dnnperf/servetrace.go": {"traceparentOf", "sampleRequest", "traceOf", "startStages", "mark"},
 }
 
 // TestHotPathAnnotationCoverage parses the production hot-path files and

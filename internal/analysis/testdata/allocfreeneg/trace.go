@@ -1,0 +1,25 @@
+package allocfreeneg
+
+// stageClock mirrors the serve tier's stage-attribution idiom: a value-type
+// clock threaded by reassignment (`sc = sc.mark(...)`) — no pointers, no
+// boxing, nothing escapes.
+type stageClock struct{ last int64 }
+
+// mark returns the updated clock by value.
+//
+//dnnperf:allocfree
+func (c stageClock) mark(now int64) stageClock {
+	c.last = now
+	return c
+}
+
+// headerValue indexes a header map under its canonical key directly — the
+// alloc-free read; textproto canonicalization of arbitrary keys would copy.
+//
+//dnnperf:allocfree
+func headerValue(h map[string][]string) string {
+	if v := h["Traceparent"]; len(v) > 0 {
+		return v[0]
+	}
+	return ""
+}

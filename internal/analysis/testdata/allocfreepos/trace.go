@@ -1,0 +1,10 @@
+package allocfreepos
+
+// sample mimics a tracing hot path that builds the span record before
+// checking whether the request is sampled at all: the pointer literal
+// allocates on every request, sampled or not.
+//
+//dnnperf:allocfree
+func sample(hdrs map[string][]string) *pair {
+	return &pair{a: len(hdrs["Traceparent"])} // finding: pointer-to-struct literal
+}

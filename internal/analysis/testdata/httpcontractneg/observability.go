@@ -1,0 +1,26 @@
+// Compliant observability-endpoint shapes: status decided before any body
+// bytes, implicit 200 from the first write.
+package httpcontractneg
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// slozOK sets headers only and lets the encoder's first write commit 200
+// implicitly — the compliant shape for JSON status endpoints.
+func slozOK(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]float64{"burn": 0})
+}
+
+// metricszOK reports a scrape failure before any body bytes and returns;
+// the streaming path never revisits the status.
+func metricszOK(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Query().Get("replica") == "" {
+		respond(w, http.StatusBadGateway)
+		return
+	}
+	_, _ = io.WriteString(w, "{}")
+}

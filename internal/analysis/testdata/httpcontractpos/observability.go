@@ -1,0 +1,25 @@
+// Observability-endpoint shapes: the /sloz and /metricsz handler mistakes
+// the serve and fleet tiers must not make.
+package httpcontractpos
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// slozHandler commits 200 explicitly and then hands w to an encoder whose
+// first write commits the status again.
+func slozHandler(w http.ResponseWriter, req *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_ = json.NewEncoder(w).Encode(map[string]float64{"burn": 0}) // finding: committed twice
+}
+
+// metricszHandler starts streaming the merged document and only then
+// notices a failed replica scrape: the error status lands after body bytes.
+func metricszHandler(w http.ResponseWriter, req *http.Request) {
+	_, _ = io.WriteString(w, `{"metrics":[`)
+	if req.URL.Query().Get("replica") == "" {
+		w.WriteHeader(http.StatusBadGateway) // finding: status after body
+	}
+}

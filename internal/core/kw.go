@@ -396,6 +396,13 @@ func (m *KWModel) planFor(n *dnn.Network) (*Plan, error) {
 	})
 }
 
+// CompiledPlan returns the model's cached compiled plan for the network,
+// compiling it on first use — the exact plan PredictNetwork executes.
+// Exposed so callers that attribute latency per stage (the serve tracing
+// path) can time compile and predict separately while producing
+// bit-identical predictions.
+func (m *KWModel) CompiledPlan(n *dnn.Network) (*Plan, error) { return m.planFor(n) }
+
 // CompilePlan compiles a standalone prediction plan for the network without
 // touching the model's plan cache. The input network is never mutated.
 func (m *KWModel) CompilePlan(n *dnn.Network) (*Plan, error) {

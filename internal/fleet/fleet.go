@@ -86,6 +86,17 @@ type Options struct {
 	// RetryAfter is the hint returned with 429 responses, in seconds; 0
 	// means 1.
 	RetryAfter int
+	// SampleEvery is the head-based trace sampling period: 1 in SampleEvery
+	// forwarded requests gets a full trace (the first always does); 0 means
+	// 64. Requests arriving with a valid sampled traceparent header are
+	// always traced.
+	SampleEvery int
+	// SlowSample is the latency past which an unsampled request still gets a
+	// post-hoc summary span; 0 means 250ms.
+	SlowSample time.Duration
+	// ProcessName labels the proxy's track group in merged Perfetto
+	// timelines; empty means "proxy".
+	ProcessName string
 }
 
 func (o Options) withDefaults() Options {
@@ -103,6 +114,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = 1
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 64
+	}
+	if o.SlowSample <= 0 {
+		o.SlowSample = 250 * time.Millisecond
+	}
+	if o.ProcessName == "" {
+		o.ProcessName = "proxy"
 	}
 	return o
 }
@@ -131,6 +151,14 @@ type Proxy struct {
 	client   *http.Client
 	probes   *http.Client
 
+	// tracer holds the proxy's own span buffer; reqTrack is the single
+	// reserved track every request span lands on (one timeline row per
+	// process in the merged view), sampleN drives head sampling.
+	tracer   *obs.Tracer
+	reqTrack int64
+	sampleN  atomic.Uint64
+	slo      *obs.SLOTracker
+
 	wg sync.WaitGroup
 }
 
@@ -150,7 +178,16 @@ func New(addrs []string, opt Options) (*Proxy, error) {
 			},
 		},
 		probes: &http.Client{Timeout: 2 * time.Second},
+		tracer: obs.NewTracer(),
 	}
+	p.reqTrack = p.tracer.ReserveTrack()
+	// Availability counts 502 (exhausted forwards) and 503 (no ready
+	// replica) as bad; 429 is deliberate shedding, not a broken promise, so
+	// it burns no availability budget.
+	p.slo = obs.NewSLOTracker(obs.SLOConfig{},
+		metricRequests.Value,
+		func() int64 { return metricProxyErrors.Value() + metricUnavailable.Value() },
+		metricLatency)
 	for i, addr := range addrs {
 		if addr == "" {
 			return nil, fmt.Errorf("fleet: replica %d has an empty address", i)
@@ -173,12 +210,18 @@ func (p *Proxy) Start(ctx context.Context) {
 		defer p.wg.Done()
 		t := time.NewTicker(p.opt.HealthInterval)
 		defer t.Stop()
+		// SLO burn-rate windows need periodic counter samples; piggyback on
+		// the prober goroutine rather than spawning another.
+		slo := time.NewTicker(2 * time.Second)
+		defer slo.Stop()
 		for {
 			select {
 			case <-ctx.Done():
 				return
 			case <-t.C:
 				p.probeAll()
+			case <-slo.C:
+				p.slo.Sample()
 			}
 		}
 	}()
@@ -388,8 +431,36 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	case "/fleetz":
 		p.writeFleetz(w)
 		return
+	case "/metricsz":
+		p.writeMetricsz(w)
+		return
+	case "/sloz":
+		p.writeSloz(w)
+		return
+	case "/tracez.json":
+		p.writeTracez(w)
+		return
 	}
 
+	// Head-based sampling: the decision is one counter increment; all span
+	// allocation happens only on the sampled path. The trace ID is echoed
+	// before any write so the client always sees it.
+	rt := p.sampleRequest(req)
+	unsampledStart := p.tracer.Now()
+	if rt != nil {
+		w.Header().Set(TraceIDHeader, rt.sc.TraceID())
+	}
+	status := p.route(w, req, rt)
+	if rt != nil {
+		rt.finish(req.Method, req.URL.Path, status)
+	} else {
+		p.recordBadUnsampled(req.Method, req.URL.Path, status, unsampledStart, p.tracer.Now())
+	}
+}
+
+// route buffers the body, walks the ring, and forwards; it returns the
+// status committed to the client. rt is nil for unsampled requests.
+func (p *Proxy) route(w http.ResponseWriter, req *http.Request, rt *proxyTrace) int {
 	// Buffer the body once so retries can replay it.
 	var body []byte
 	if req.Body != nil && req.Body != http.NoBody {
@@ -397,17 +468,18 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 		req.Body.Close()
 		if err != nil {
 			writeError(w, http.StatusBadGateway, "reading request body: "+err.Error())
-			return
+			return http.StatusBadGateway
 		}
 		if len(b) > maxBufferedBody {
 			writeError(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("body exceeds %d bytes", maxBufferedBody))
-			return
+			return http.StatusRequestEntityTooLarge
 		}
 		body = b
 	}
 
 	owners := p.owners(shardKey(req, body))
+	rt.stage("shard_pick")
 
 	// Admission + readiness walk: the first ready owner under its in-flight
 	// cap gets the request; saturated owners are spilled past. If a ready
@@ -436,10 +508,12 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 			sawSpill = false
 		}
 		attempts++
-		status, retryable := p.forward(w, req, r, body)
+		rt.stage("admission")
+		hopStart := p.tracer.Now()
+		status, retryable := p.forward(w, req, r, body, rt)
+		rt.hop(attempts, r.addr, hopStart)
 		if !retryable {
-			_ = status
-			return
+			return status
 		}
 		// Connection-level failure: the prober will confirm, but don't wait.
 		r.ready.Store(false)
@@ -448,22 +522,25 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	if attempts > 0 {
 		metricProxyErrors.Inc()
 		writeError(w, http.StatusBadGateway, "every forward attempt failed")
-		return
+		return http.StatusBadGateway
 	}
+	rt.stage("admission")
 	if sawReady {
 		metricRejected.Inc()
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", p.opt.RetryAfter))
 		writeError(w, http.StatusTooManyRequests, "fleet saturated: all ready replicas at their in-flight cap")
-		return
+		return http.StatusTooManyRequests
 	}
 	metricUnavailable.Inc()
 	writeError(w, http.StatusServiceUnavailable, "no ready replica")
+	return http.StatusServiceUnavailable
 }
 
 // forward sends the request to one replica and relays the response. It
 // reports retryable=true only for connection-level failures where no
-// response bytes reached the client.
-func (p *Proxy) forward(w http.ResponseWriter, req *http.Request, r *replica, body []byte) (int, bool) {
+// response bytes reached the client. A sampled request propagates its trace
+// context downstream, with a fresh span ID per attempt.
+func (p *Proxy) forward(w http.ResponseWriter, req *http.Request, r *replica, body []byte, rt *proxyTrace) (int, bool) {
 	r.inflight.Add(1)
 	metricInflight.Add(1)
 	defer func() {
@@ -479,6 +556,9 @@ func (p *Proxy) forward(w http.ResponseWriter, req *http.Request, r *replica, bo
 	}
 	copyHeaders(out.Header, req.Header)
 	out.Header.Set("X-Forwarded-For", req.RemoteAddr)
+	if rt != nil {
+		out.Header.Set("traceparent", rt.sc.Child().Traceparent())
+	}
 
 	metricForwarded.Inc()
 	resp, err := p.client.Do(out)

@@ -1,0 +1,223 @@
+package fleet
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Request tracing at the proxy. The proxy is the head of every request, so
+// it owns the sampling decision: 1 in Options.SampleEvery forwarded requests
+// gets a fresh trace (the first forwarded request is always sampled), and a
+// request arriving with a valid sampled `traceparent` header continues its
+// existing trace. Sampled requests carry their context to the replica in a
+// `traceparent` header and echo the trace ID to the client in `X-Trace-Id`;
+// the proxy's own stages (shard pick, admission, upstream wait, retry hops)
+// are recorded as Complete events on one reserved track, so the whole
+// process renders as a single timeline row in Perfetto.
+//
+// Unsampled requests cost one counter increment and two clock reads; if one
+// turns out bad — 5xx, or slower than Options.SlowSample — a single summary
+// span is recorded post-hoc so tail latency is never invisible. (Post-hoc
+// means the response headers are already gone; deliberate trade: the header
+// echo only exists for head-sampled requests.)
+
+// TraceIDHeader is the response header echoing the request's trace ID.
+const TraceIDHeader = "X-Trace-Id"
+
+// traceparentHeader is the W3C propagation header, canonical form.
+const traceparentHeader = "Traceparent"
+
+// proxyTrace follows one sampled request through the proxy.
+type proxyTrace struct {
+	p     *Proxy
+	sc    obs.SpanContext
+	start time.Duration
+	last  time.Duration
+}
+
+// sampleRequest decides whether this forwarded request is traced. Returns
+// nil for unsampled requests — every method on a nil *proxyTrace is a no-op.
+func (p *Proxy) sampleRequest(req *http.Request) *proxyTrace {
+	if sc, ok := obs.ParseTraceparent(traceparentOf(req.Header)); ok && sc.Flags&obs.FlagSampled != 0 {
+		return p.newProxyTrace(sc.Child())
+	}
+	n := p.sampleN.Add(1)
+	if (n-1)%uint64(p.opt.SampleEvery) != 0 {
+		return nil
+	}
+	return p.newProxyTrace(obs.NewSpanContext())
+}
+
+// traceparentOf reads the propagation header by canonical key.
+func traceparentOf(h http.Header) string {
+	if vs := h[traceparentHeader]; len(vs) > 0 {
+		return vs[0]
+	}
+	return ""
+}
+
+func (p *Proxy) newProxyTrace(sc obs.SpanContext) *proxyTrace {
+	now := p.tracer.Now()
+	return &proxyTrace{p: p, sc: sc, start: now, last: now}
+}
+
+// stage completes a span covering everything since the previous stage
+// boundary (or the request start).
+func (t *proxyTrace) stage(name string) {
+	if t == nil {
+		return
+	}
+	now := t.p.tracer.Now()
+	t.p.tracer.Complete(obs.TraceEvent{
+		Name:  name,
+		Cat:   obs.StageCat,
+		Track: t.p.reqTrack,
+		Start: t.last,
+		Dur:   now - t.last,
+		Args:  []obs.Arg{{Key: "trace_id", Val: t.sc.TraceID()}},
+	})
+	t.last = now
+}
+
+// hop completes one forward attempt's span: "upstream_wait" for the first
+// attempt, "retry_hop" for each retry, annotated with the replica address.
+func (t *proxyTrace) hop(attempt int, addr string, from time.Duration) {
+	if t == nil {
+		return
+	}
+	name := "upstream_wait"
+	if attempt > 1 {
+		name = "retry_hop"
+	}
+	now := t.p.tracer.Now()
+	t.p.tracer.Complete(obs.TraceEvent{
+		Name:  name,
+		Cat:   obs.StageCat,
+		Track: t.p.reqTrack,
+		Start: from,
+		Dur:   now - from,
+		Args: []obs.Arg{
+			{Key: "trace_id", Val: t.sc.TraceID()},
+			{Key: "replica", Val: addr},
+			{Key: "attempt", Val: strconv.Itoa(attempt)},
+		},
+	})
+	t.last = now
+}
+
+// finish completes the whole-request span.
+func (t *proxyTrace) finish(method, path string, status int) {
+	if t == nil {
+		return
+	}
+	now := t.p.tracer.Now()
+	t.p.tracer.Complete(obs.TraceEvent{
+		Name:  method + " " + path,
+		Cat:   obs.RequestCat,
+		Track: t.p.reqTrack,
+		Start: t.start,
+		Dur:   now - t.start,
+		Args: []obs.Arg{
+			{Key: "trace_id", Val: t.sc.TraceID()},
+			{Key: "status", Val: strconv.Itoa(status)},
+		},
+	})
+}
+
+// recordBadUnsampled records the post-hoc summary span for an unsampled
+// request that erred or exceeded the slow threshold.
+func (p *Proxy) recordBadUnsampled(method, path string, status int, start, end time.Duration) {
+	if status < 500 && end-start < p.opt.SlowSample {
+		return
+	}
+	name := "slow_request"
+	if status >= 500 {
+		name = "error_request"
+	}
+	p.tracer.Complete(obs.TraceEvent{
+		Name:  name,
+		Cat:   obs.RequestCat,
+		Track: p.reqTrack,
+		Start: start,
+		Dur:   end - start,
+		Args: []obs.Arg{
+			{Key: "route", Val: method + " " + path},
+			{Key: "status", Val: strconv.Itoa(status)},
+		},
+	})
+}
+
+// ProcessTrace snapshots the proxy's span buffer for merged timelines.
+func (p *Proxy) ProcessTrace() obs.ProcessTrace {
+	return p.tracer.ProcessTrace(p.opt.ProcessName)
+}
+
+// ReplicaAddrs lists the backend addresses (for trace and metric scraping).
+func (p *Proxy) ReplicaAddrs() []string {
+	out := make([]string, len(p.replicas))
+	for i, r := range p.replicas {
+		out[i] = r.addr
+	}
+	return out
+}
+
+// writeTracez serves the proxy's own span buffer as a ProcessTrace document.
+func (p *Proxy) writeTracez(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = obs.WriteProcessTrace(w, p.ProcessTrace())
+}
+
+// writeSloz serves the proxy-level SLO burn-rate report.
+func (p *Proxy) writeSloz(w http.ResponseWriter) {
+	writeJSON(w, http.StatusOK, p.slo.Report())
+}
+
+// writeMetricsz scrapes every replica's /metrics.json and serves the merged
+// fleet view: counters and gauges summed, histograms summed bucket-wise
+// (exact — all replicas run the same code with the same bucket edges).
+// Replicas that fail to scrape are listed in "failed"; metric names whose
+// shapes disagree are listed in "skipped".
+func (p *Proxy) writeMetricsz(w http.ResponseWriter) {
+	var sets [][]obs.MetricJSON
+	var failed []string
+	scraped := 0
+	for _, r := range p.replicas {
+		ms, err := p.scrapeMetrics(r.addr)
+		if err != nil {
+			failed = append(failed, r.addr)
+			continue
+		}
+		scraped++
+		sets = append(sets, ms)
+	}
+	merged, skipped := obs.MergeMetrics(sets...)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"replicas": len(p.replicas),
+		"scraped":  scraped,
+		"failed":   failed,
+		"skipped":  skipped,
+		"metrics":  merged,
+	})
+}
+
+// scrapeMetrics fetches one replica's metric document.
+func (p *Proxy) scrapeMetrics(addr string) ([]obs.MetricJSON, error) {
+	resp, err := p.probes.Get("http://" + addr + "/metrics.json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, errStatus(resp.StatusCode)
+	}
+	return obs.DecodeMetrics(resp.Body)
+}
+
+// errStatus is a minimal non-200 scrape error.
+type errStatus int
+
+func (e errStatus) Error() string { return "status " + strconv.Itoa(int(e)) }

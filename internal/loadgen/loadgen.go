@@ -95,6 +95,10 @@ type Config struct {
 	// rate stays close to Rate.
 	BurstOn, BurstOff time.Duration
 	BurstFactor       float64
+
+	// SlowestK bounds Result.Slowest, the slowest post-warm-up requests kept
+	// with their echoed trace IDs (default 5; negative disables).
+	SlowestK int
 }
 
 // Result summarizes one run.
@@ -122,7 +126,22 @@ type Result struct {
 	P50, P90, P99, P999, Max time.Duration
 	// Hist is the obs bucket histogram of the same samples.
 	Hist *obs.Histogram
+	// Slowest lists the slowest post-warm-up requests, worst first, with the
+	// trace ID each response echoed (empty when the request was unsampled),
+	// so a bad tail can be looked up directly in the merged fleet timeline.
+	Slowest []SlowRequest
 }
+
+// SlowRequest identifies one slow request for tail attribution.
+type SlowRequest struct {
+	TraceID string        `json:"trace_id,omitempty"`
+	Latency time.Duration `json:"latency"`
+	Status  int           `json:"status"`
+}
+
+// traceIDHeader is the response header the serving tier echoes for sampled
+// requests (fleet.TraceIDHeader; spelled out to keep loadgen target-agnostic).
+const traceIDHeader = "X-Trace-Id"
 
 // Quantile returns the exact q-quantile of the recorded samples.
 func quantile(sorted []time.Duration, q float64) time.Duration {
@@ -178,11 +197,19 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
+	slowestK := cfg.SlowestK
+	switch {
+	case slowestK == 0:
+		slowestK = 5
+	case slowestK < 0:
+		slowestK = 0
+	}
 	r := &run{
 		cfg:       cfg,
 		client:    client,
 		warmupEnd: time.Now().Add(cfg.Warmup),
 		hist:      obs.NewHistogram(nil),
+		slowestK:  slowestK,
 	}
 	res := &Result{Arrival: arrival, OfferedRPS: cfg.Rate}
 	if arrival == Closed {
@@ -215,7 +242,9 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 
 	r.mu.Lock()
 	samples := r.samples
+	res.Slowest = r.slowest
 	r.mu.Unlock()
+	sort.Slice(res.Slowest, func(i, j int) bool { return res.Slowest[i].Latency > res.Slowest[j].Latency })
 	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
 	res.P50 = quantile(samples, 0.50)
 	res.P90 = quantile(samples, 0.90)
@@ -239,9 +268,31 @@ type run struct {
 	measured                        atomic.Int64
 	outstanding                     atomic.Int64
 	wg                              sync.WaitGroup
+	slowestK                        int
 	mu                              sync.Mutex
 	samples                         []time.Duration
+	slowest                         []SlowRequest // unordered top-k by latency
 	hist                            *obs.Histogram
+}
+
+// recordSlow keeps the top-k slowest requests; r.mu must be held.
+func (r *run) recordSlow(elapsed time.Duration, status int, traceID string) {
+	if r.slowestK == 0 {
+		return
+	}
+	if len(r.slowest) < r.slowestK {
+		r.slowest = append(r.slowest, SlowRequest{TraceID: traceID, Latency: elapsed, Status: status})
+		return
+	}
+	min := 0
+	for i := 1; i < len(r.slowest); i++ {
+		if r.slowest[i].Latency < r.slowest[min].Latency {
+			min = i
+		}
+	}
+	if elapsed > r.slowest[min].Latency {
+		r.slowest[min] = SlowRequest{TraceID: traceID, Latency: elapsed, Status: status}
+	}
 }
 
 // runOpen dispatches the Poisson or Bursty schedule until the deadline.
@@ -388,5 +439,6 @@ func (r *run) do(req *http.Request) {
 	r.hist.Observe(units.Seconds(elapsed.Seconds()))
 	r.mu.Lock()
 	r.samples = append(r.samples, elapsed)
+	r.recordSlow(elapsed, resp.StatusCode, resp.Header.Get(traceIDHeader))
 	r.mu.Unlock()
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -225,5 +226,48 @@ func TestRunContextCancel(t *testing.T) {
 	}
 	if res == nil || res.Completed != res.Sent {
 		t.Fatalf("cancelled run dropped requests: %+v", res)
+	}
+}
+
+// TestRunSlowestTraceIDs checks the slowest-K set is bounded, sorted worst
+// first, and carries the trace IDs the server echoed.
+func TestRunSlowestTraceIDs(t *testing.T) {
+	var n atomic.Int64
+	_, newReq := testTarget(t, func(w http.ResponseWriter, r *http.Request) {
+		i := n.Add(1)
+		w.Header().Set("X-Trace-Id", "trace-"+strconv.FormatInt(i, 10))
+		if i%5 == 0 {
+			time.Sleep(3 * time.Millisecond) // make a distinct slow tail
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+
+	res, err := Run(context.Background(), Config{
+		NewRequest: newReq,
+		Rate:       300,
+		Duration:   500 * time.Millisecond,
+		Warmup:     50 * time.Millisecond,
+		Seed:       3,
+		SlowestK:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Slowest) == 0 || len(res.Slowest) > 3 {
+		t.Fatalf("got %d slowest entries, want 1..3", len(res.Slowest))
+	}
+	for i, s := range res.Slowest {
+		if s.TraceID == "" {
+			t.Errorf("slowest[%d] has no trace ID", i)
+		}
+		if s.Status != http.StatusOK {
+			t.Errorf("slowest[%d] status %d", i, s.Status)
+		}
+		if i > 0 && s.Latency > res.Slowest[i-1].Latency {
+			t.Errorf("slowest not sorted worst-first: [%d]=%v > [%d]=%v", i, s.Latency, i-1, res.Slowest[i-1].Latency)
+		}
+	}
+	if res.Slowest[0].Latency != res.Max {
+		t.Errorf("slowest[0]=%v != max=%v", res.Slowest[0].Latency, res.Max)
 	}
 }

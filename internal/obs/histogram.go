@@ -121,6 +121,21 @@ func (h *Histogram) Quantile(q float64) units.Seconds {
 	return h.bounds[len(h.bounds)-1]
 }
 
+// CountAtMost returns how many observations landed in buckets whose upper
+// bound is ≤ threshold — the "fast enough" numerator for a latency
+// objective. The count is exact when the threshold equals a bucket bound
+// (the intended configuration) and conservative (rounds down) otherwise.
+func (h *Histogram) CountAtMost(threshold units.Seconds) uint64 {
+	var cum uint64
+	for i, b := range h.bounds {
+		if b > threshold {
+			break
+		}
+		cum += h.counts[i].Load()
+	}
+	return cum
+}
+
 // snapshot returns sum, count, and cumulative bucket counts, with a final
 // +Inf bucket. Concurrent observations may land between the bucket loads;
 // cumulative counts are each exact, and the final bucket equals the count

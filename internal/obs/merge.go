@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Fleet metric merging. The proxy's /metricsz scrapes each replica's
+// /metrics.json and folds the documents into one fleet view. Counters and
+// gauges sum; histograms merge bucket-wise — and because every replica
+// builds its histograms from the same code with the same bucket edges, the
+// merge is exact: each fleet bucket is the integer sum of the replicas'
+// cumulative counts, not an approximation. Metrics whose shape disagrees
+// across replicas (kind mismatch, different bucket edges) are left out and
+// reported in the skipped list instead of being merged wrongly.
+
+// DecodeMetrics parses a /metrics.json document ({"metrics": [...]}).
+func DecodeMetrics(r io.Reader) ([]MetricJSON, error) {
+	var doc struct {
+		Metrics []MetricJSON `json:"metrics"`
+	}
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, err
+	}
+	return doc.Metrics, nil
+}
+
+// bucketsCompatible reports whether two histograms share identical bucket
+// edges (same length, same upper bounds, +Inf in the same place).
+func bucketsCompatible(a, b []BucketJSON) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		al, bl := a[i].LE, b[i].LE
+		if (al == nil) != (bl == nil) {
+			return false
+		}
+		//lint:ignore floateq bucket edges must be bit-identical — all replicas serialize the same compiled-in bounds, so any difference is a real shape mismatch
+		if al != nil && *al != *bl {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeInto folds src into dst (same name, validated kind). Reports whether
+// the shapes were compatible.
+func mergeInto(dst *MetricJSON, src MetricJSON) bool {
+	if dst.Kind != src.Kind {
+		return false
+	}
+	if dst.Kind == KindHistogram {
+		if dst.Sum == nil || src.Sum == nil || dst.Count == nil || src.Count == nil {
+			return false
+		}
+		if !bucketsCompatible(dst.Buckets, src.Buckets) {
+			return false
+		}
+		sum := *dst.Sum + *src.Sum
+		count := *dst.Count + *src.Count
+		dst.Sum, dst.Count = &sum, &count
+		for i := range dst.Buckets {
+			dst.Buckets[i].Cumulative += src.Buckets[i].Cumulative
+		}
+		return true
+	}
+	if dst.Value == nil || src.Value == nil {
+		return false
+	}
+	v := *dst.Value + *src.Value
+	dst.Value = &v
+	return true
+}
+
+// copyMetric deep-copies a MetricJSON so merging never aliases a decoded
+// document.
+func copyMetric(m MetricJSON) MetricJSON {
+	out := m
+	if m.Value != nil {
+		v := *m.Value
+		out.Value = &v
+	}
+	if m.Sum != nil {
+		s := *m.Sum
+		out.Sum = &s
+	}
+	if m.Count != nil {
+		c := *m.Count
+		out.Count = &c
+	}
+	if m.Buckets != nil {
+		out.Buckets = make([]BucketJSON, len(m.Buckets))
+		copy(out.Buckets, m.Buckets)
+	}
+	return out
+}
+
+// MergeMetrics folds several per-process metric sets into one fleet set,
+// sorted by name. Counters and gauges sum their values; histograms sum
+// bucket-wise (exact when bucket edges agree). Metrics that appear with
+// incompatible shapes across sets are dropped entirely and listed in
+// skipped, with one entry per name.
+func MergeMetrics(sets ...[]MetricJSON) (merged []MetricJSON, skipped []string) {
+	byName := make(map[string]*MetricJSON)
+	bad := make(map[string]string)
+	var order []string
+	for _, set := range sets {
+		for _, m := range set {
+			if _, isBad := bad[m.Name]; isBad {
+				continue
+			}
+			dst, seen := byName[m.Name]
+			if !seen {
+				cp := copyMetric(m)
+				byName[m.Name] = &cp
+				order = append(order, m.Name)
+				continue
+			}
+			if !mergeInto(dst, m) {
+				bad[m.Name] = fmt.Sprintf("%s: incompatible shapes across replicas", m.Name)
+				delete(byName, m.Name)
+			}
+		}
+	}
+	for _, name := range order {
+		if m, ok := byName[name]; ok {
+			merged = append(merged, *m)
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Name < merged[j].Name })
+	for name := range bad {
+		skipped = append(skipped, name)
+	}
+	sort.Strings(skipped)
+	return merged, skipped
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// replicaRegistry builds a registry with a counter, a gauge-free counter
+// pair, and a histogram fed the given latencies.
+func replicaRegistry(t *testing.T, reqs int64, lats []units.Seconds) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	r.Counter("serve_predictions_total", "").Add(reqs)
+	h := r.Histogram("serve_request_seconds", "", nil)
+	for _, l := range lats {
+		h.Observe(l)
+	}
+	return r
+}
+
+// metricsOf round-trips a registry through its JSON exposition, exactly as
+// /metricsz sees a replica.
+func metricsOf(t *testing.T, r *Registry) []MetricJSON {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := DecodeMetrics(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+func findMetric(ms []MetricJSON, name string) (MetricJSON, bool) {
+	for _, m := range ms {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return MetricJSON{}, false
+}
+
+func TestMergeMetricsExactBucketSums(t *testing.T) {
+	SetEnabled(true)
+	defer SetEnabled(false)
+
+	a := replicaRegistry(t, 3, []units.Seconds{1e-6, 3e-4, 0.2})
+	b := replicaRegistry(t, 7, []units.Seconds{2e-6, 3e-4, 3e-4, 9})
+	am, bm := metricsOf(t, a), metricsOf(t, b)
+
+	merged, skipped := MergeMetrics(am, bm)
+	if len(skipped) != 0 {
+		t.Fatalf("skipped = %v, want none", skipped)
+	}
+
+	c, ok := findMetric(merged, "serve_predictions_total")
+	if !ok || *c.Value != 10 {
+		t.Fatalf("merged counter = %+v, want value 10", c)
+	}
+
+	h, ok := findMetric(merged, "serve_request_seconds")
+	if !ok {
+		t.Fatal("merged histogram missing")
+	}
+	if *h.Count != 7 {
+		t.Fatalf("merged count = %d, want 7", *h.Count)
+	}
+	ah, _ := findMetric(am, "serve_request_seconds")
+	bh, _ := findMetric(bm, "serve_request_seconds")
+	if len(h.Buckets) != len(ah.Buckets) {
+		t.Fatalf("bucket count changed: %d vs %d", len(h.Buckets), len(ah.Buckets))
+	}
+	for i := range h.Buckets {
+		want := ah.Buckets[i].Cumulative + bh.Buckets[i].Cumulative
+		if h.Buckets[i].Cumulative != want {
+			t.Fatalf("bucket %d: merged %d != %d + %d", i,
+				h.Buckets[i].Cumulative, ah.Buckets[i].Cumulative, bh.Buckets[i].Cumulative)
+		}
+	}
+	wantSum := *ah.Sum + *bh.Sum
+	if *h.Sum != wantSum {
+		t.Fatalf("merged sum = %v, want %v", *h.Sum, wantSum)
+	}
+
+	// Merging must not mutate the inputs.
+	ah2, _ := findMetric(metricsOf(t, a), "serve_request_seconds")
+	if ah.Buckets[len(ah.Buckets)-1].Cumulative != ah2.Buckets[len(ah2.Buckets)-1].Cumulative {
+		t.Fatal("MergeMetrics mutated its input")
+	}
+}
+
+func TestMergeMetricsSkipsIncompatible(t *testing.T) {
+	v1, v2 := int64(1), int64(2)
+	le := 0.5
+	c1, c2 := uint64(1), uint64(1)
+	s := 0.0
+	kindClash := [][]MetricJSON{
+		{{Name: "m", Kind: KindCounter, Value: &v1}},
+		{{Name: "m", Kind: KindHistogram, Sum: &s, Count: &c1,
+			Buckets: []BucketJSON{{LE: &le, Cumulative: 1}, {Cumulative: 1}}}},
+	}
+	merged, skipped := MergeMetrics(kindClash...)
+	if len(merged) != 0 || len(skipped) != 1 || skipped[0] != "m" {
+		t.Fatalf("kind clash: merged=%v skipped=%v", merged, skipped)
+	}
+
+	le2 := 0.9
+	edgeClash := [][]MetricJSON{
+		{
+			{Name: "ok", Kind: KindCounter, Value: &v1},
+			{Name: "h", Kind: KindHistogram, Sum: &s, Count: &c1,
+				Buckets: []BucketJSON{{LE: &le, Cumulative: 1}, {Cumulative: 1}}},
+		},
+		{
+			{Name: "ok", Kind: KindCounter, Value: &v2},
+			{Name: "h", Kind: KindHistogram, Sum: &s, Count: &c2,
+				Buckets: []BucketJSON{{LE: &le2, Cumulative: 1}, {Cumulative: 1}}},
+		},
+	}
+	merged, skipped = MergeMetrics(edgeClash...)
+	if len(skipped) != 1 || skipped[0] != "h" {
+		t.Fatalf("edge clash skipped = %v, want [h]", skipped)
+	}
+	m, ok := findMetric(merged, "ok")
+	if !ok || *m.Value != 3 {
+		t.Fatalf("compatible metric lost in edge clash: %+v", merged)
+	}
+	if _, ok := findMetric(merged, "h"); ok {
+		t.Fatal("incompatible histogram present in merged output")
+	}
+}
+
+func TestMergeMetricsSingleSetIdentity(t *testing.T) {
+	SetEnabled(true)
+	defer SetEnabled(false)
+	r := replicaRegistry(t, 5, []units.Seconds{1e-3})
+	in := metricsOf(t, r)
+	merged, skipped := MergeMetrics(in)
+	if len(skipped) != 0 || len(merged) != len(in) {
+		t.Fatalf("identity merge: merged=%d skipped=%v, want %d metrics", len(merged), skipped, len(in))
+	}
+	h, _ := findMetric(merged, "serve_request_seconds")
+	hin, _ := findMetric(in, "serve_request_seconds")
+	if *h.Count != *hin.Count {
+		t.Fatalf("identity merge changed count: %d vs %d", *h.Count, *hin.Count)
+	}
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// Process traces. A fleet run produces one span buffer per process (the
+// proxy plus each replica), each timed against its own tracer epoch. The
+// ProcessTrace wire type carries a buffer with its epoch so a collector can
+// merge several of them onto one timeline: WriteChromeTraceMerged shifts
+// every process's offsets onto the earliest epoch and gives each process its
+// own pid (and thus its own named track group in Perfetto).
+
+// ProcessTrace is one process's completed span buffer, as served by
+// /tracez.json and consumed by `dnnperf fleet -trace-o`.
+type ProcessTrace struct {
+	// Process names the track group in the merged timeline, e.g.
+	// "proxy 127.0.0.1:8080" or "replica 127.0.0.1:40123".
+	Process string `json:"process"`
+	// EpochUnixNanos is the tracer epoch the events' Start offsets are
+	// relative to.
+	EpochUnixNanos int64 `json:"epoch_unix_nanos"`
+	// Dropped counts spans the buffer cap discarded; >0 marks the trace
+	// incomplete.
+	Dropped int64        `json:"dropped"`
+	Events  []TraceEvent `json:"events"`
+}
+
+// ProcessTrace snapshots the tracer's buffer under the given process name.
+func (t *Tracer) ProcessTrace(name string) ProcessTrace {
+	if t == nil {
+		return ProcessTrace{Process: name}
+	}
+	return ProcessTrace{
+		Process:        name,
+		EpochUnixNanos: t.epoch.UnixNano(),
+		Dropped:        t.Dropped(),
+		Events:         t.Events(),
+	}
+}
+
+// WriteProcessTrace encodes one process trace as JSON (the /tracez.json
+// response body).
+func WriteProcessTrace(w io.Writer, pt ProcessTrace) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(pt)
+}
+
+// ReadProcessTrace decodes a /tracez.json response body.
+func ReadProcessTrace(r io.Reader) (ProcessTrace, error) {
+	var pt ProcessTrace
+	if err := json.NewDecoder(r).Decode(&pt); err != nil {
+		return ProcessTrace{}, err
+	}
+	return pt, nil
+}
+
+// WriteChromeTraceMerged renders several process traces as one Chrome
+// trace-event document. Each process gets pid i+1 with a process_name
+// metadata record, and every event is shifted from its own epoch onto the
+// earliest epoch across the set, so spans from different processes that
+// belong to one request line up on the shared timeline. Processes that
+// dropped spans get a trace_dropped_warning metadata event.
+func WriteChromeTraceMerged(w io.Writer, procs []ProcessTrace) error {
+	// Stable process order regardless of scrape order: by name, then epoch.
+	sorted := make([]ProcessTrace, len(procs))
+	copy(sorted, procs)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Process != sorted[j].Process {
+			return sorted[i].Process < sorted[j].Process
+		}
+		return sorted[i].EpochUnixNanos < sorted[j].EpochUnixNanos
+	})
+
+	var minEpoch int64
+	for i, pt := range sorted {
+		if i == 0 || pt.EpochUnixNanos < minEpoch {
+			minEpoch = pt.EpochUnixNanos
+		}
+	}
+
+	n := 0
+	for _, pt := range sorted {
+		n += len(pt.Events) + 2
+	}
+	doc := chromeDoc{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, n)}
+	for i, pt := range sorted {
+		pid := int64(i + 1)
+		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+			Name: "process_name",
+			Ph:   "M",
+			PID:  pid,
+			Args: map[string]string{"name": pt.Process},
+		})
+		shift := time.Duration(pt.EpochUnixNanos - minEpoch)
+		for _, ev := range pt.Events {
+			doc.TraceEvents = append(doc.TraceEvents, chromeSpan(ev, pid, shift))
+		}
+		if pt.Dropped > 0 {
+			doc.TraceEvents = append(doc.TraceEvents, droppedWarning(pid, pt.Dropped))
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}

@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testTracer returns a tracer with a deterministic manual clock.
+func testTracer(epoch time.Time) (*Tracer, *time.Duration) {
+	tr := NewTracer()
+	tr.epoch = epoch
+	var clock time.Duration
+	tr.now = func() time.Duration { return clock }
+	return tr, &clock
+}
+
+func TestProcessTraceRoundTrip(t *testing.T) {
+	epoch := time.Unix(100, 500)
+	tr, clock := testTracer(epoch)
+	track := tr.ReserveTrack()
+	tr.Complete(TraceEvent{Name: "predict", Cat: StageCat, Track: track,
+		Start: 2 * time.Millisecond, Dur: 3 * time.Millisecond,
+		Args: []Arg{{Key: "trace_id", Val: "abc"}}})
+	*clock = 10 * time.Millisecond
+
+	pt := tr.ProcessTrace("replica 127.0.0.1:1234")
+	if pt.Process != "replica 127.0.0.1:1234" {
+		t.Fatalf("Process = %q", pt.Process)
+	}
+	if pt.EpochUnixNanos != epoch.UnixNano() {
+		t.Fatalf("EpochUnixNanos = %d, want %d", pt.EpochUnixNanos, epoch.UnixNano())
+	}
+	if len(pt.Events) != 1 || pt.Events[0].Name != "predict" {
+		t.Fatalf("Events = %+v", pt.Events)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteProcessTrace(&buf, pt); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProcessTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Process != pt.Process || got.EpochUnixNanos != pt.EpochUnixNanos ||
+		got.Dropped != pt.Dropped || len(got.Events) != len(pt.Events) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, pt)
+	}
+	ge, we := got.Events[0], pt.Events[0]
+	if ge.Name != we.Name || ge.Cat != we.Cat || ge.Track != we.Track ||
+		ge.Start != we.Start || ge.Dur != we.Dur || len(ge.Args) != 1 || ge.Args[0] != we.Args[0] {
+		t.Fatalf("event mismatch: got %+v want %+v", ge, we)
+	}
+}
+
+func TestProcessTraceNilTracer(t *testing.T) {
+	var tr *Tracer
+	pt := tr.ProcessTrace("empty")
+	if pt.Process != "empty" || pt.EpochUnixNanos != 0 || len(pt.Events) != 0 || pt.Dropped != 0 {
+		t.Fatalf("nil tracer ProcessTrace = %+v", pt)
+	}
+}
+
+// chromeJSON decodes a chrome trace document into a generic shape for
+// assertions.
+type chromeJSON struct {
+	TraceEvents []struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		PID  int64             `json:"pid"`
+		TID  int64             `json:"tid"`
+		TS   float64           `json:"ts"`
+		Dur  float64           `json:"dur"`
+		Args map[string]string `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func TestWriteChromeTraceMerged(t *testing.T) {
+	// Proxy epoch 1s, replica epoch 1.5s: replica events must shift +500ms.
+	proxy := ProcessTrace{
+		Process:        "proxy",
+		EpochUnixNanos: time.Second.Nanoseconds(),
+		Events: []TraceEvent{
+			{Name: "GET /predict", Cat: RequestCat, Track: 1, Start: 0, Dur: 4 * time.Millisecond},
+		},
+	}
+	replica := ProcessTrace{
+		Process:        "replica",
+		EpochUnixNanos: (1500 * time.Millisecond).Nanoseconds(),
+		Dropped:        3,
+		Events: []TraceEvent{
+			{Name: "predict", Cat: StageCat, Track: 1, Start: time.Millisecond, Dur: 2 * time.Millisecond},
+		},
+	}
+
+	var buf bytes.Buffer
+	if err := WriteChromeTraceMerged(&buf, []ProcessTrace{replica, proxy}); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeJSON
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	// Expected (sorted by process name): proxy pid 1, replica pid 2.
+	byName := map[string]int{}
+	var names []string
+	for i, ev := range doc.TraceEvents {
+		byName[ev.Name] = i
+		names = append(names, ev.Name)
+	}
+	for _, want := range []string{"process_name", "GET /predict", "predict", "trace_dropped_warning"} {
+		if _, ok := byName[want]; !ok {
+			t.Fatalf("merged trace missing event %q; have %v", want, names)
+		}
+	}
+
+	var proxyPID, replicaPID int64
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "process_name" {
+			switch ev.Args["name"] {
+			case "proxy":
+				proxyPID = ev.PID
+			case "replica":
+				replicaPID = ev.PID
+			}
+		}
+	}
+	if proxyPID != 1 || replicaPID != 2 {
+		t.Fatalf("pids: proxy=%d replica=%d, want 1 and 2", proxyPID, replicaPID)
+	}
+
+	for _, ev := range doc.TraceEvents {
+		switch ev.Name {
+		case "GET /predict":
+			if ev.PID != proxyPID {
+				t.Errorf("proxy span pid = %d, want %d", ev.PID, proxyPID)
+			}
+			if ev.TS != 0 {
+				t.Errorf("proxy span ts = %v, want 0 (min epoch)", ev.TS)
+			}
+		case "predict":
+			if ev.PID != replicaPID {
+				t.Errorf("replica span pid = %d, want %d", ev.PID, replicaPID)
+			}
+			// 500ms epoch shift + 1ms start offset = 501000µs.
+			if ev.TS != 501000 {
+				t.Errorf("replica span ts = %v µs, want 501000 (epoch-shifted)", ev.TS)
+			}
+		case "trace_dropped_warning":
+			if ev.PID != replicaPID {
+				t.Errorf("dropped warning pid = %d, want replica %d", ev.PID, replicaPID)
+			}
+			if ev.Args["dropped"] != "3" {
+				t.Errorf("dropped warning args = %v, want dropped=3", ev.Args)
+			}
+		}
+	}
+}
+
+func TestWriteChromeTraceDroppedWarning(t *testing.T) {
+	tr, _ := testTracer(time.Unix(0, 0))
+	tr.maxEvents = 1
+	track := tr.ReserveTrack()
+	tr.Complete(TraceEvent{Name: "kept", Track: track, Dur: time.Millisecond})
+	tr.Complete(TraceEvent{Name: "lost", Track: track, Dur: time.Millisecond})
+	if got := tr.Dropped(); got != 1 {
+		t.Fatalf("Dropped() = %d, want 1", got)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "trace_dropped_warning") {
+		t.Fatalf("trace with drops lacks warning event:\n%s", buf.String())
+	}
+
+	// A clean tracer must not carry the warning.
+	clean, _ := testTracer(time.Unix(0, 0))
+	clean.Complete(TraceEvent{Name: "ok", Track: clean.ReserveTrack(), Dur: time.Millisecond})
+	buf.Reset()
+	if err := clean.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "trace_dropped_warning") {
+		t.Fatalf("clean trace carries a drop warning:\n%s", buf.String())
+	}
+}
+
+func TestTraceDroppedMetric(t *testing.T) {
+	prev := CurrentTracer()
+	defer SetTracer(prev)
+
+	tr, _ := testTracer(time.Unix(0, 0))
+	tr.maxEvents = 1
+	tr.Complete(TraceEvent{Name: "a"})
+	tr.Complete(TraceEvent{Name: "b"})
+	SetTracer(tr)
+
+	found := false
+	for _, m := range Default().Snapshot() {
+		if m.Name == "obs_trace_dropped_total" {
+			found = true
+			if m.Value != 1 {
+				t.Fatalf("obs_trace_dropped_total = %d, want 1", m.Value)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("obs_trace_dropped_total not registered")
+	}
+
+	// With no tracer installed the gauge must read 0, not panic.
+	SetTracer(nil)
+	for _, m := range Default().Snapshot() {
+		if m.Name == "obs_trace_dropped_total" && m.Value != 0 {
+			t.Fatalf("obs_trace_dropped_total with nil tracer = %d, want 0", m.Value)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// sloFixture builds a tracker over manual counters and a manual clock.
+type sloFixture struct {
+	t        *SLOTracker
+	clock    time.Time
+	requests atomic.Int64
+	bad      atomic.Int64
+	hist     *Histogram
+}
+
+func newSLOFixture(cfg SLOConfig) *sloFixture {
+	f := &sloFixture{hist: NewHistogram(nil)}
+	f.clock = time.Unix(1000, 0)
+	f.t = &SLOTracker{
+		cfg:      cfg.withDefaults(),
+		requests: f.requests.Load,
+		bad:      f.bad.Load,
+		hist:     f.hist,
+	}
+	f.t.now = func() time.Time { return f.clock }
+	f.t.Sample() // creation baseline, as NewSLOTracker records
+	return f
+}
+
+func (f *sloFixture) serve(n int64, bad int64, lat units.Seconds) {
+	f.requests.Add(n)
+	f.bad.Add(bad)
+	for i := int64(0); i < n; i++ {
+		f.hist.Observe(lat)
+	}
+}
+
+func TestSLOReportCleanTraffic(t *testing.T) {
+	f := newSLOFixture(SLOConfig{Windows: []time.Duration{time.Minute}})
+	f.serve(100, 0, 1e-3) // 100 fast, clean requests
+	f.clock = f.clock.Add(30 * time.Second)
+
+	rep := f.t.Report()
+	if len(rep.Windows) != 1 {
+		t.Fatalf("windows = %+v", rep.Windows)
+	}
+	w := rep.Windows[0]
+	if w.Requests != 100 || w.Bad != 0 {
+		t.Fatalf("requests/bad = %d/%d, want 100/0", w.Requests, w.Bad)
+	}
+	if w.Availability != 1 || w.AvailabilityBurnRate != 0 {
+		t.Fatalf("availability %v burn %v, want 1 and 0", w.Availability, w.AvailabilityBurnRate)
+	}
+	if w.LatencyCompliance != 1 || w.LatencyBurnRate != 0 {
+		t.Fatalf("latency %v burn %v, want 1 and 0", w.LatencyCompliance, w.LatencyBurnRate)
+	}
+	if w.CoverageSeconds != 30 {
+		t.Fatalf("coverage = %v, want 30 (young process)", w.CoverageSeconds)
+	}
+}
+
+func TestSLOBurnRates(t *testing.T) {
+	cfg := SLOConfig{
+		AvailabilityObjective: 0.999,
+		LatencyObjective:      0.99,
+		LatencyThreshold:      0.05,
+		Windows:               []time.Duration{time.Minute},
+	}
+	f := newSLOFixture(cfg)
+	// 1000 requests: 10 bad (1% error, 10x the 0.1% budget), 100 slow
+	// (10% slow, 10x the 1% latency budget).
+	f.serve(890, 0, 1e-3)
+	f.serve(10, 10, 1e-3)
+	f.serve(100, 0, 0.2)
+	f.clock = f.clock.Add(20 * time.Second)
+
+	w := f.t.Report().Windows[0]
+	if w.Requests != 1000 || w.Bad != 10 {
+		t.Fatalf("requests/bad = %d/%d", w.Requests, w.Bad)
+	}
+	if got, want := w.AvailabilityBurnRate, 0.01/0.001; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("availability burn = %v, want %v", got, want)
+	}
+	if got, want := w.Availability, 0.99; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("availability = %v, want %v", got, want)
+	}
+	if got, want := w.LatencyBurnRate, 0.1/0.01; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("latency burn = %v, want %v", got, want)
+	}
+	if got, want := w.LatencyCompliance, 0.9; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("latency compliance = %v, want %v", got, want)
+	}
+}
+
+func TestSLOWindowing(t *testing.T) {
+	f := newSLOFixture(SLOConfig{Windows: []time.Duration{time.Minute, 5 * time.Minute}})
+
+	// Minute 0–4: an error burst. Then 2 minutes of clean traffic, sampling
+	// every 30s like the production loop.
+	f.serve(100, 50, 1e-3)
+	for i := 0; i < 4; i++ {
+		f.clock = f.clock.Add(30 * time.Second)
+		f.t.Sample()
+	}
+	for i := 0; i < 4; i++ {
+		f.clock = f.clock.Add(30 * time.Second)
+		f.serve(25, 0, 1e-3)
+		f.t.Sample()
+	}
+
+	rep := f.t.Report()
+	oneMin, fiveMin := rep.Windows[0], rep.Windows[1]
+	// The last minute saw only clean traffic (two 25-request batches).
+	if oneMin.Bad != 0 {
+		t.Fatalf("1m window bad = %d, want 0 (burst aged out)", oneMin.Bad)
+	}
+	if oneMin.Requests != 50 {
+		t.Fatalf("1m window requests = %d, want 50", oneMin.Requests)
+	}
+	// The 5-minute window still covers the burst.
+	if fiveMin.Bad != 50 {
+		t.Fatalf("5m window bad = %d, want 50", fiveMin.Bad)
+	}
+	if fiveMin.AvailabilityBurnRate <= oneMin.AvailabilityBurnRate {
+		t.Fatalf("5m burn %v should exceed 1m burn %v",
+			fiveMin.AvailabilityBurnRate, oneMin.AvailabilityBurnRate)
+	}
+}
+
+func TestSLORingBound(t *testing.T) {
+	f := newSLOFixture(SLOConfig{MaxSamples: 4, Windows: []time.Duration{time.Hour}})
+	for i := 0; i < 10; i++ {
+		f.clock = f.clock.Add(time.Second)
+		f.serve(1, 0, 1e-3)
+		f.t.Sample()
+	}
+	f.t.mu.Lock()
+	n := len(f.t.samples)
+	f.t.mu.Unlock()
+	if n != 4 {
+		t.Fatalf("ring holds %d samples, want 4", n)
+	}
+	// All samples predate nothing here, but the hour window exceeds the
+	// ring's span: the report falls back to the oldest retained sample.
+	w := f.t.Report().Windows[0]
+	if w.Requests != 3 { // 10 total − 7 at the oldest retained sample
+		t.Fatalf("requests over truncated window = %d, want 3", w.Requests)
+	}
+}
+
+func TestSLOTrackerRun(t *testing.T) {
+	var reqs atomic.Int64
+	tr := NewSLOTracker(SLOConfig{}, reqs.Load, func() int64 { return 0 }, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { tr.Run(ctx, time.Millisecond); close(done) }()
+	deadline := time.After(2 * time.Second)
+	for {
+		tr.mu.Lock()
+		n := len(tr.samples)
+		tr.mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("Run produced no samples")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not stop on ctx cancel")
+	}
+}
+
+func TestSLOReportNoLatencyHistogram(t *testing.T) {
+	var reqs atomic.Int64
+	tr := NewSLOTracker(SLOConfig{Windows: []time.Duration{time.Minute}},
+		reqs.Load, func() int64 { return 0 }, nil)
+	reqs.Add(10)
+	w := tr.Report().Windows[0]
+	if w.LatencyCompliance != 1 || w.LatencyBurnRate != 0 {
+		t.Fatalf("nil-histogram latency report = %+v, want neutral", w)
+	}
+}

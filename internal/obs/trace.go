@@ -19,18 +19,20 @@ import (
 
 // Arg is one key/value annotation on a span.
 type Arg struct {
-	Key string
-	Val string
+	Key string `json:"k"`
+	Val string `json:"v"`
 }
 
-// TraceEvent is one completed span.
+// TraceEvent is one completed span. The json tags define the per-process
+// wire format /tracez.json serves (see ProcessTrace); durations travel as
+// integer nanoseconds.
 type TraceEvent struct {
-	Name  string
-	Cat   string
-	Track int64
-	Start time.Duration // offset from the tracer epoch
-	Dur   time.Duration
-	Args  []Arg
+	Name  string        `json:"name"`
+	Cat   string        `json:"cat"`
+	Track int64         `json:"track"`
+	Start time.Duration `json:"start_ns"` // offset from the tracer epoch
+	Dur   time.Duration `json:"dur_ns"`
+	Args  []Arg         `json:"args,omitempty"`
 }
 
 // PhaseCat is the category cmd-level phases use; timing reports filter on it.
@@ -38,6 +40,14 @@ const PhaseCat = "phase"
 
 // TaskCat is the category library-internal spans use.
 const TaskCat = "task"
+
+// RequestCat is the category of one whole served request (proxy hop or
+// replica handler).
+const RequestCat = "request"
+
+// StageCat is the category of one stage inside a served request (parse,
+// cache, compile, predict, render, admission, upstream wait...).
+const StageCat = "stage"
 
 // defaultMaxEvents bounds a tracer's buffer; completed spans beyond it are
 // counted in Dropped instead of retained, so long collection sweeps cannot
@@ -63,6 +73,20 @@ func NewTracer() *Tracer {
 	t := &Tracer{epoch: time.Now(), maxEvents: defaultMaxEvents}
 	t.now = func() time.Duration { return time.Since(t.epoch) }
 	return t
+}
+
+// Epoch returns the tracer's time origin. Merging traces from several
+// processes needs it: each process's event offsets are relative to its own
+// epoch, and the merge shifts them onto the earliest one.
+func (t *Tracer) Epoch() time.Time { return t.epoch }
+
+// Now returns the current offset from the epoch — the clock Complete events
+// are timed with. Nil-safe (returns 0).
+func (t *Tracer) Now() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.now()
 }
 
 // Start opens a top-level span on a fresh track.
@@ -124,11 +148,23 @@ func (t *Tracer) Events() []TraceEvent {
 	return out
 }
 
-// Dropped reports how many spans the buffer cap discarded.
+// Dropped reports how many spans the buffer cap discarded. Nil-safe, so the
+// obs_trace_dropped_total gauge can read it with no tracer installed.
 func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.dropped
+}
+
+func init() {
+	// Drops used to be silent; surfacing them as a metric means a scrape (or
+	// /metricsz aggregation) shows when a trace is incomplete.
+	Default().GaugeFunc("obs_trace_dropped_total",
+		"Completed spans discarded because the installed tracer's buffer was full.",
+		func() int64 { return CurrentTracer().Dropped() })
 }
 
 // Span is one open region. A nil *Span is a valid no-op, which is what

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpanContextRoundTrip(t *testing.T) {
+	cases := []SpanContext{
+		{TraceHi: 1, TraceLo: 2, SpanID: 3, Flags: 0},
+		{TraceHi: 0, TraceLo: 1, SpanID: 1, Flags: FlagSampled},
+		{TraceHi: 0xdeadbeefcafef00d, TraceLo: 0x0123456789abcdef, SpanID: 0xfedcba9876543210, Flags: 0xff},
+		NewSpanContext(),
+		NewSpanContext().Child(),
+	}
+	for _, c := range cases {
+		h := c.Traceparent()
+		if len(h) != traceparentLen {
+			t.Fatalf("Traceparent(%+v) length = %d, want %d", c, len(h), traceparentLen)
+		}
+		got, ok := ParseTraceparent(h)
+		if !ok {
+			t.Fatalf("ParseTraceparent(%q) rejected its own format output", h)
+		}
+		if got != c {
+			t.Fatalf("round trip: parsed %+v, want %+v (header %q)", got, c, h)
+		}
+		if got.Traceparent() != h {
+			t.Fatalf("re-format: %q != %q", got.Traceparent(), h)
+		}
+	}
+}
+
+func TestSpanContextTraceID(t *testing.T) {
+	c := SpanContext{TraceHi: 0x0102030405060708, TraceLo: 0x090a0b0c0d0e0f10, SpanID: 1}
+	want := "0102030405060708090a0b0c0d0e0f10"
+	if got := c.TraceID(); got != want {
+		t.Fatalf("TraceID() = %q, want %q", got, want)
+	}
+	h := c.Traceparent()
+	if !strings.Contains(h, want) {
+		t.Fatalf("Traceparent %q does not contain trace ID %q", h, want)
+	}
+}
+
+func TestNewSpanContext(t *testing.T) {
+	a, b := NewSpanContext(), NewSpanContext()
+	if !a.Valid() || !b.Valid() {
+		t.Fatalf("minted contexts must be valid: %+v, %+v", a, b)
+	}
+	if a.Flags&FlagSampled == 0 {
+		t.Fatalf("minted context not sampled: %+v", a)
+	}
+	if a.TraceHi == b.TraceHi && a.TraceLo == b.TraceLo {
+		t.Fatalf("two minted contexts share a trace ID: %+v", a)
+	}
+	child := a.Child()
+	if child.TraceHi != a.TraceHi || child.TraceLo != a.TraceLo {
+		t.Fatalf("Child changed the trace ID: %+v vs %+v", child, a)
+	}
+	if child.SpanID == a.SpanID {
+		t.Fatalf("Child kept the parent span ID %x", a.SpanID)
+	}
+	if child.Flags != a.Flags {
+		t.Fatalf("Child changed flags: %x vs %x", child.Flags, a.Flags)
+	}
+}
+
+// malformedTraceparents is the rejection table; it doubles as the fuzz seed
+// corpus so the fuzzer starts from known-interesting near-misses.
+var malformedTraceparents = []string{
+	"",
+	"00",
+	"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",          // truncated
+	"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra", // too long
+	"01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",       // unknown version
+	"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",       // invalid version
+	"00_4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",       // wrong separator
+	"00-4bf92f3577b34da6a3ce929d0e0e4736_00f067aa0ba902b7-01",       // wrong separator
+	"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7_01",       // wrong separator
+	"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01",       // uppercase trace
+	"00-4bf92f3577b34da6a3ce929d0e0e4736-00F067AA0BA902B7-01",       // uppercase span
+	"00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01",       // non-hex trace
+	"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902bg-01",       // non-hex span
+	"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-0g",       // non-hex flags
+	"00-00000000000000000000000000000000-00f067aa0ba902b7-01",       // zero trace ID
+	"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",       // zero span ID
+	"00-4bf92f3577b34da6a3ce929d0e0e4736 00f067aa0ba902b7-01",       // space separator
+	"0a-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",       // version 0a
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	for _, h := range malformedTraceparents {
+		if c, ok := ParseTraceparent(h); ok {
+			t.Errorf("ParseTraceparent(%q) accepted malformed header as %+v", h, c)
+		}
+	}
+}
+
+// FuzzParseTraceparent checks the invariant both ways: accepted headers must
+// round-trip byte-for-byte through Traceparent(), and mutations of valid
+// headers must either reject or round-trip.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	f.Add(NewSpanContext().Traceparent())
+	f.Add(SpanContext{TraceHi: 1, TraceLo: 2, SpanID: 3, Flags: 0xff}.Traceparent())
+	for _, h := range malformedTraceparents {
+		f.Add(h)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, ok := ParseTraceparent(s)
+		if !ok {
+			if c != (SpanContext{}) {
+				t.Fatalf("rejecting parse of %q returned non-zero context %+v", s, c)
+			}
+			return
+		}
+		if !c.Valid() {
+			t.Fatalf("ParseTraceparent(%q) accepted an invalid context %+v", s, c)
+		}
+		if got := c.Traceparent(); got != s {
+			t.Fatalf("accepted header does not round-trip: %q -> %+v -> %q", s, c, got)
+		}
+	})
+}
+
+func BenchmarkParseTraceparent(b *testing.B) {
+	h := NewSpanContext().Traceparent()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := ParseTraceparent(h); !ok {
+			b.Fatal("rejected valid header")
+		}
+	}
+}

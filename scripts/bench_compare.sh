@@ -8,7 +8,10 @@
 # The gated set covers the cached single-prediction path (KWPredictPlan,
 # KWPredictParallel, KWPredict, KWPredictConcurrent), plan compilation
 # (PlanCompile), the batch-sweep path (PredictSweep), the serve layer's
-# /predict handler (ServePredict), and the collection fast path: one
+# /predict handler untraced and traced (ServePredict, ServePredictTraced —
+# the traced variant is additionally gated at 0 allocs/op and within a few
+# percent of the untraced one; see the tracing gates below), and the
+# collection fast path: one
 # dataset.Build pass (DatasetBuild), one detail profile (Profile) and one
 # KW fit from sufficient statistics (FitKW), and one full dnnlint pass over
 # the module (DnnlintModule — the wall-clock cost `make lint` adds to the
@@ -49,7 +52,7 @@ go test -run '^$' -bench 'BenchmarkKWPredictPlan$|BenchmarkKWPredictParallel$|Be
     -benchtime 1000x -count 3 ./internal/core/ >"$raw"
 go test -run '^$' -bench 'BenchmarkKWPredict$|BenchmarkKWPredictConcurrent$' \
     -benchtime 1000x -count 3 . >>"$raw"
-go test -run '^$' -bench 'BenchmarkServePredict$' \
+go test -run '^$' -bench 'BenchmarkServePredict$|BenchmarkServePredictTraced$' \
     -benchtime 1000x -count 3 ./cmd/dnnperf/ >>"$raw"
 go test -run '^$' -bench 'BenchmarkDatasetBuild$' \
     -benchtime 10x -count 3 ./internal/dataset/ >>"$raw"
@@ -101,6 +104,55 @@ if [ "$fail" -ne 0 ]; then
     exit 1
 fi
 echo "bench_compare: all gated benchmarks within ${threshold}% of baseline"
+
+# --- Serve tracing gates. Two absolute invariants on the /predict handler,
+# checked from the same runs as the relative gate above:
+#   1. zero allocations per steady-state request, with tracing compiled in
+#      (worst of the 3 repeats — any alloc is a regression, not noise), and
+#   2. the traced variant (sampled 1-in-64 + per-stage histograms) within
+#      BENCH_TRACE_THRESHOLD percent (default 5) of the untraced ns/op,
+#      best-of-3 against best-of-3 from the same process and machine.
+trace_threshold="${BENCH_TRACE_THRESHOLD:-5}"
+serve_allocs() {
+    awk -v want="$1" '/^Benchmark/ {
+        name = $1; sub(/-[0-9]+$/, "", name)
+        if (name != want) next
+        for (i = 2; i < NF; i++)
+            if ($(i + 1) == "allocs/op" && (worst == "" || $i + 0 > worst)) worst = $i + 0
+    } END { print worst }' "$raw"
+}
+trace_fail=0
+for b in BenchmarkServePredict BenchmarkServePredictTraced; do
+    allocs="$(serve_allocs "$b")"
+    if [ -z "$allocs" ]; then
+        echo "bench_compare: no allocs/op parsed for $b" >&2
+        exit 1
+    fi
+    if [ "$allocs" != "0" ]; then
+        echo "  $b: $allocs allocs/op, want 0 — REGRESSION (hot path allocates)"
+        trace_fail=1
+    else
+        echo "  $b: 0 allocs/op"
+    fi
+done
+plain_ns="$(awk '$1 == "BenchmarkServePredict" { print $2 }' "$fresh")"
+traced_ns="$(awk '$1 == "BenchmarkServePredictTraced" { print $2 }' "$fresh")"
+if [ -z "$plain_ns" ] || [ -z "$traced_ns" ]; then
+    echo "bench_compare: missing ServePredict ns/op for the tracing-overhead gate" >&2
+    exit 1
+fi
+pct="$(awk "BEGIN { printf \"%+.1f\", ($traced_ns / $plain_ns - 1) * 100 }")"
+if awk "BEGIN { exit !($traced_ns > $plain_ns * (1 + $trace_threshold / 100)) }"; then
+    echo "  tracing overhead: $traced_ns vs $plain_ns ns/op ($pct% — REGRESSION over ${trace_threshold}%)"
+    trace_fail=1
+else
+    echo "  tracing overhead: $traced_ns vs $plain_ns ns/op ($pct%)"
+fi
+if [ "$trace_fail" -ne 0 ]; then
+    echo "bench_compare: serve tracing regression detected" >&2
+    exit 1
+fi
+echo "bench_compare: /predict allocation-free and tracing overhead within ${trace_threshold}%"
 
 # --- Fleet serving gate: throughput and p99 from live loadtest runs.
 fleet_threshold="${BENCH_FLEET_THRESHOLD:-25}"

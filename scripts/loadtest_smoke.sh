@@ -5,6 +5,10 @@
 # throughput with zero 5xx responses and zero transport errors. This is the
 # cheap end-to-end proof that replica spawning, readiness probing,
 # consistent-hash routing and the load generator all still compose.
+#
+# The run also writes a merged Perfetto trace of the proxy and both
+# replicas to $LOADTEST_SMOKE_TRACE (default fleet_trace.json in the repo
+# root) so CI can publish it as an artifact; open it at ui.perfetto.dev.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -12,6 +16,7 @@ cd "$(dirname "$0")/.."
 bin="$(mktemp -d)/dnnperf"
 log="$(mktemp)"
 out="$(mktemp)"
+trace="${LOADTEST_SMOKE_TRACE:-fleet_trace.json}"
 
 cleanup() {
     rm -f "$log" "$out"
@@ -23,7 +28,7 @@ echo "loadtest_smoke: building dnnperf..."
 go build -o "$bin" ./cmd/dnnperf
 
 echo "loadtest_smoke: 2-replica fleet, 200 rps poisson for 2.5s..."
-if ! "$bin" -quick -replicas 2 -rate 200 -duration 2500ms -warmup 500ms -seed 7 loadtest >"$out" 2>"$log"; then
+if ! "$bin" -quick -replicas 2 -rate 200 -duration 2500ms -warmup 500ms -seed 7 -trace-o "$trace" loadtest >"$out" 2>"$log"; then
     echo "loadtest_smoke: loadtest run failed:" >&2
     cat "$log" >&2
     exit 1
@@ -54,4 +59,10 @@ if [ "$s5xx" != "0" ] || [ "$neterr" != "0" ]; then
     exit 1
 fi
 
+if [ ! -s "$trace" ] || ! grep -q '"process_name"' "$trace"; then
+    echo "loadtest_smoke: merged fleet trace $trace missing or malformed" >&2
+    exit 1
+fi
+
 echo "loadtest_smoke: $sent requests, ${thr} rps sustained, zero 5xx, zero transport errors"
+echo "loadtest_smoke: merged fleet trace written to $trace (open at ui.perfetto.dev)"

@@ -9,9 +9,11 @@
 #
 # A second section boots a 2-replica fleet proxy with a deliberately tiny
 # admission cap (-max-inflight 1), verifies routed predictions, provokes a
-# 429 Retry-After backpressure response with a concurrent burst, and checks
-# that SIGTERM drains the whole fleet: proxy exits 0 and no replica
-# processes survive it.
+# 429 Retry-After backpressure response with a concurrent burst, verifies
+# the tracing surface (a sampled traceparent's trace ID is echoed in
+# X-Trace-Id) and the /metricsz aggregation (merged histogram buckets equal
+# the bucket-wise sum of the replica histograms), and checks that SIGTERM
+# drains the whole fleet: proxy exits 0 and no replica processes survive it.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -257,6 +259,65 @@ fi
 st="$(code "http://$fleet_addr/predict?network=resnet50&batch=64")"
 if [ "$st" != "200" ]; then
     echo "serve_smoke: fleet did not recover after burst, /predict -> $st" >&2
+    exit 1
+fi
+
+# Tracing: a request carrying a sampled traceparent must get its trace ID
+# echoed in X-Trace-Id (trace continuation is deterministic, unlike the
+# proxy's own 1-in-N head sampling).
+tp='00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01'
+want_tid='0af7651916cd43dd8448eb211c80319c'
+if command -v curl >/dev/null 2>&1; then
+    hdrs="$(curl -fsS --max-time 10 -H "traceparent: $tp" -D - -o /dev/null "http://$fleet_addr/predict?network=resnet50&batch=64")"
+else
+    hdrs="$(wget -q -T 10 -O /dev/null -S --header "traceparent: $tp" "http://$fleet_addr/predict?network=resnet50&batch=64" 2>&1)"
+fi
+case "$(printf '%s' "$hdrs" | tr 'A-Z' 'a-z')" in
+*"x-trace-id: $want_tid"*) : ;;
+*)
+    echo "serve_smoke: proxy did not echo X-Trace-Id $want_tid for a sampled traceparent:" >&2
+    printf '%s\n' "$hdrs" >&2
+    exit 1
+    ;;
+esac
+
+# Merged fleet metrics: every /metricsz bucket of the predict stage
+# histogram must equal the sum of the replicas' buckets. The stage metrics
+# only move on /predict traffic, which the health prober never sends, so the
+# replica scrapes and the merged scrape see identical counters.
+workdir="$(dirname "$bin")"
+raddrs="$(sed -n 's/^dnnperf fleet: replica [0-9]* serving on \([^ ]*\).*/\1/p' "$log")"
+if [ "$(printf '%s\n' "$raddrs" | wc -l)" -ne 2 ]; then
+    echo "serve_smoke: expected 2 replica addresses in fleet log, got: $raddrs" >&2
+    exit 1
+fi
+i=0
+for ra in $raddrs; do
+    i=$((i + 1))
+    fetch "http://$ra/metrics.json" >"$workdir/replica$i.json"
+done
+fetch "http://$fleet_addr/metricsz" >"$workdir/merged.json"
+
+# cums prints the cumulative bucket counts of serve_stage_predict_seconds.
+cums() {
+    awk '/"name":/ { f = 0 }
+         /"name": "serve_stage_predict_seconds"/ { f = 1 }
+         f && /"cumulative":/ { gsub(/[^0-9]/, ""); print }' "$1"
+}
+cums "$workdir/replica1.json" >"$workdir/c1"
+cums "$workdir/replica2.json" >"$workdir/c2"
+cums "$workdir/merged.json" >"$workdir/cm"
+if [ ! -s "$workdir/c1" ] || [ ! -s "$workdir/c2" ] || [ ! -s "$workdir/cm" ]; then
+    echo "serve_smoke: serve_stage_predict_seconds missing from a metrics scrape" >&2
+    exit 1
+fi
+if ! paste "$workdir/c1" "$workdir/c2" "$workdir/cm" | awk '{ if ($1 + $2 != $3) exit 1 }'; then
+    echo "serve_smoke: /metricsz buckets are not the bucket-wise sum of the replicas:" >&2
+    paste "$workdir/c1" "$workdir/c2" "$workdir/cm" >&2
+    exit 1
+fi
+if [ "$(tail -1 "$workdir/cm")" = "0" ]; then
+    echo "serve_smoke: merged serve_stage_predict_seconds has zero observations despite predict traffic" >&2
     exit 1
 fi
 
