@@ -98,13 +98,20 @@ func ScheduleGreedy(tm ScheduleTimes, nTasks int) (ScheduleAssignment, error) {
 	return sched.Greedy(tm, nTasks)
 }
 
+// ScheduleGreedyInOrder places tasks in input order on the earliest-finish
+// GPU — the weaker heuristic ScheduleGreedy improved on; kept for queues
+// that must be served in arrival order.
+func ScheduleGreedyInOrder(tm ScheduleTimes, nTasks int) (ScheduleAssignment, error) {
+	return sched.GreedyInOrder(tm, nTasks)
+}
+
 // ErrScheduleSearchSpace marks a brute-force request whose search space is
 // too large to enumerate; detect it with errors.Is.
 var ErrScheduleSearchSpace = sched.ErrSearchSpace
 
 // ScheduleAuto brute-forces when the search space permits and falls back to
-// the greedy heuristic otherwise. The flag reports whether the returned
-// assignment is the exact optimum.
+// the cluster-scale optimizer (list scheduling plus local search) otherwise.
+// The flag reports whether the returned assignment is the exact optimum.
 func ScheduleAuto(tm ScheduleTimes, nTasks int) (ScheduleAssignment, bool, error) {
 	return sched.Auto(tm, nTasks)
 }
@@ -113,4 +120,51 @@ func ScheduleAuto(tm ScheduleTimes, nTasks int) (ScheduleAssignment, bool, error
 // predicted-time schedule evaluated with measured times).
 func MakespanOf(gpuOf []string, tm ScheduleTimes) (float64, error) {
 	return sched.MakespanOf(gpuOf, tm)
+}
+
+// ------------------------------------------- cluster-scale scheduling
+
+// ScheduleDenseTimes is the dense gpu-major time table the cluster-scale
+// optimizer works on; build one with NewScheduleDenseTimes and fill its
+// rows, or convert a map-form table with ScheduleDenseFromTimes.
+type ScheduleDenseTimes = sched.DenseTimes
+
+// ScheduleDenseAssignment is a schedule over a dense table.
+type ScheduleDenseAssignment = sched.DenseAssignment
+
+// ScheduleSearchOptions tunes the makespan search; the zero value picks
+// size-appropriate defaults.
+type ScheduleSearchOptions = sched.SearchOptions
+
+// ScheduleSearchResult is a schedule with its certified optimality gap.
+type ScheduleSearchResult = sched.SearchResult
+
+// NewScheduleDenseTimes allocates an empty dense table for the GPUs.
+func NewScheduleDenseTimes(gpus []string, nTasks int) (*ScheduleDenseTimes, error) {
+	return sched.NewDenseTimes(gpus, nTasks)
+}
+
+// ScheduleDenseFromTimes converts a map-form time table to dense form.
+func ScheduleDenseFromTimes(tm ScheduleTimes, nTasks int) (*ScheduleDenseTimes, error) {
+	return sched.FromTimes(tm, nTasks)
+}
+
+// ScheduleSearch runs the cluster-scale makespan optimizer: LPT-lookahead
+// construction, multi-start annealed local search with O(1) incremental
+// move evaluation, and a lower bound certifying the optimality gap. It
+// handles ~10⁶ tasks × dozens of GPU types in seconds.
+func ScheduleSearch(dt *ScheduleDenseTimes, opt ScheduleSearchOptions) (*ScheduleSearchResult, error) {
+	return sched.Schedule(dt, opt)
+}
+
+// ScheduleList runs only the construction heuristic: longest-processing-time
+// order with a bounded-lookahead regret rule.
+func ScheduleList(dt *ScheduleDenseTimes, lookahead int) (*ScheduleDenseAssignment, error) {
+	return sched.ListSchedule(dt, lookahead)
+}
+
+// ScheduleLowerBound certifies a makespan lower bound for the instance; no
+// schedule can beat it, so (makespan−bound)/bound bounds suboptimality.
+func ScheduleLowerBound(dt *ScheduleDenseTimes) (float64, error) {
+	return sched.LowerBound(dt)
 }

@@ -20,6 +20,10 @@
 //	          proxy (health-aware routing, admission control, /fleetz)
 //	loadtest  boot a fleet, drive open-loop load through the proxy, and
 //	          print a throughput/latency summary JSON
+//	sched     schedule a cluster-scale task queue (default: synthetic
+//	          10⁶ tasks × 8 GPUs; -cluster uses model-predicted times)
+//	          and print a JSON summary with makespan, lower bound,
+//	          optimality gap and tasks/sec
 //	table1, fig3…fig9, fig11…fig19, table2
 //	          regenerate one table/figure of the paper
 //	all       regenerate every table and figure
@@ -78,7 +82,10 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "loadtest run length including warm-up")
 	warmup := flag.Duration("warmup", 2*time.Second, "loadtest warm-up window excluded from the measurements")
 	arrival := flag.String("arrival", "poisson", "loadtest arrival schedule: poisson, bursty or closed")
-	seed := flag.Int64("seed", 1, "loadtest randomness seed")
+	seed := flag.Int64("seed", 1, "randomness seed for loadtest/sched")
+	tasks := flag.Int("tasks", 1_000_000, "sched: task count of the scheduling instance")
+	fleetSize := flag.Int("fleet-size", 8, "sched: GPU count of the synthetic fleet")
+	cluster := flag.Bool("cluster", false, "sched: model-driven fleet instead of the synthetic instance")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -131,6 +138,10 @@ func main() {
 			arrival: *arrival, seed: *seed, traceOut: *fleetTraceOut,
 		}
 		if err := runLoadtest(*quick, *gpuName, *network, ff); err != nil {
+			fatal(err)
+		}
+	case "sched":
+		if err := runSched(lab(), *tasks, *fleetSize, *seed, *cluster); err != nil {
 			fatal(err)
 		}
 	case "all":
@@ -501,7 +512,7 @@ func usage() {
 usage: dnnperf [flags] <command>
 
 commands:
-  zoo | trace | collect | train | predict | serve | fleet | loadtest | all | export | plots
+  zoo | trace | collect | train | predict | serve | fleet | loadtest | sched | all | export | plots
   table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9
   fig11 fig12 fig13 table2 fig14 fig15 fig16 fig17 fig18 fig19 ablation training mig smallbatch uncertainty robustness online
 

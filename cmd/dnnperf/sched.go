@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/obs"
+	"repro/internal/sched"
+)
+
+// The sched subcommand benchmarks the cluster-scale makespan optimizer.
+// By default it schedules a seeded synthetic queue (1M tasks × 8 GPUs) and
+// prints a JSON summary; with -cluster it runs the model-driven case-study
+// variant, predicting the time table with the interpolated base model and
+// scheduling the paper's nine-network mix across the hypothetical fleet.
+
+// schedSummary is the JSON output of the synthetic benchmark.
+type schedSummary struct {
+	Tasks             int     `json:"tasks"`
+	Fleet             int     `json:"fleet"`
+	Seed              int64   `json:"seed"`
+	MakespanSeconds   float64 `json:"makespan_s"`
+	LowerBoundSeconds float64 `json:"lower_bound_s"`
+	Gap               float64 `json:"gap"`
+	ElapsedSeconds    float64 `json:"elapsed_s"`
+	TasksPerSec       float64 `json:"tasks_per_sec"`
+	MovesTried        int64   `json:"moves_tried"`
+	MovesAccepted     int64   `json:"moves_accepted"`
+	SwapsTried        int64   `json:"swaps_tried"`
+	SwapsAccepted     int64   `json:"swaps_accepted"`
+	Restarts          int     `json:"restarts"`
+	BestRestart       int     `json:"best_restart"`
+}
+
+func runSched(l *bench.Lab, tasks, fleet int, seed int64, cluster bool) error {
+	if tasks <= 0 {
+		return fmt.Errorf("-tasks %d: task count must be positive", tasks)
+	}
+	if fleet <= 0 {
+		return fmt.Errorf("-fleet-size %d: fleet size must be positive", fleet)
+	}
+	if cluster {
+		sp := obs.StartPhase("cluster schedule")
+		res, err := bench.ClusterSchedule(l, tasks, seed)
+		sp.End()
+		if err != nil {
+			return err
+		}
+		return printJSON(res)
+	}
+
+	sp := obs.StartPhase("synthetic instance")
+	dt := sched.Synthetic(tasks, fleet, seed)
+	sp.End()
+
+	sp = obs.StartPhase("schedule")
+	start := time.Now()
+	res, err := sched.Schedule(dt, sched.SearchOptions{Seed: seed})
+	elapsed := time.Since(start).Seconds()
+	sp.End()
+	if err != nil {
+		return err
+	}
+	return printJSON(schedSummary{
+		Tasks: tasks, Fleet: fleet, Seed: seed,
+		MakespanSeconds:   res.Makespan,
+		LowerBoundSeconds: res.LowerBound,
+		Gap:               res.Gap,
+		ElapsedSeconds:    elapsed,
+		TasksPerSec:       float64(tasks) / elapsed,
+		MovesTried:        res.MovesTried, MovesAccepted: res.MovesAccepted,
+		SwapsTried: res.SwapsTried, SwapsAccepted: res.SwapsAccepted,
+		Restarts: res.Restarts, BestRestart: res.BestRestart,
+	})
+}
+
+func printJSON(v any) error {
+	blob, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(blob))
+	return nil
+}

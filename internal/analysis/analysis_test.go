@@ -79,6 +79,33 @@ func TestDetrangeNegative(t *testing.T) {
 	runFixture(t, NewDetrange(), "detrangeneg", 0)
 }
 
+// TestDetrangeGlobalRand covers the global-randomness rule: the four
+// package-level draws are flagged; the seeded-generator functions are not.
+func TestDetrangeGlobalRand(t *testing.T) {
+	findings := runFixture(t, NewDetrange(), "detrangerand", 4)
+	for _, f := range findings {
+		if !strings.Contains(f.Message, "process-global random source") {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	want := map[string]bool{
+		"math/rand.Float64": false, "math/rand.Intn": false,
+		"math/rand.Shuffle": false, "math/rand.Perm": false,
+	}
+	for _, f := range findings {
+		for name := range want {
+			if strings.HasPrefix(f.Message, name+" ") {
+				want[name] = true
+			}
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("%s draw not reported", name)
+		}
+	}
+}
+
 func TestFloateqPositive(t *testing.T) {
 	runFixture(t, NewFloateq(), "floateqpos", 3)
 }

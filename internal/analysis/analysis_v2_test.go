@@ -283,6 +283,10 @@ var hotPathAnnotations = map[string][]string{
 	"internal/cache/cache.go":   {"Get", "moveToFront", "pushFront", "unlink"},
 	"cmd/dnnperf/serve.go":      {"renderPredict", "queryValue", "setHeader", "writeJSONString"},
 	"cmd/dnnperf/servetrace.go": {"traceparentOf", "sampleRequest", "traceOf", "startStages", "mark"},
+	"internal/sched/localsearch.go": {
+		"heapSwap", "siftUp", "siftDown", "heapFix", "maxExcluding",
+		"evalMove", "evalSwap", "applySwap",
+	},
 }
 
 // TestHotPathAnnotationCoverage parses the production hot-path files and

@@ -19,6 +19,13 @@ import (
 // sorting that slice later in the same function — is exactly the sanctioned
 // fix, so an append whose target is subsequently passed to a sort call is
 // not reported.
+//
+// The same contract also bans math/rand's process-global source: package-
+// level rand.Intn/Float64/Shuffle/... draw from a shared, unseedable stream
+// whose values depend on every other draw in the process, so results cannot
+// be reproduced from an instance seed. Constructors (rand.New,
+// rand.NewSource, ...) and methods on an explicit *rand.Rand are the
+// sanctioned alternative and are not reported.
 type Detrange struct{}
 
 // NewDetrange returns the analyzer.
@@ -29,7 +36,7 @@ func (*Detrange) Name() string { return "detrange" }
 
 // Doc implements Analyzer.
 func (*Detrange) Doc() string {
-	return "order-sensitive work inside a range over a map (nondeterministic iteration)"
+	return "order-sensitive work inside a range over a map (nondeterministic iteration); math/rand global-source draws"
 }
 
 // accumulatorMethods are method names treated as order-sensitive statistic
@@ -54,9 +61,12 @@ func (a *Detrange) Run(p *Pass) []Finding {
 }
 
 // checkFunc inspects one function for map ranges with order-sensitive
-// bodies.
+// bodies and for global-source randomness.
 func (a *Detrange) checkFunc(p *Pass, fd *ast.FuncDecl, findings *[]Finding) {
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			a.checkGlobalRand(p, call, findings)
+		}
 		rng, ok := n.(*ast.RangeStmt)
 		if !ok {
 			return true
@@ -90,6 +100,32 @@ func isMapIterator(p *Pass, x ast.Expr) bool {
 		return true
 	}
 	return false
+}
+
+// checkGlobalRand flags package-level math/rand (and math/rand/v2) calls:
+// they draw from the process-global source, so values depend on unrelated
+// draws anywhere in the program and no instance seed can reproduce a run.
+// Constructors (New, NewSource, NewZipf, ...) build explicit seeded
+// generators — the sanctioned idiom — and methods on *rand.Rand have a
+// receiver, so neither is reported.
+func (a *Detrange) checkGlobalRand(p *Pass, call *ast.CallExpr, findings *[]Finding) {
+	fn := calleeFunc(p, unparen(call.Fun))
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	path := fn.Pkg().Path()
+	if path != "math/rand" && path != "math/rand/v2" {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods on an explicit generator are fine
+	}
+	if strings.HasPrefix(fn.Name(), "New") {
+		return // constructors of seeded generators are the fix, not the bug
+	}
+	reportf(p, findings, a.Name(), call,
+		"%s.%s draws from the process-global random source; results depend on unrelated draws and no seed reproduces them — use a per-instance rand.New(rand.NewSource(seed))",
+		path, fn.Name())
 }
 
 // checkMapRange reports order-sensitive statements inside one map range.

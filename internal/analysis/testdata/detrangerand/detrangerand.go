@@ -1,0 +1,42 @@
+// Package detrangerand holds fixtures for detrange's global-randomness
+// rule: package-level math/rand calls draw from the shared process-global
+// source and are flagged; seeded *rand.Rand instances and their
+// constructors are the sanctioned idiom and are not.
+package detrangerand
+
+import "math/rand"
+
+// jitterGlobal draws from the global source: flagged.
+func jitterGlobal(x float64) float64 {
+	return x * (1 + 0.1*rand.Float64())
+}
+
+// pickGlobal indexes with the global source: flagged.
+func pickGlobal(xs []int) int {
+	return xs[rand.Intn(len(xs))]
+}
+
+// shuffleGlobal permutes with the global source: flagged.
+func shuffleGlobal(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// permGlobal builds a permutation from the global source: flagged.
+func permGlobal(n int) []int {
+	return rand.Perm(n)
+}
+
+// jitterSeeded is the sanctioned fix: an explicit seeded generator. The
+// constructors and every method on the instance are clean.
+func jitterSeeded(x float64, seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return x * (1 + 0.1*rng.Float64())
+}
+
+// walkSeeded drives several instance methods: all clean.
+func walkSeeded(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	out := rng.Perm(n)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestClusterSchedule(t *testing.T) {
+	l := quickLab(t)
+	r, err := ClusterSchedule(l, 5000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Fleet) != 8 {
+		t.Fatalf("fleet = %v", r.Fleet)
+	}
+	if r.LowerBound <= 0 || r.Makespan < r.LowerBound {
+		t.Fatalf("makespan %v vs lower bound %v", r.Makespan, r.LowerBound)
+	}
+	if r.Gap > 0.10 {
+		t.Fatalf("gap %.2f%% above the 10%% acceptance budget", 100*r.Gap)
+	}
+	var total float64
+	for _, name := range r.Fleet {
+		load, ok := r.Load[name]
+		if !ok {
+			t.Fatalf("no load entry for %s", name)
+		}
+		if load > r.Makespan+1e-9 {
+			t.Fatalf("%s load %v exceeds makespan %v", name, load, r.Makespan)
+		}
+		total += load
+	}
+	if total <= 0 {
+		t.Fatal("fleet carries no load")
+	}
+
+	// Determinism: the same (lab, tasks, seed) reproduces the schedule.
+	r2, err := ClusterSchedule(l, 5000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Makespan != r.Makespan || r2.LowerBound != r.LowerBound || r2.BestRestart != r.BestRestart {
+		t.Fatalf("rerun diverged: %+v vs %+v", r2, r)
+	}
+
+	// The rendered table and JSON form both carry the headline numbers.
+	out := r.Render()
+	for _, want := range []string{"Cluster-scale scheduling", "optimality gap", "A100@1200GBps"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"makespan_s", "lower_bound_s", "gap", "tasks_per_sec", "load_s"} {
+		if !strings.Contains(string(blob), key) {
+			t.Fatalf("JSON missing %q: %s", key, blob)
+		}
+	}
+}
+
+func TestClusterScheduleValidation(t *testing.T) {
+	if _, err := ClusterSchedule(quickLab(t), 0, 1); err == nil {
+		t.Fatal("zero tasks should error")
+	}
+}

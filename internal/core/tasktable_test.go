@@ -1,0 +1,93 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dnn"
+	"repro/internal/gpu"
+)
+
+// TestTaskTimesMatchesPointPredictions: the sweep-fed builder must agree
+// bit-for-bit with per-task PredictNetwork calls — that is the whole
+// SweepPredictor contract the scatter relies on.
+func TestTaskTimesMatchesPointPredictions(t *testing.T) {
+	ds := plantKernelDataset(gpu.A100, 3)
+	kwA, err := FitKW(ds, "A100", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dsB := plantKernelDataset(gpu.TitanRTX, 3)
+	kwB, err := FitKW(dsB, "TITAN RTX", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []SweepPredictor{kwA, kwB}
+	nets := []*dnn.Network{mustNet(t, "resnet50"), mustNet(t, "resnet18")}
+
+	// A queue reusing few (network, batch) combinations across many tasks.
+	taskNet := []int{0, 1, 0, 1, 0, 0, 1, 1, 0}
+	taskBatch := []int{1, 64, 16, 1, 1, 16, 64, 64, 16}
+
+	gpus, table, err := TaskTimes(models, nets, taskNet, taskBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gpus) != 2 || gpus[0] != "A100" || gpus[1] != "TITAN RTX" {
+		t.Fatalf("gpus = %v", gpus)
+	}
+	if len(table) != 2*len(taskNet) {
+		t.Fatalf("table has %d entries, want %d", len(table), 2*len(taskNet))
+	}
+	for g, m := range models {
+		for i := range taskNet {
+			want, err := m.PredictNetwork(nets[taskNet[i]], taskBatch[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := table[g*len(taskNet)+i]; got != want.Float64() {
+				t.Fatalf("task %d on %s: table %v != point prediction %v",
+					i, gpus[g], got, want.Float64())
+			}
+		}
+	}
+}
+
+// TestTaskTimesValidation covers the builder's error paths, including the
+// deterministic first-cell-wins error from a failing sweep.
+func TestTaskTimesValidation(t *testing.T) {
+	ds := plantKernelDataset(gpu.A100, 3)
+	kw, err := FitKW(ds, "A100", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := []SweepPredictor{kw}
+	nets := []*dnn.Network{mustNet(t, "resnet18")}
+
+	if _, _, err := TaskTimes(models, nets, nil, nil); err == nil {
+		t.Fatal("empty task list should error")
+	}
+	if _, _, err := TaskTimes(models, nets, []int{0}, []int{1, 2}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+	if _, _, err := TaskTimes(nil, nets, []int{0}, []int{1}); err == nil {
+		t.Fatal("no models should error")
+	}
+	if _, _, err := TaskTimes(models, nets, []int{1}, []int{1}); err == nil {
+		t.Fatal("out-of-range network index should error")
+	}
+	if _, _, err := TaskTimes(models, nets, []int{0}, []int{0}); err == nil {
+		t.Fatal("non-positive batch should error")
+	}
+
+	bad := []*dnn.Network{mustNet(t, "resnet18"), badNetwork("bad-one"), badNetwork("bad-two")}
+	for trial := 0; trial < 5; trial++ {
+		_, _, err := TaskTimes(models, bad, []int{0, 1, 2}, []int{1, 1, 1})
+		if err == nil {
+			t.Fatal("failing sweeps must error")
+		}
+		if !strings.Contains(err.Error(), "bad-one") {
+			t.Fatalf("error %q should name the first failing network", err)
+		}
+	}
+}

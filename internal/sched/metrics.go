@@ -1,0 +1,41 @@
+package sched
+
+import (
+	"repro/internal/obs"
+)
+
+// Observability handles for the scheduler, registered once at package init.
+// Recording is gated by obs.Enabled() through obs.StartTimer, so disabled
+// collection costs one atomic load per search.
+var (
+	metricSearchSeconds = obs.Default().Histogram("sched_search_seconds",
+		"Latency of one Schedule run (construction + multi-start search).", nil)
+	metricSearches = obs.Default().Counter("sched_searches_total",
+		"Schedule runs completed.")
+	metricSearchTasks = obs.Default().Counter("sched_search_tasks_total",
+		"Tasks scheduled across all Schedule runs.")
+	metricMovesTried = obs.Default().Counter("sched_moves_tried_total",
+		"Task-move proposals evaluated across annealing and descent.")
+	metricMovesAccepted = obs.Default().Counter("sched_moves_accepted_total",
+		"Task-move proposals accepted.")
+	metricSwapsTried = obs.Default().Counter("sched_swaps_tried_total",
+		"Task-swap proposals evaluated across annealing and descent.")
+	metricSwapsAccepted = obs.Default().Counter("sched_swaps_accepted_total",
+		"Task-swap proposals accepted.")
+	metricLastGapPPM = obs.Default().Gauge("sched_last_gap_ppm",
+		"Optimality gap of the most recent Schedule run, parts per million.")
+)
+
+// startSearchTimer scopes the search-latency histogram sample.
+func startSearchTimer() obs.Timer {
+	return obs.StartTimer(metricSearchSeconds)
+}
+
+// recordSearchMetrics mirrors one result's effort counters into obs.
+func recordSearchMetrics(res *SearchResult) {
+	metricMovesTried.Add(res.MovesTried)
+	metricMovesAccepted.Add(res.MovesAccepted)
+	metricSwapsTried.Add(res.SwapsTried)
+	metricSwapsAccepted.Add(res.SwapsAccepted)
+	metricLastGapPPM.Set(int64(res.Gap * 1e6))
+}

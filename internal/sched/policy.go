@@ -1,0 +1,53 @@
+package sched
+
+import "fmt"
+
+// Policy is the pluggable scheduler-policy substrate: a named strategy
+// turning a dense time table into an assignment. Fleet-level consumers
+// (the planned fleetsim) select policies by configuration and compare them
+// on equal tables; everything here is deterministic for a fixed policy
+// value and table.
+type Policy interface {
+	// Name identifies the policy in reports and JSON summaries.
+	Name() string
+	// Schedule assigns every task in the table to a GPU.
+	Schedule(dt *DenseTimes) (*DenseAssignment, error)
+}
+
+// ListPolicy is construction-only scheduling: LPT with a bounded regret
+// lookahead (see ListSchedule). The zero value is plain LPT.
+type ListPolicy struct {
+	// Lookahead is the regret window; ≤ 0 means 1 (plain LPT).
+	Lookahead int
+}
+
+// Name implements Policy.
+func (p ListPolicy) Name() string {
+	if p.Lookahead > 1 {
+		return fmt.Sprintf("list-lpt-w%d", p.Lookahead)
+	}
+	return "list-lpt"
+}
+
+// Schedule implements Policy.
+func (p ListPolicy) Schedule(dt *DenseTimes) (*DenseAssignment, error) {
+	return ListSchedule(dt, p.Lookahead)
+}
+
+// SearchPolicy is the full multi-start local-search pipeline (see
+// Schedule). The zero value uses the scaled default options.
+type SearchPolicy struct {
+	Options SearchOptions
+}
+
+// Name implements Policy.
+func (p SearchPolicy) Name() string { return "local-search" }
+
+// Schedule implements Policy.
+func (p SearchPolicy) Schedule(dt *DenseTimes) (*DenseAssignment, error) {
+	res, err := Schedule(dt, p.Options)
+	if err != nil {
+		return nil, err
+	}
+	return res.Dense, nil
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package sched
+
+// raceEnabled reports whether the race detector instruments this build;
+// wall-clock acceptance budgets only apply to uninstrumented binaries.
+const raceEnabled = false

@@ -3,6 +3,12 @@
 // per-network GPU selection (Figure 18) and whole-queue makespan-minimizing
 // assignment (Figure 19), where the models' speed makes brute-force search
 // practical.
+//
+// Beyond the paper's 6-task scale, the package is a cluster-scale makespan
+// optimizer: DenseTimes holds the time table flat and gpu-major, Schedule
+// runs LPT-lookahead construction plus multi-start annealed local search
+// with O(1) incremental move evaluation, and LowerBound certifies the
+// optimality gap. Auto routes between the two regimes by instance size.
 package sched
 
 import (
@@ -43,13 +49,18 @@ func (tm Times) Validate(nTasks int) error {
 }
 
 // gpuNames returns the map keys sorted, for deterministic iteration.
-func (tm Times) gpuNames() []string {
-	out := make([]string, 0, len(tm))
+func (tm Times) gpuNames() []string { return tm.gpuNamesInto(nil) }
+
+// gpuNamesInto is the buffer-reusing variant of gpuNames: the sorted keys
+// are appended into buf[:0], so a caller holding the returned slice across
+// calls sorts into cached storage instead of re-allocating each time.
+func (tm Times) gpuNamesInto(buf []string) []string {
+	buf = buf[:0]
 	for g := range tm {
-		out = append(out, g)
+		buf = append(buf, g)
 	}
-	sort.Strings(out)
-	return out
+	sort.Strings(buf)
+	return buf
 }
 
 // ChooseGPU returns, for each task, the GPU with the smallest time — the
@@ -83,15 +94,25 @@ type Assignment struct {
 	Makespan float64
 }
 
-// recomputes loads/makespan from GPUOf and the time table.
+// finishAssignment recomputes loads/makespan from GPUOf and the time table,
+// allocating a fresh load map; hot loops use finishAssignmentInto instead.
 func finishAssignment(a *Assignment, tm Times) {
-	a.Load = map[string]float64{}
+	finishAssignmentInto(a, tm, make(map[string]float64, len(tm)))
+}
+
+// finishAssignmentInto is the buffer-reusing variant: the caller's load map
+// is cleared, refilled, and installed as a.Load. When the map already holds
+// this table's GPU keys the recompute performs zero allocations, which is
+// what lets per-call schedulers amortize the map across a whole queue.
+func finishAssignmentInto(a *Assignment, tm Times, load map[string]float64) {
+	clear(load)
 	for g := range tm {
-		a.Load[g] = 0
+		load[g] = 0
 	}
 	for i, g := range a.GPUOf {
-		a.Load[g] += tm[g][i]
+		load[g] += tm[g][i]
 	}
+	a.Load = load
 	a.Makespan = 0
 	for _, l := range a.Load {
 		if l > a.Makespan {
@@ -162,10 +183,12 @@ func BruteForce(tm Times, nTasks int) (Assignment, error) {
 	return best, nil
 }
 
-// Auto schedules with BruteForce when the search space permits and falls
-// back to Greedy when BruteForce reports ErrSearchSpace. The returned flag
-// is true when the assignment is the exact optimum (brute force ran);
-// validation errors are returned as-is, never masked by the fallback.
+// Auto schedules with BruteForce when the search space permits; when
+// BruteForce reports ErrSearchSpace it routes to the cluster-scale path —
+// dense conversion, LPT-lookahead construction, and multi-start local
+// search via Schedule with default options. The returned flag is true when
+// the assignment is the exact optimum (brute force ran); validation errors
+// are returned as-is, never masked by the fallback.
 func Auto(tm Times, nTasks int) (Assignment, bool, error) {
 	a, err := BruteForce(tm, nTasks)
 	if err == nil {
@@ -174,37 +197,50 @@ func Auto(tm Times, nTasks int) (Assignment, bool, error) {
 	if !errors.Is(err, ErrSearchSpace) {
 		return Assignment{}, false, err
 	}
-	a, err = Greedy(tm, nTasks)
-	return a, false, err
+	dt, err := FromTimes(tm, nTasks)
+	if err != nil {
+		return Assignment{}, false, err
+	}
+	res, err := Schedule(dt, SearchOptions{})
+	if err != nil {
+		return Assignment{}, false, err
+	}
+	return res.Dense.Assignment(dt), false, nil
 }
 
-// Greedy is the longest-processing-time heuristic: tasks sorted by their
-// best-GPU time descending, each placed on the GPU minimizing the resulting
-// completion time. Provided as the scalable baseline the experiments compare
-// against brute force.
+// Greedy is the longest-processing-time (LPT) heuristic: tasks sorted by
+// their best-GPU time descending, each placed on the GPU minimizing the
+// resulting completion time. Sorting longest-first is what buys the
+// classical approximation guarantee — on identical machines LPT is within
+// 4/3 − 1/(3g) of optimal (Graham 1969), versus 2 − 1/g for arbitrary-order
+// list scheduling — and heterogeneous fleets inherit it as a strong
+// baseline. GreedyInOrder keeps the unsorted variant for comparison.
 func Greedy(tm Times, nTasks int) (Assignment, error) {
 	if err := tm.Validate(nTasks); err != nil {
 		return Assignment{}, err
 	}
 	gpus := tm.gpuNames()
-	order := make([]int, nTasks)
+	// Precompute each task's best-GPU time once: sorting with a comparator
+	// that rescans every GPU per comparison would cost O(n log n · g)
+	// redundant table reads.
+	keys := make([]float64, nTasks)
+	order := make([]int32, nTasks)
 	for i := range order {
-		order[i] = i
-	}
-	key := func(i int) float64 {
+		order[i] = int32(i)
 		best := math.Inf(1)
 		for _, g := range gpus {
 			if tm[g][i] < best {
 				best = tm[g][i]
 			}
 		}
-		return best
+		keys[i] = best
 	}
-	sort.Slice(order, func(a, b int) bool { return key(order[a]) > key(order[b]) })
+	sortTasksByKeyDesc(order, keys)
 
 	a := Assignment{GPUOf: make([]string, nTasks)}
-	load := map[string]float64{}
-	for _, i := range order {
+	load := make(map[string]float64, len(gpus))
+	for _, task := range order {
+		i := int(task)
 		bestG, bestFinish := "", math.Inf(1)
 		for _, g := range gpus {
 			if f := load[g] + tm[g][i]; f < bestFinish {
@@ -215,7 +251,33 @@ func Greedy(tm Times, nTasks int) (Assignment, error) {
 		a.GPUOf[i] = bestG
 		load[bestG] += tm[bestG][i]
 	}
-	finishAssignment(&a, tm)
+	finishAssignmentInto(&a, tm, load)
+	return a, nil
+}
+
+// GreedyInOrder is list scheduling in input order: each task in turn goes
+// to the GPU minimizing its completion time, with no LPT sort. This is the
+// order-sensitive variant (worst case 2 − 1/g on identical machines) kept
+// for golden comparisons and for queues whose arrival order is meaningful.
+func GreedyInOrder(tm Times, nTasks int) (Assignment, error) {
+	if err := tm.Validate(nTasks); err != nil {
+		return Assignment{}, err
+	}
+	gpus := tm.gpuNames()
+	a := Assignment{GPUOf: make([]string, nTasks)}
+	load := make(map[string]float64, len(gpus))
+	for i := 0; i < nTasks; i++ {
+		bestG, bestFinish := "", math.Inf(1)
+		for _, g := range gpus {
+			if f := load[g] + tm[g][i]; f < bestFinish {
+				bestFinish = f
+				bestG = g
+			}
+		}
+		a.GPUOf[i] = bestG
+		load[bestG] += tm[bestG][i]
+	}
+	finishAssignmentInto(&a, tm, load)
 	return a, nil
 }
 

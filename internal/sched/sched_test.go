@@ -107,7 +107,7 @@ func TestBruteForceSearchSpaceError(t *testing.T) {
 	}
 }
 
-func TestAutoFallsBackToGreedy(t *testing.T) {
+func TestAutoFallsBackToSearch(t *testing.T) {
 	// In-limit case: Auto must return the brute-force optimum and exact=true.
 	small := Times{"a": {1, 5}, "b": {5, 1}}
 	a, exact, err := Auto(small, 2)
@@ -121,7 +121,8 @@ func TestAutoFallsBackToGreedy(t *testing.T) {
 		t.Fatalf("optimal makespan = %v, want 1", a.Makespan)
 	}
 
-	// Over-limit case: Auto must fall back to Greedy and agree with it.
+	// Over-limit case: Auto routes to local search, which starts from an
+	// LPT construction and only improves — it must never lose to Greedy.
 	big := Times{"a": make([]float64, 24), "b": make([]float64, 24)}
 	for i := range big["a"] {
 		big["a"][i], big["b"][i] = float64(i+1), float64(24-i)
@@ -131,19 +132,96 @@ func TestAutoFallsBackToGreedy(t *testing.T) {
 		t.Fatal(err)
 	}
 	if exact {
-		t.Fatal("24 tasks should not be solved exactly")
+		t.Fatal("24 tasks should not be reported as exact")
 	}
 	g, err := Greedy(big, 24)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Makespan != g.Makespan {
-		t.Fatalf("Auto fallback makespan = %v, Greedy = %v", a.Makespan, g.Makespan)
+	if a.Makespan > g.Makespan+1e-12 {
+		t.Fatalf("Auto fallback makespan = %v worse than Greedy = %v", a.Makespan, g.Makespan)
+	}
+	if len(a.GPUOf) != 24 || len(a.Load) != 2 {
+		t.Fatalf("fallback assignment malformed: %+v", a)
 	}
 
 	// Validation errors pass through instead of triggering the fallback.
 	if _, _, err := Auto(Times{}, 1); err == nil {
 		t.Fatal("empty Times should error")
+	}
+}
+
+// TestAutoRoutingTable pins the size thresholds that pick brute force vs
+// the heuristic path: the exact flag is the observable routing decision.
+func TestAutoRoutingTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		nTasks    int
+		nGPUs     int
+		wantExact bool
+	}{
+		{"tiny", 2, 2, true},
+		{"at-task-limit", maxBruteForceTasks, 2, true},
+		{"at-gpu-limit", 4, 4, true},
+		{"over-task-limit", maxBruteForceTasks + 1, 2, false},
+		{"over-gpu-limit", 4, 5, false},
+		{"both-over", 40, 8, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dt := Synthetic(tc.nTasks, tc.nGPUs, 7)
+			a, exact, err := Auto(dt.Times(), tc.nTasks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exact != tc.wantExact {
+				t.Fatalf("Auto(%d tasks, %d GPUs) exact = %v, want %v",
+					tc.nTasks, tc.nGPUs, exact, tc.wantExact)
+			}
+			if len(a.GPUOf) != tc.nTasks {
+				t.Fatalf("assigned %d of %d tasks", len(a.GPUOf), tc.nTasks)
+			}
+		})
+	}
+}
+
+func TestGreedyInOrder(t *testing.T) {
+	tm := twoGPUTimes()
+	a, err := GreedyInOrder(tm, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In input order on {fast: 1,2,3,4 / slow: 2,4,6,8}: task 0 → fast
+	// (1 < 2), task 1 → slow (1+2 vs 2 ties at... fast finish 3, slow 4 →
+	// fast), replaying the earliest-finish rule by hand gives:
+	want, err := MakespanOf(a.GPUOf, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != want {
+		t.Fatalf("reported makespan %v inconsistent with assignment (%v)", a.Makespan, want)
+	}
+	// Order sensitivity is the point of the variant: six unit tasks then
+	// one big task. In-order splits the units 3/3 and lands the big task
+	// on top (makespan 9); LPT places the big task first and packs the
+	// units opposite it (makespan 6).
+	adv := Times{
+		"g0": {1, 1, 1, 1, 1, 1, 6},
+		"g1": {1, 1, 1, 1, 1, 1, 6},
+	}
+	inOrder, err := GreedyInOrder(adv, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpt, err := Greedy(adv, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inOrder.Makespan != 9 {
+		t.Fatalf("in-order makespan = %v, want 9", inOrder.Makespan)
+	}
+	if lpt.Makespan != 6 {
+		t.Fatalf("LPT makespan = %v, want 6", lpt.Makespan)
 	}
 }
 

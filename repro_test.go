@@ -163,6 +163,47 @@ func TestFacadeScheduling(t *testing.T) {
 	if err != nil || math.Abs(span-plan.Makespan) > 1e-12 {
 		t.Fatalf("MakespanOf = %v, %v", span, err)
 	}
+	inOrder, err := ScheduleGreedyInOrder(tm, 2)
+	if err != nil || inOrder.Makespan < plan.Makespan {
+		t.Fatalf("GreedyInOrder = %v, %v", inOrder.Makespan, err)
+	}
+}
+
+func TestFacadeClusterScheduling(t *testing.T) {
+	tm := ScheduleTimes{"A40": {1, 4, 3}, "TITAN RTX": {2, 2, 5}}
+	dt, err := ScheduleDenseFromTimes(tm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := ScheduleLowerBound(dt)
+	if err != nil || lb <= 0 {
+		t.Fatalf("lower bound = %v, %v", lb, err)
+	}
+	list, err := ScheduleList(dt, 4)
+	if err != nil || list.Makespan < lb {
+		t.Fatalf("list = %v (lb %v), %v", list.Makespan, lb, err)
+	}
+	res, err := ScheduleSearch(dt, ScheduleSearchOptions{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan < lb || res.Makespan > list.Makespan+1e-12 {
+		t.Fatalf("search makespan %v outside [lb %v, list %v]", res.Makespan, lb, list.Makespan)
+	}
+	brute, err := ScheduleBruteForce(tm, 3)
+	if err != nil || math.Abs(res.Makespan-brute.Makespan) > 1e-12 {
+		t.Fatalf("search %v != brute force %v (%v)", res.Makespan, brute.Makespan, err)
+	}
+	fresh, err := NewScheduleDenseTimes([]string{"A40", "TITAN RTX"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(fresh.Row(0), dt.Row(0))
+	copy(fresh.Row(1), dt.Row(1))
+	again, err := ScheduleSearch(fresh, ScheduleSearchOptions{Seed: 7})
+	if err != nil || again.Makespan != res.Makespan {
+		t.Fatalf("dense rebuild diverged: %v vs %v (%v)", again.Makespan, res.Makespan, err)
+	}
 }
 
 func TestFacadeDatasetPersistence(t *testing.T) {

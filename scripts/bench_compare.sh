@@ -18,6 +18,14 @@
 # gate). Only the root package's LabDatasetBuild stays an ungated
 # order-of-magnitude reference.
 #
+# The cluster-scale scheduler adds three gates: the full search pipeline
+# over a 10⁵-task × 8-GPU instance (ScheduleLocalSearch — ns/op against
+# baseline, plus allocs/op within the same threshold so the search cannot
+# quietly start allocating per move), the map→dense table conversion
+# (DenseTimesBuild), and the incremental move-evaluation hot path
+# (ScheduleMoveEval), which is additionally held at an absolute
+# 0 allocs/op like the serve handler.
+#
 # The fleet serving tier is gated separately: three short `dnnperf
 # loadtest` runs (arguments identical to bench_baseline.sh; best of three —
 # max throughput, min p99) are compared against the committed baseline.
@@ -65,6 +73,12 @@ go test -run '^$' -bench 'BenchmarkFitKW$' \
 # ns/op matches how bench_baseline.sh measures the same benchmark.
 go test -run '^$' -bench 'BenchmarkDnnlintModule$' \
     -benchtime 3x ./internal/analysis/ >>"$raw"
+go test -run '^$' -bench 'BenchmarkScheduleLocalSearch$' \
+    -benchtime 2x -count 3 ./internal/sched/ >>"$raw"
+go test -run '^$' -bench 'BenchmarkDenseTimesBuild$' \
+    -benchtime 20x -count 3 ./internal/sched/ >>"$raw"
+go test -run '^$' -bench 'BenchmarkScheduleMoveEval$' \
+    -benchtime 20000x -count 3 ./internal/sched/ >>"$raw"
 
 # `BenchmarkName-P  N  T ns/op ...` -> `BenchmarkName T`, keeping the
 # fastest of the repeated runs: the minimum is the standard noise filter
@@ -153,6 +167,43 @@ if [ "$trace_fail" -ne 0 ]; then
     exit 1
 fi
 echo "bench_compare: /predict allocation-free and tracing overhead within ${trace_threshold}%"
+
+# --- Scheduler gates. Two absolute/allocation invariants on top of the
+# relative ns/op gate above:
+#   1. the incremental move-evaluation hot path stays at 0 allocs/op in
+#      steady state (worst of the 3 repeats), and
+#   2. the full 10⁵-task search pipeline's allocs/op stays within the
+#      relative threshold of baseline — its allocations are per-restart
+#      state arrays, so growth means a per-move allocation crept in.
+sched_fail=0
+moveeval_allocs="$(serve_allocs BenchmarkScheduleMoveEval)"
+if [ -z "$moveeval_allocs" ]; then
+    echo "bench_compare: no allocs/op parsed for BenchmarkScheduleMoveEval" >&2
+    exit 1
+fi
+if [ "$moveeval_allocs" != "0" ]; then
+    echo "  BenchmarkScheduleMoveEval: $moveeval_allocs allocs/op, want 0 — REGRESSION (move evaluation allocates)"
+    sched_fail=1
+else
+    echo "  BenchmarkScheduleMoveEval: 0 allocs/op"
+fi
+search_allocs="$(serve_allocs BenchmarkScheduleLocalSearch)"
+base_search_allocs="$(sed -n 's/.*"BenchmarkScheduleLocalSearch": {[^}]*"allocs_per_op": \([0-9][0-9]*\).*/\1/p' "$baseline")"
+if [ -n "$search_allocs" ] && [ -n "$base_search_allocs" ]; then
+    if awk "BEGIN { exit !($search_allocs > $base_search_allocs * (1 + $threshold / 100)) }"; then
+        echo "  BenchmarkScheduleLocalSearch: $search_allocs allocs/op vs baseline $base_search_allocs — REGRESSION over ${threshold}%"
+        sched_fail=1
+    else
+        echo "  BenchmarkScheduleLocalSearch: $search_allocs allocs/op vs baseline $base_search_allocs"
+    fi
+else
+    echo "  BenchmarkScheduleLocalSearch: no allocs baseline entry, allocs gate skipped"
+fi
+if [ "$sched_fail" -ne 0 ]; then
+    echo "bench_compare: scheduler regression detected" >&2
+    exit 1
+fi
+echo "bench_compare: scheduler move evaluation allocation-free, search allocs within ${threshold}%"
 
 # --- Fleet serving gate: throughput and p99 from live loadtest runs.
 fleet_threshold="${BENCH_FLEET_THRESHOLD:-25}"
