@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint lint-sarif verify bench bench-smoke bench-baseline bench-compare serve-smoke loadtest-smoke
+.PHONY: build test lint lint-sarif verify bench bench-smoke bench-baseline bench-compare serve-smoke loadtest-smoke fleetsim-smoke
 
 build:
 	$(GO) build ./...
@@ -71,3 +71,8 @@ serve-smoke:
 # and requires non-zero sustained throughput with zero 5xx.
 loadtest-smoke:
 	./scripts/loadtest_smoke.sh
+
+# fleetsim-smoke replays a 10k-request trace through `dnnperf fleetsim` and
+# a small capacity sweep, checking the summary JSON is sane end to end.
+fleetsim-smoke:
+	./scripts/fleetsim_smoke.sh

@@ -24,6 +24,12 @@
 //	          10⁶ tasks × 8 GPUs; -cluster uses model-predicted times)
 //	          and print a JSON summary with makespan, lower bound,
 //	          optimality gap and tasks/sec
+//	fleetsim  replay an arrival trace against a simulated GPU fleet with
+//	          compiled-plan step times (-cluster; default: synthetic
+//	          oracle) and print latency percentiles, utilization and
+//	          queue depths; -sweep-fleet/-sweep-rate/-sweep-policy fan a
+//	          capacity grid, -o writes the batch timeline as a Perfetto
+//	          trace
 //	table1, fig3…fig9, fig11…fig19, table2
 //	          regenerate one table/figure of the paper
 //	all       regenerate every table and figure
@@ -85,7 +91,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "randomness seed for loadtest/sched")
 	tasks := flag.Int("tasks", 1_000_000, "sched: task count of the scheduling instance")
 	fleetSize := flag.Int("fleet-size", 8, "sched: GPU count of the synthetic fleet")
-	cluster := flag.Bool("cluster", false, "sched: model-driven fleet instead of the synthetic instance")
+	cluster := flag.Bool("cluster", false, "sched/fleetsim: model-driven fleet instead of the synthetic instance")
+	requests := flag.Int("requests", 100_000, "fleetsim: open-loop trace length in requests")
+	maxBatch := flag.Int("max-batch", 8, "fleetsim: replica batch-size cap")
+	policy := flag.String("policy", "jsq", "fleetsim: dispatch policy (jsq, rr, lpt, inorder, search)")
+	users := flag.Int("users", 0, "fleetsim: closed-loop virtual user count (0 = open loop)")
+	think := flag.Duration("think", 50*time.Millisecond, "fleetsim: closed-loop mean think time")
+	horizon := flag.Duration("horizon", 60*time.Second, "fleetsim: closed-loop simulated horizon")
+	postProc := flag.Duration("post-proc", 200*time.Microsecond, "fleetsim: per-request post-processing time")
+	sweepFleet := flag.String("sweep-fleet", "", "fleetsim: comma-separated fleet sizes to sweep")
+	sweepRate := flag.String("sweep-rate", "", "fleetsim: comma-separated arrival rates (rps) to sweep")
+	sweepPolicy := flag.String("sweep-policy", "", "fleetsim: comma-separated policies to sweep")
+	p99Target := flag.Duration("p99-target", 250*time.Millisecond, "fleetsim sweep: p99 target for the capacity answer")
+	sweepWorkers := flag.Int("sweep-workers", 0, "fleetsim sweep: concurrent scenario workers (0 = GOMAXPROCS)")
 	flag.Usage = usage
 	flag.Parse()
 
@@ -142,6 +160,18 @@ func main() {
 		}
 	case "sched":
 		if err := runSched(lab(), *tasks, *fleetSize, *seed, *cluster); err != nil {
+			fatal(err)
+		}
+	case "fleetsim":
+		ff := fleetsimFlags{
+			fleetSize: *fleetSize, requests: *requests, maxBatch: *maxBatch,
+			rate: *rate, arrival: *arrival, policy: *policy,
+			users: *users, think: *think, horizon: *horizon, post: *postProc,
+			seed: *seed, cluster: *cluster, quick: *quick, workers: *sweepWorkers,
+			sweepFleet: *sweepFleet, sweepRate: *sweepRate, sweepPolicy: *sweepPolicy,
+			p99Target: *p99Target, timeline: *traceOut != "",
+		}
+		if err := runFleetsim(ff); err != nil {
 			fatal(err)
 		}
 	case "all":
@@ -512,7 +542,7 @@ func usage() {
 usage: dnnperf [flags] <command>
 
 commands:
-  zoo | trace | collect | train | predict | serve | fleet | loadtest | sched | all | export | plots
+  zoo | trace | collect | train | predict | serve | fleet | loadtest | sched | fleetsim | all | export | plots
   table1 fig3 fig4 fig5 fig6 fig7 fig8 fig9
   fig11 fig12 fig13 table2 fig14 fig15 fig16 fig17 fig18 fig19 ablation training mig smallbatch uncertainty robustness online
 

@@ -12,7 +12,7 @@ import (
 )
 
 func TestAllocfreePositive(t *testing.T) {
-	findings := runFixture(t, NewAllocfree(DefaultAllocWhitelist()), "allocfreepos", 11)
+	findings := runFixture(t, NewAllocfree(DefaultAllocWhitelist()), "allocfreepos", 13)
 	// One finding per allocation class the fixture stages.
 	classes := map[string]bool{
 		"append":        false, // append without capacity evidence
@@ -45,7 +45,7 @@ func TestAllocfreeNegative(t *testing.T) {
 }
 
 func TestGoroleakPositive(t *testing.T) {
-	runFixture(t, NewGoroleak(), "goroleakpos", 2)
+	runFixture(t, NewGoroleak(), "goroleakpos", 3)
 }
 
 func TestGoroleakNegative(t *testing.T) {
@@ -287,6 +287,11 @@ var hotPathAnnotations = map[string][]string{
 		"heapSwap", "siftUp", "siftDown", "heapFix", "maxExcluding",
 		"evalMove", "evalSwap", "applySwap",
 	},
+	"internal/fleetsim/event.go": {
+		"reset", "less", "push", "pop", "siftUp", "siftDown", "full", "at",
+	},
+	"internal/fleetsim/steptable.go": {"At", "next", "float64"},
+	"internal/fleetsim/sim.go":       {"route", "startBatch"},
 }
 
 // TestHotPathAnnotationCoverage parses the production hot-path files and

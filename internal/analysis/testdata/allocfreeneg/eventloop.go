@@ -1,0 +1,96 @@
+package allocfreeneg
+
+// The fleet simulator's event-loop idioms: a binary min-heap over a
+// preallocated arena and a power-of-two ring buffer, all steady-state ops
+// plain indexed reads/writes into existing backing arrays.
+
+type simEvent struct {
+	t   float64
+	seq uint32
+	idx int32
+}
+
+type simHeap struct {
+	ev  []simEvent
+	n   int
+	seq uint32
+}
+
+// push writes into the preallocated arena; overflow is a bounds panic, not
+// growth.
+//
+//dnnperf:allocfree
+func (h *simHeap) push(t float64, idx int32) {
+	h.ev[h.n] = simEvent{t: t, seq: h.seq, idx: idx}
+	h.seq++
+	h.n++
+	h.siftUp(h.n - 1)
+}
+
+// pop returns the minimum by value — 16 bytes copied, nothing boxed.
+//
+//dnnperf:allocfree
+func (h *simHeap) pop() simEvent {
+	top := h.ev[0]
+	h.n--
+	if h.n > 0 {
+		h.ev[0] = h.ev[h.n]
+		h.siftDown(0)
+	}
+	return top
+}
+
+//dnnperf:allocfree
+func (h *simHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.ev[i].t >= h.ev[parent].t {
+			return
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+//dnnperf:allocfree
+func (h *simHeap) siftDown(i int) {
+	for {
+		left := 2*i + 1
+		if left >= h.n {
+			return
+		}
+		least := left
+		if right := left + 1; right < h.n && h.ev[right].t < h.ev[left].t {
+			least = right
+		}
+		if h.ev[least].t >= h.ev[i].t {
+			return
+		}
+		h.ev[i], h.ev[least] = h.ev[least], h.ev[i]
+		i = least
+	}
+}
+
+type ringQueue struct {
+	buf  []int32
+	head int32
+	n    int32
+}
+
+// rpush masks into the power-of-two buffer; the caller grew it cold.
+//
+//dnnperf:allocfree
+func (r *ringQueue) rpush(v int32) {
+	r.buf[(r.head+r.n)&int32(len(r.buf)-1)] = v
+	r.n++
+}
+
+// rpop removes the oldest element with the same mask.
+//
+//dnnperf:allocfree
+func (r *ringQueue) rpop() int32 {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) & int32(len(r.buf)-1)
+	r.n--
+	return v
+}

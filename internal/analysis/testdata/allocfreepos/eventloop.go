@@ -1,0 +1,30 @@
+package allocfreepos
+
+// Fleet-simulator event-loop shapes that defeat the preallocated-arena
+// contract: the event queue must never grow or box per event.
+
+type simEvent struct {
+	t   float64
+	idx int32
+}
+
+type simHeap struct {
+	ev []simEvent
+	n  int
+}
+
+// push grows the arena instead of writing into preallocated capacity.
+//
+//dnnperf:allocfree
+func (h *simHeap) push(t float64, idx int32) {
+	h.ev = append(h.ev, simEvent{t: t, idx: idx}) // finding: append without preallocation evidence
+	h.n++
+}
+
+// popAny boxes the 16-byte event into an interface on every pop.
+//
+//dnnperf:allocfree
+func (h *simHeap) popAny() any {
+	h.n--
+	return h.ev[h.n] // finding: struct boxed into the any result
+}

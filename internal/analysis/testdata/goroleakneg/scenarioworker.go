@@ -1,0 +1,27 @@
+package goroleakneg
+
+import "sync"
+
+// sweepWorkers is the simulator's scenario fan-out shape: a bounded worker
+// pool draining a channel the spawner closes, writing indexed result
+// slots, joined through a WaitGroup before return.
+func sweepWorkers(scenarios []int) []float64 {
+	out := make([]float64, len(scenarios))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = float64(scenarios[i])
+			}
+		}()
+	}
+	for i := range scenarios {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,14 @@
+package goroleakpos
+
+// leakScenarioWorkers mimics a sweep fan-out that forgets the join: the
+// workers range a channel that is never closed here, and the spawner
+// returns without waiting.
+func leakScenarioWorkers(next chan int, out []float64) {
+	for w := 0; w < 4; w++ {
+		go func() { // finding: looping body, no ctx/done, spawner never waits
+			for i := range next {
+				out[i] = float64(i)
+			}
+		}()
+	}
+}

@@ -41,6 +41,40 @@ func clusterNets() []string { return figure19Nets }
 // sweep per pair regardless of queue length.
 var clusterBatches = []int{1, 4, 16, 64, 256}
 
+// FleetOracle resolves the step-time oracle inputs for fleet simulation:
+// the 8-GPU cluster fleet's prediction models (the interpolated base fit
+// on the DSE training GPUs, resolved per spec — half the fleet is
+// hypothetical and cannot be benchmarked) and the nine-network serving
+// mix. The caller compiles them into a step table (fleetsim.BuildStepTable)
+// over whatever batch range its simulation needs.
+func FleetOracle(l *Lab) ([]core.SweepPredictor, []*dnn.Network, error) {
+	ds, err := l.Dataset(dseTrainGPUs()...)
+	if err != nil {
+		return nil, nil, err
+	}
+	base, err := core.FitIGKWBase(ds, dseTrainGPUs(), TrainBatch)
+	if err != nil {
+		return nil, nil, err
+	}
+	fleet := clusterFleet()
+	models := make([]core.SweepPredictor, len(fleet))
+	for i, spec := range fleet {
+		m, err := base.Resolve(spec)
+		if err != nil {
+			return nil, nil, err
+		}
+		models[i] = m
+	}
+	names := clusterNets()
+	nets := make([]*dnn.Network, len(names))
+	for i, name := range names {
+		if nets[i], err = l.Network(name); err != nil {
+			return nil, nil, err
+		}
+	}
+	return models, nets, nil
+}
+
 // ClusterScheduleResult is one cluster-scale scheduling run.
 type ClusterScheduleResult struct {
 	Tasks    int      `json:"tasks"`

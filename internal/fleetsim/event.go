@@ -1,0 +1,178 @@
+package fleetsim
+
+// The event engine. A discrete-event simulator lives or dies by its event
+// queue, so this one is engineered as a hot path: a binary min-heap over a
+// preallocated event arena whose capacity is a structural invariant of the
+// simulation (one pending trace arrival, at most one completion per
+// replica, at most one pending re-arrival per closed-loop user — the heap
+// can never outgrow 2+replicas+users), keyed by (time, seq) so ties resolve
+// in push order and every replay is bit-identical. Push and pop are
+// allocation-free leaf kernels; there is no interface, no container/heap,
+// no per-event boxing.
+
+// Event kinds.
+const (
+	evArrival  = uint8(iota) // open-loop trace arrival; idx is the request id
+	evFree                   // replica finished a batch; idx is the replica id
+	evUserNext               // closed-loop user issues a request; idx is the user id
+)
+
+// event is one scheduled simulation event. 16 bytes, passed by value.
+type event struct {
+	t    float64 // simulated seconds
+	seq  uint32  // push order; the deterministic tie-break
+	kind uint8
+	idx  int32
+}
+
+// eventHeap is a binary min-heap over a fixed-capacity arena.
+type eventHeap struct {
+	ev  []event // preallocated to the structural bound; never grows
+	n   int
+	seq uint32 // monotone push counter
+}
+
+// newEventHeap allocates the arena for at most cap pending events.
+func newEventHeap(capacity int) *eventHeap {
+	return &eventHeap{ev: make([]event, capacity)}
+}
+
+// reset empties the heap without releasing the arena.
+//
+//dnnperf:allocfree
+func (h *eventHeap) reset() {
+	h.n = 0
+	h.seq = 0
+}
+
+// less orders events by (time, push sequence).
+//
+//dnnperf:allocfree
+func (h *eventHeap) less(i, j int) bool {
+	a, b := &h.ev[i], &h.ev[j]
+	//lint:ignore floateq event times are compared exactly on purpose: equal-time events must fall through to the seq tie-break for deterministic FIFO order, and both operands are stored values, never re-derived sums
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+// push schedules an event. The arena bound is structural; overflowing it is
+// a simulator bug, and the slice bounds check turns it into a panic rather
+// than silent growth.
+//
+//dnnperf:allocfree
+func (h *eventHeap) push(t float64, kind uint8, idx int32) {
+	h.ev[h.n] = event{t: t, seq: h.seq, kind: kind, idx: idx}
+	h.seq++
+	h.n++
+	h.siftUp(h.n - 1)
+}
+
+// pop removes and returns the earliest event.
+//
+//dnnperf:allocfree
+func (h *eventHeap) pop() event {
+	top := h.ev[0]
+	h.n--
+	if h.n > 0 {
+		h.ev[0] = h.ev[h.n]
+		h.siftDown(0)
+	}
+	return top
+}
+
+//dnnperf:allocfree
+func (h *eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.ev[i], h.ev[parent] = h.ev[parent], h.ev[i]
+		i = parent
+	}
+}
+
+//dnnperf:allocfree
+func (h *eventHeap) siftDown(i int) {
+	for {
+		left := 2*i + 1
+		if left >= h.n {
+			return
+		}
+		least := left
+		if right := left + 1; right < h.n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			return
+		}
+		h.ev[i], h.ev[least] = h.ev[least], h.ev[i]
+		i = least
+	}
+}
+
+// ring is a FIFO queue of request ids backed by a power-of-two circular
+// buffer — each replica's wait queue. Steady-state push/pop/peek are
+// allocation-free; growth doubles the buffer through the cold grow path
+// before push when full (the caller checks full first), so once a replay
+// has warmed the high-water mark, later replays never allocate.
+type ring struct {
+	buf  []int32 // len is a power of two
+	head int32
+	n    int32
+}
+
+// newRing allocates a ring with the given power-of-two capacity.
+func newRing(capacity int32) ring {
+	return ring{buf: make([]int32, capacity)}
+}
+
+// full reports whether the next push needs grow first.
+//
+//dnnperf:allocfree
+func (r *ring) full() bool { return int(r.n) == len(r.buf) }
+
+// grow doubles the buffer, unrolling the wrapped contents. Cold path.
+func (r *ring) grow() {
+	next := make([]int32, 2*len(r.buf))
+	for i := int32(0); i < r.n; i++ {
+		next[i] = r.at(i)
+	}
+	r.buf = next
+	r.head = 0
+}
+
+// push appends a request id; the caller must have ensured space.
+//
+//dnnperf:allocfree
+func (r *ring) push(v int32) {
+	r.buf[(r.head+r.n)&int32(len(r.buf)-1)] = v
+	r.n++
+}
+
+// pop removes and returns the oldest request id.
+//
+//dnnperf:allocfree
+func (r *ring) pop() int32 {
+	v := r.buf[r.head]
+	r.head = (r.head + 1) & int32(len(r.buf)-1)
+	r.n--
+	return v
+}
+
+// at returns the i-th queued id from the head without removing it.
+//
+//dnnperf:allocfree
+func (r *ring) at(i int32) int32 {
+	return r.buf[(r.head+i)&int32(len(r.buf)-1)]
+}
+
+// reset empties the ring, keeping the warmed capacity.
+//
+//dnnperf:allocfree
+func (r *ring) reset() {
+	r.head = 0
+	r.n = 0
+}

@@ -1,0 +1,47 @@
+package fleetsim
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// PlanRoute computes a per-request replica assignment for an open-loop
+// trace by handing the fleet to a sched.Policy — the seam the scheduler
+// optimizer plugs into the simulator through. Each request becomes one
+// task whose per-replica time is its batch-1 step time on that replica's
+// GPU type (replicas of the same type get identical columns; the policy
+// still separates them because loads differ), and the policy's
+// DenseAssignment becomes the RoutePlanned table. Deterministic for a
+// fixed (table, fleet, trace, policy).
+func PlanRoute(st *StepTable, fleet []int32, tr *Trace, pol sched.Policy) ([]int32, error) {
+	if len(fleet) == 0 {
+		return nil, fmt.Errorf("fleetsim: empty fleet")
+	}
+	if err := tr.Validate(len(st.nets)); err != nil {
+		return nil, err
+	}
+	names := make([]string, len(fleet))
+	for r, g := range fleet {
+		if g < 0 || int(g) >= len(st.gpus) {
+			return nil, fmt.Errorf("fleetsim: replica %d references GPU type %d of %d", r, g, len(st.gpus))
+		}
+		// Replica names must be unique even when GPU types repeat.
+		names[r] = fmt.Sprintf("r%02d:%s", r, st.gpus[g])
+	}
+	dt, err := sched.NewDenseTimes(names, tr.Len())
+	if err != nil {
+		return nil, err
+	}
+	for r, g := range fleet {
+		row := dt.Row(r)
+		for i, n := range tr.Net {
+			row[i] = st.At(g, n, 1)
+		}
+	}
+	a, err := pol.Schedule(dt)
+	if err != nil {
+		return nil, fmt.Errorf("fleetsim: policy %s: %w", pol.Name(), err)
+	}
+	return a.GPUOf, nil
+}

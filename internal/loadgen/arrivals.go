@@ -1,0 +1,250 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Arrival processes as deterministic simulated-time generators. The HTTP
+// load generator and the fleet simulator share these: both need "when does
+// the next request arrive" as a pure function of (schedule, seed), the
+// first to pace wall-clock dispatch, the second to stamp a replayable
+// trace. Times are absolute seconds from the process origin and strictly
+// increase; the same (schedule, parameters, seed) always yields the same
+// sequence on every platform, which is what makes fleet-simulation results
+// bit-identical across runs.
+//
+// Open-loop schedules (arrivals do not wait for responses):
+//
+//   - PoissonArrivals: homogeneous Poisson at a fixed rate — exponential
+//     inter-arrival gaps, the standard memoryless open-loop model.
+//   - BurstyArrivals: an on/off modulated Poisson process (rate·factor
+//     during bursts, rate/factor between them). With equal on/off windows
+//     the time-average rate is rate·(factor + 1/factor)/2.
+//   - DiurnalArrivals: a nonhomogeneous Poisson process whose rate follows
+//     a sinusoid, rate(t) = base·(1 + amp·sin(2πt/period)) — the day/night
+//     cycle capacity planning must survive. Sampled by thinning (Lewis &
+//     Shedler): candidates at the peak rate, each kept with probability
+//     rate(t)/peak, which preserves exactness for any bounded rate curve.
+//
+// The closed-loop counterpart is Think: closed-loop users do not follow a
+// time schedule — each issues its next request one think time after the
+// previous response — so the generator is an exponential think-time
+// sampler the simulator consults at every completion.
+
+// Process generates one arrival schedule: successive calls to Next return
+// strictly increasing absolute arrival times in seconds. Implementations
+// are deterministic in their seed and not safe for concurrent use (each
+// goroutine takes its own instance).
+type Process interface {
+	// Name identifies the schedule in reports and JSON summaries.
+	Name() string
+	// Next returns the next arrival time in seconds from the origin.
+	Next() float64
+}
+
+// splitmix is splitmix64 — the repository's seeded, allocation-free,
+// platform-identical RNG (same construction as internal/sched's).
+type splitmix struct{ s uint64 }
+
+func (r *splitmix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *splitmix) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// expGap draws an exponential inter-arrival gap at the given rate:
+// −ln(1−U)/rate with U uniform in [0,1), so the argument stays in (0,1].
+func (r *splitmix) expGap(rate float64) float64 {
+	return -math.Log(1-r.float64()) / rate
+}
+
+// PoissonArrivals is the homogeneous Poisson process.
+type PoissonArrivals struct {
+	rate float64
+	t    float64
+	rng  splitmix
+}
+
+// NewPoissonArrivals returns a Poisson process at rate arrivals/second.
+func NewPoissonArrivals(rate float64, seed int64) *PoissonArrivals {
+	return &PoissonArrivals{rate: rate, rng: splitmix{s: uint64(seed)}}
+}
+
+// Name implements Process.
+func (p *PoissonArrivals) Name() string { return string(Poisson) }
+
+// Next implements Process.
+func (p *PoissonArrivals) Next() float64 {
+	p.t += p.rng.expGap(p.rate)
+	return p.t
+}
+
+// BurstyArrivals is the on/off modulated Poisson process. The process
+// starts in the on phase; each gap is drawn at the rate of the phase the
+// previous arrival fell in, matching the wall-clock generator's behavior
+// (phase boundaries do not re-draw an in-flight gap).
+type BurstyArrivals struct {
+	rate, factor float64
+	onS, offS    float64
+	t, phaseEnd  float64
+	inBurst      bool
+	rng          splitmix
+}
+
+// NewBurstyArrivals returns a bursty process with mean-phase windows onS
+// and offS seconds. Non-positive windows default to 0.2s; a factor ≤ 1
+// defaults to 4.
+func NewBurstyArrivals(rate, factor, onS, offS float64, seed int64) *BurstyArrivals {
+	if onS <= 0 {
+		onS = 0.2
+	}
+	if offS <= 0 {
+		offS = 0.2
+	}
+	if factor <= 1 {
+		factor = 4
+	}
+	return &BurstyArrivals{
+		rate: rate, factor: factor, onS: onS, offS: offS,
+		phaseEnd: onS, inBurst: true,
+		rng: splitmix{s: uint64(seed)},
+	}
+}
+
+// Name implements Process.
+func (p *BurstyArrivals) Name() string { return string(Bursty) }
+
+// Next implements Process.
+func (p *BurstyArrivals) Next() float64 {
+	for p.t >= p.phaseEnd {
+		if p.inBurst {
+			p.inBurst = false
+			p.phaseEnd += p.offS
+		} else {
+			p.inBurst = true
+			p.phaseEnd += p.onS
+		}
+	}
+	rate := p.rate / p.factor
+	if p.inBurst {
+		rate = p.rate * p.factor
+	}
+	p.t += p.rng.expGap(rate)
+	return p.t
+}
+
+// DiurnalArrivals is the sinusoidally modulated Poisson process,
+// rate(t) = base·(1 + amp·sin(2πt/period)).
+type DiurnalArrivals struct {
+	base, amp, period float64
+	t                 float64
+	rng               splitmix
+}
+
+// NewDiurnalArrivals returns a diurnal process. Amplitude is clamped to
+// [0, 0.95] (1 would let the trough rate touch zero and stall thinning);
+// a non-positive period defaults to 86400 s — one day.
+func NewDiurnalArrivals(base, amplitude, periodS float64, seed int64) *DiurnalArrivals {
+	if amplitude < 0 {
+		amplitude = 0
+	}
+	if amplitude > 0.95 {
+		amplitude = 0.95
+	}
+	if periodS <= 0 {
+		periodS = 86400
+	}
+	return &DiurnalArrivals{base: base, amp: amplitude, period: periodS, rng: splitmix{s: uint64(seed)}}
+}
+
+// Name implements Process.
+func (p *DiurnalArrivals) Name() string { return string(Diurnal) }
+
+// Rate returns the instantaneous rate at time t seconds.
+func (p *DiurnalArrivals) Rate(t float64) float64 {
+	return p.base * (1 + p.amp*math.Sin(2*math.Pi*t/p.period))
+}
+
+// Next implements Process by thinning at the peak rate base·(1+amp).
+func (p *DiurnalArrivals) Next() float64 {
+	peak := p.base * (1 + p.amp)
+	for {
+		p.t += p.rng.expGap(peak)
+		if p.rng.float64()*peak <= p.Rate(p.t) {
+			return p.t
+		}
+	}
+}
+
+// Think samples closed-loop think times: the seconds a virtual user waits
+// between receiving a response and issuing the next request, exponentially
+// distributed with the given mean (memoryless users, the M in M/G/k).
+type Think struct {
+	mean float64
+	rng  splitmix
+}
+
+// NewThink returns a think-time sampler with the given mean in seconds.
+func NewThink(meanS float64, seed int64) *Think {
+	return &Think{mean: meanS, rng: splitmix{s: uint64(seed)}}
+}
+
+// Sample returns one think time in seconds. A non-positive mean always
+// returns 0 (users re-issue immediately — the peak-throughput probe).
+func (t *Think) Sample() float64 {
+	if t.mean <= 0 {
+		return 0
+	}
+	return t.rng.expGap(1 / t.mean)
+}
+
+// ArrivalsConfig parameterizes NewArrivals, the factory mapping an Arrival
+// schedule name onto a Process.
+type ArrivalsConfig struct {
+	// Rate is the mean arrival rate in requests/second (the base rate for
+	// Diurnal).
+	Rate float64
+	// Seed seeds the process randomness.
+	Seed int64
+	// BurstOn, BurstOff and BurstFactor shape Bursty (zero values default
+	// as in NewBurstyArrivals).
+	BurstOn, BurstOff time.Duration
+	BurstFactor       float64
+	// DiurnalPeriod and DiurnalAmplitude shape Diurnal; a zero period
+	// defaults to one day, a zero amplitude to 0.5.
+	DiurnalPeriod    time.Duration
+	DiurnalAmplitude float64
+}
+
+// NewArrivals builds the open-loop Process for a schedule. Closed is not an
+// open-loop schedule (its arrivals are completion-triggered, see Think) and
+// returns an error.
+func NewArrivals(a Arrival, cfg ArrivalsConfig) (Process, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("loadgen: %s schedule needs Rate > 0", a)
+	}
+	switch a {
+	case Poisson:
+		return NewPoissonArrivals(cfg.Rate, cfg.Seed), nil
+	case Bursty:
+		return NewBurstyArrivals(cfg.Rate, cfg.BurstFactor, cfg.BurstOn.Seconds(), cfg.BurstOff.Seconds(), cfg.Seed), nil
+	case Diurnal:
+		amp := cfg.DiurnalAmplitude
+		if amp == 0 {
+			amp = 0.5
+		}
+		return NewDiurnalArrivals(cfg.Rate, amp, cfg.DiurnalPeriod.Seconds(), cfg.Seed), nil
+	case Closed:
+		return nil, fmt.Errorf("loadgen: %s is completion-triggered, not an open-loop schedule (use Think)", a)
+	}
+	return nil, fmt.Errorf("loadgen: unknown arrival schedule %q", a)
+}

@@ -46,16 +46,17 @@ type Arrival string
 const (
 	Poisson Arrival = "poisson"
 	Bursty  Arrival = "bursty"
+	Diurnal Arrival = "diurnal"
 	Closed  Arrival = "closed"
 )
 
 // ParseArrival maps a CLI string onto an Arrival.
 func ParseArrival(s string) (Arrival, error) {
 	switch Arrival(s) {
-	case Poisson, Bursty, Closed:
+	case Poisson, Bursty, Diurnal, Closed:
 		return Arrival(s), nil
 	}
-	return "", fmt.Errorf("loadgen: unknown arrival schedule %q (want poisson, bursty or closed)", s)
+	return "", fmt.Errorf("loadgen: unknown arrival schedule %q (want poisson, bursty, diurnal or closed)", s)
 }
 
 // Config parameterizes one load-generation run.
@@ -91,10 +92,17 @@ type Config struct {
 
 	// BurstOn and BurstOff shape the Bursty schedule (defaults 200ms each);
 	// BurstFactor is the on-phase rate multiplier (default 4). The off-phase
-	// rate is Rate/BurstFactor, so with equal on/off windows the mean offered
-	// rate stays close to Rate.
+	// rate is Rate/BurstFactor; with equal on/off windows the time-average
+	// offered rate is Rate·(BurstFactor + 1/BurstFactor)/2.
 	BurstOn, BurstOff time.Duration
 	BurstFactor       float64
+
+	// DiurnalPeriod and DiurnalAmplitude shape the Diurnal schedule: the
+	// offered rate follows Rate·(1 + amp·sin(2πt/period)). A zero period
+	// defaults to Duration (one full cycle per run), a zero amplitude
+	// to 0.5.
+	DiurnalPeriod    time.Duration
+	DiurnalAmplitude float64
 
 	// SlowestK bounds Result.Slowest, the slowest post-warm-up requests kept
 	// with their echoed trace IDs (default 5; negative disables).
@@ -221,7 +229,19 @@ func Run(ctx context.Context, cfg Config) (*Result, error) {
 	case Closed:
 		r.runClosed(ctx, conc, deadline)
 	default:
-		r.runOpen(ctx, arrival, conc, deadline)
+		period := cfg.DiurnalPeriod
+		if period <= 0 {
+			period = cfg.Duration
+		}
+		proc, err := NewArrivals(arrival, ArrivalsConfig{
+			Rate: cfg.Rate, Seed: cfg.Seed,
+			BurstOn: cfg.BurstOn, BurstOff: cfg.BurstOff, BurstFactor: cfg.BurstFactor,
+			DiurnalPeriod: period, DiurnalAmplitude: cfg.DiurnalAmplitude,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.runOpen(ctx, proc, conc, deadline)
 	}
 	r.wg.Wait()
 
@@ -295,29 +315,16 @@ func (r *run) recordSlow(elapsed time.Duration, status int, traceID string) {
 	}
 }
 
-// runOpen dispatches the Poisson or Bursty schedule until the deadline.
-func (r *run) runOpen(ctx context.Context, arrival Arrival, conc int, deadline time.Time) {
-	rng := rand.New(rand.NewSource(r.cfg.Seed))
+// runOpen replays an open-loop arrival Process against the wall clock
+// until the deadline: each simulated arrival time maps onto start+t, so
+// the offered schedule is exactly the one the fleet simulator would replay
+// for the same (schedule, rate, seed).
+func (r *run) runOpen(ctx context.Context, proc Process, conc int, deadline time.Time) {
 	reqRng := rand.New(rand.NewSource(r.cfg.Seed + 1))
 
-	burstOn, burstOff := r.cfg.BurstOn, r.cfg.BurstOff
-	if burstOn <= 0 {
-		burstOn = 200 * time.Millisecond
-	}
-	if burstOff <= 0 {
-		burstOff = 200 * time.Millisecond
-	}
-	factor := r.cfg.BurstFactor
-	if factor <= 1 {
-		factor = 4
-	}
-
-	next := time.Now()
-	phaseEnd := next.Add(burstOn) // bursty starts in the on phase
-	inBurst := true
+	start := time.Now()
 	for {
-		now := time.Now()
-		if !now.Before(deadline) {
+		if !time.Now().Before(deadline) {
 			return
 		}
 		select {
@@ -326,26 +333,7 @@ func (r *run) runOpen(ctx context.Context, arrival Arrival, conc int, deadline t
 		default:
 		}
 
-		rate := r.cfg.Rate
-		if arrival == Bursty {
-			for !now.Before(phaseEnd) {
-				if inBurst {
-					inBurst = false
-					phaseEnd = phaseEnd.Add(burstOff)
-				} else {
-					inBurst = true
-					phaseEnd = phaseEnd.Add(burstOn)
-				}
-			}
-			if inBurst {
-				rate *= factor
-			} else {
-				rate /= factor
-			}
-		}
-
-		// Exponential inter-arrival at the phase rate.
-		next = next.Add(time.Duration(rng.ExpFloat64() / rate * float64(time.Second)))
+		next := start.Add(time.Duration(proc.Next() * float64(time.Second)))
 		if d := time.Until(next); d > 0 {
 			select {
 			case <-time.After(d):

@@ -192,10 +192,10 @@ func TestRunConfigValidation(t *testing.T) {
 			t.Errorf("case %d: invalid config accepted", i)
 		}
 	}
-	if _, err := ParseArrival("diurnal"); err == nil {
+	if _, err := ParseArrival("sawtooth"); err == nil {
 		t.Error("ParseArrival accepted an unknown schedule")
 	}
-	for _, s := range []string{"poisson", "bursty", "closed"} {
+	for _, s := range []string{"poisson", "bursty", "diurnal", "closed"} {
 		if _, err := ParseArrival(s); err != nil {
 			t.Errorf("ParseArrival(%q): %v", s, err)
 		}

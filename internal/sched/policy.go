@@ -34,6 +34,41 @@ func (p ListPolicy) Schedule(dt *DenseTimes) (*DenseAssignment, error) {
 	return ListSchedule(dt, p.Lookahead)
 }
 
+// InOrderPolicy is dense list scheduling in input order: each task in turn
+// goes to the GPU minimizing its completion time, no LPT sort. It models a
+// dispatcher that must place requests as they arrive, and is the baseline
+// the fleetsim policy-seam tests separate from ListPolicy by construction
+// (worst case 2 − 1/g on identical machines).
+type InOrderPolicy struct{}
+
+// Name implements Policy.
+func (InOrderPolicy) Name() string { return "greedy-inorder" }
+
+// Schedule implements Policy.
+func (InOrderPolicy) Schedule(dt *DenseTimes) (*DenseAssignment, error) {
+	if err := dt.Validate(); err != nil {
+		return nil, err
+	}
+	a := &DenseAssignment{
+		GPUOf: make([]int32, dt.NumTasks()),
+		Load:  make([]float64, dt.NumGPUs()),
+	}
+	for i := 0; i < dt.n; i++ {
+		best, bestFinish := 0, a.Load[0]+dt.At(0, i)
+		for g := 1; g < len(dt.gpus); g++ {
+			if f := a.Load[g] + dt.At(g, i); f < bestFinish {
+				best, bestFinish = g, f
+			}
+		}
+		a.GPUOf[i] = int32(best)
+		a.Load[best] = bestFinish
+		if bestFinish > a.Makespan {
+			a.Makespan = bestFinish
+		}
+	}
+	return a, nil
+}
+
 // SearchPolicy is the full multi-start local-search pipeline (see
 // Schedule). The zero value uses the scaled default options.
 type SearchPolicy struct {

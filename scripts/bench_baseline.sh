@@ -44,6 +44,20 @@ go test -run '^$' -bench 'BenchmarkScheduleLocalSearch$' -benchtime 2x ./interna
 go test -run '^$' -bench 'BenchmarkDenseTimesBuild$' -benchtime 20x ./internal/sched/ >>"$tmp"
 go test -run '^$' -bench 'BenchmarkScheduleMoveEval$' -benchtime 20000x ./internal/sched/ >>"$tmp"
 
+# Fleet simulator: the discrete-event replay benchmark. Its ns/op and
+# allocs/op land in the JSON like every other entry; its events/s custom
+# metric becomes the fleetsim_events_per_sec figure bench_compare.sh holds
+# the simulator to.
+go test -run '^$' -bench 'BenchmarkFleetSimReplay$' -benchtime 10x ./internal/fleetsim/ >>"$tmp"
+fleetsim_events="$(awk '/^BenchmarkFleetSimReplay/ {
+    for (i = 2; i < NF; i++)
+        if ($(i + 1) == "events/s" && (best == "" || $i + 0 > best)) best = $i + 0
+} END { print best }' "$tmp")"
+if [ -z "$fleetsim_events" ]; then
+    echo "bench_baseline: no events/s metric parsed for BenchmarkFleetSimReplay" >&2
+    exit 1
+fi
+
 # Fleet serving tier: best of three loadtest runs (max throughput, min p99
 # — open-loop tail latency on a shared box is dominated by scheduler noise,
 # and as with the micro-benchmarks, slowdowns are noise while speedups are
@@ -95,6 +109,7 @@ awk 'BEGIN { print "{"; first = 1 }
 }
 END { printf(",\n") }' "$tmp" >"$out"
 
+printf '  "fleetsim_events_per_sec": {"value": %s},\n' "$fleetsim_events" >>"$out"
 printf '  "fleet_throughput_rps": {"value": %s},\n' "$fleet_thr" >>"$out"
 printf '  "fleet_p99_ns": {"value": %s}\n}\n' "$fleet_p99" >>"$out"
 

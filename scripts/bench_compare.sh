@@ -26,6 +26,12 @@
 # (ScheduleMoveEval), which is additionally held at an absolute
 # 0 allocs/op like the serve handler.
 #
+# The fleet simulator adds one more gate (FleetSimReplay): the
+# discrete-event replay of a 100k-request trace over a 4-GPU fleet —
+# ns/op against baseline, absolute 0 allocs/op, a hard ≥1M simulated
+# requests/sec single-core floor, and events/sec against the committed
+# fleetsim_events_per_sec figure.
+#
 # The fleet serving tier is gated separately: three short `dnnperf
 # loadtest` runs (arguments identical to bench_baseline.sh; best of three —
 # max throughput, min p99) are compared against the committed baseline.
@@ -79,6 +85,8 @@ go test -run '^$' -bench 'BenchmarkDenseTimesBuild$' \
     -benchtime 20x -count 3 ./internal/sched/ >>"$raw"
 go test -run '^$' -bench 'BenchmarkScheduleMoveEval$' \
     -benchtime 20000x -count 3 ./internal/sched/ >>"$raw"
+go test -run '^$' -bench 'BenchmarkFleetSimReplay$' \
+    -benchtime 10x -count 3 ./internal/fleetsim/ >>"$raw"
 
 # `BenchmarkName-P  N  T ns/op ...` -> `BenchmarkName T`, keeping the
 # fastest of the repeated runs: the minimum is the standard noise filter
@@ -204,6 +212,64 @@ if [ "$sched_fail" -ne 0 ]; then
     exit 1
 fi
 echo "bench_compare: scheduler move evaluation allocation-free, search allocs within ${threshold}%"
+
+# --- Fleet simulator gates. Three invariants on the discrete-event replay
+# hot path, on top of the relative ns/op gate above:
+#   1. steady-state Replay stays at absolute 0 allocs/op (worst of the 3
+#      repeats) — the event arena, rings and step table are preallocated,
+#      so any allocation is a regression, not noise;
+#   2. single-core simulated throughput stays at or above 1M requests/sec
+#      (best of 3) — the headline capacity-planning speed claim; and
+#   3. simulated events/sec (best of 3) does not drop more than the
+#      relative threshold below the committed fleetsim_events_per_sec
+#      baseline figure.
+fleetsim_metric() {
+    awk -v unit="$1" '/^BenchmarkFleetSimReplay/ {
+        for (i = 2; i < NF; i++)
+            if ($(i + 1) == unit && (best == "" || $i + 0 > best)) best = $i + 0
+    } END { print best }' "$raw"
+}
+fleetsim_fail=0
+sim_allocs="$(serve_allocs BenchmarkFleetSimReplay)"
+if [ -z "$sim_allocs" ]; then
+    echo "bench_compare: no allocs/op parsed for BenchmarkFleetSimReplay" >&2
+    exit 1
+fi
+if [ "$sim_allocs" != "0" ]; then
+    echo "  BenchmarkFleetSimReplay: $sim_allocs allocs/op, want 0 — REGRESSION (event loop allocates)"
+    fleetsim_fail=1
+else
+    echo "  BenchmarkFleetSimReplay: 0 allocs/op"
+fi
+sim_reqs="$(fleetsim_metric req/s)"
+sim_events="$(fleetsim_metric events/s)"
+if [ -z "$sim_reqs" ] || [ -z "$sim_events" ]; then
+    echo "bench_compare: no req/s / events/s metrics parsed for BenchmarkFleetSimReplay" >&2
+    exit 1
+fi
+if awk "BEGIN { exit !($sim_reqs < 1000000) }"; then
+    echo "  fleetsim_requests_per_sec: $sim_reqs, want >= 1000000 — REGRESSION (simulated throughput floor)"
+    fleetsim_fail=1
+else
+    echo "  fleetsim_requests_per_sec: $sim_reqs (floor 1000000)"
+fi
+base_events="$(sed -n 's/.*"fleetsim_events_per_sec": {"value": \([0-9][0-9.e+]*\)}.*/\1/p' "$baseline")"
+if [ -z "$base_events" ]; then
+    echo "  fleetsim_events_per_sec: no baseline entry, relative gate skipped (run make bench-baseline to add it)"
+else
+    pct="$(awk "BEGIN { printf \"%+.1f\", ($sim_events / $base_events - 1) * 100 }")"
+    if awk "BEGIN { exit !($sim_events < $base_events * (1 - $threshold / 100)) }"; then
+        echo "  fleetsim_events_per_sec: $sim_events vs baseline $base_events ($pct% — REGRESSION over ${threshold}%)"
+        fleetsim_fail=1
+    else
+        echo "  fleetsim_events_per_sec: $sim_events vs baseline $base_events ($pct%)"
+    fi
+fi
+if [ "$fleetsim_fail" -ne 0 ]; then
+    echo "bench_compare: fleet simulator regression detected" >&2
+    exit 1
+fi
+echo "bench_compare: fleetsim replay allocation-free, >=1M req/s, events/s within ${threshold}%"
 
 # --- Fleet serving gate: throughput and p99 from live loadtest runs.
 fleet_threshold="${BENCH_FLEET_THRESHOLD:-25}"

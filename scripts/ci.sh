@@ -12,9 +12,14 @@
 #                         whole-fleet graceful drain
 #   5. loadtest smoke   — `dnnperf loadtest` drives a 2-replica fleet for
 #                         ~2s; non-zero throughput, zero 5xx required
-#   6. bench compare    — cached-predict benchmarks vs BENCH_baseline.json
+#   6. fleetsim smoke   — `dnnperf fleetsim` replays a 10k-request trace
+#                         against the simulated fleet; every request served
+#                         with monotone percentiles, plus a capacity sweep
+#   7. bench compare    — cached-predict benchmarks vs BENCH_baseline.json
 #                         (>25% ns/op regression fails) plus the fleet
-#                         throughput/p99 gate (BENCH_FLEET_THRESHOLD)
+#                         throughput/p99 gate (BENCH_FLEET_THRESHOLD) and
+#                         the fleetsim replay gate (0 allocs/op, ≥1M
+#                         simulated requests/sec single-core)
 #
 # Followed by the lint self-test: seed known violations (one per
 # representative analyzer) into a scratch copy of the module and require
@@ -39,6 +44,9 @@ echo "== serve smoke test"
 
 echo "== loadtest smoke test"
 ./scripts/loadtest_smoke.sh
+
+echo "== fleetsim smoke test"
+./scripts/fleetsim_smoke.sh
 
 echo "== bench compare"
 ./scripts/bench_compare.sh
